@@ -1,0 +1,76 @@
+//! Error type for reduced-order model construction.
+
+use core::fmt;
+
+use rlc_numeric::NumericError;
+
+/// Error returned when a reduced-order model cannot be constructed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AweError {
+    /// Fewer moments were supplied than the requested order needs
+    /// (`2q` moments beyond `m_0` for a `q`-pole model).
+    InsufficientMoments {
+        /// Requested model order.
+        order: usize,
+        /// Moments available (excluding `m_0`).
+        available: usize,
+    },
+    /// The requested order is zero.
+    ZeroOrder,
+    /// The moment-matching linear algebra failed (singular Hankel system,
+    /// defective poles, or non-convergent root finding) — the classic AWE
+    /// failure mode the paper contrasts its always-stable model with.
+    Numerical(NumericError),
+}
+
+impl fmt::Display for AweError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AweError::InsufficientMoments { order, available } => write!(
+                f,
+                "a {order}-pole model needs {} moments beyond m0, got {available}",
+                2 * order
+            ),
+            AweError::ZeroOrder => write!(f, "model order must be at least 1"),
+            AweError::Numerical(e) => write!(f, "moment matching failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AweError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AweError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for AweError {
+    fn from(e: NumericError) -> Self {
+        AweError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = AweError::InsufficientMoments {
+            order: 3,
+            available: 4,
+        };
+        assert!(e.to_string().contains("6 moments"));
+        assert!(e.source().is_none());
+
+        let n: AweError = NumericError::NoConvergence { iterations: 5 }.into();
+        assert!(n.to_string().contains("moment matching failed"));
+        assert!(n.source().is_some());
+
+        assert!(AweError::ZeroOrder.to_string().contains("at least 1"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Reduced-order interconnect models: the comparators the paper positions
+//! its closed-form model against.
+//!
+//! * **AWE / Padé moment matching** ([`ReducedOrderModel::from_pade`],
+//!   [`awe_at_node`]) — asymptotic waveform evaluation (Pillage & Rohrer
+//!   \[33\]–\[35\]): match the first `2q` moments of the exact transfer
+//!   function with a `q`-pole model. Arbitrarily accurate, but requires
+//!   numerical pole extraction and — unlike the paper's model — **can
+//!   produce unstable poles** ([`ReducedOrderModel::is_stable`]).
+//! * **Wyatt single-pole** ([`ReducedOrderModel::wyatt`]) — the classic
+//!   Elmore-delay-era model `1/(1 + s·T_RC)` \[16\].
+//! * **Kahng–Muddu two-pole** ([`ReducedOrderModel::two_pole`]) — the
+//!   analytical two-pole model from the first two *exact* moments \[30\],
+//!   the closest prior work; the paper's contribution over it is a single
+//!   continuous formula family, closed-form tree sums for the second
+//!   moment, and rise/overshoot/settling characterization.
+//!
+//! # Examples
+//!
+//! Build a 4-pole AWE model at the sink of a line and compare its 50%
+//! delay against the paper's closed-form model:
+//!
+//! ```
+//! use rlc_tree::{RlcSection, topology};
+//! use rlc_units::{Resistance, Inductance, Capacitance};
+//! use rlc_awe::awe_at_node;
+//!
+//! let s = RlcSection::new(
+//!     Resistance::from_ohms(25.0),
+//!     Inductance::from_nanohenries(2.0),
+//!     Capacitance::from_picofarads(0.4),
+//! );
+//! let (line, sink) = topology::single_line(6, s);
+//! let awe = awe_at_node(&line, sink, 4)?;
+//! assert!(awe.is_stable());
+//! let delay = awe.delay_50().expect("crosses 50%");
+//! assert!(delay.as_picoseconds() > 0.0);
+//! # Ok::<(), rlc_awe::AweError>(())
+//! ```
+
+mod error;
+mod reduced;
+
+pub use error::AweError;
+pub use reduced::{awe_at_node, two_pole_at_node, ReducedOrderModel};

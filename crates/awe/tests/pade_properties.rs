@@ -1,0 +1,165 @@
+//! Property tests for Padé moment matching: models built from the moments
+//! of known pole sets must recover those poles, and tree-derived models
+//! must match the moments they were built from.
+
+use proptest::prelude::*;
+use rlc_awe::ReducedOrderModel;
+use rlc_numeric::Complex64;
+use rlc_tree::topology;
+use rlc_units::{Capacitance, Inductance, Resistance, Time};
+
+/// Moments of `H(s) = Σ r_k/(s−p_k)` with DC gain 1:
+/// `m_j = Σ_k −r_k/p_k^{j+1}`.
+fn moments_of(poles: &[f64], count: usize) -> Vec<f64> {
+    // Zero-free all-pole model: residue_k = Π_j(−p_j) / Π_{j≠k}(p_k − p_j).
+    let n = poles.len();
+    let mut residues = vec![0.0f64; n];
+    for k in 0..n {
+        let mut num = 1.0;
+        for &p in poles {
+            num *= -p;
+        }
+        let mut den = 1.0;
+        for (j, &p) in poles.iter().enumerate() {
+            if j != k {
+                den *= poles[k] - p;
+            }
+        }
+        residues[k] = num / den;
+    }
+    (0..count)
+        .map(|j| {
+            poles
+                .iter()
+                .zip(&residues)
+                .map(|(&p, &r)| -r / p.powi(j as i32 + 1))
+                .sum()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// q=2 Padé from the moments of a 2-pole system recovers both poles.
+    #[test]
+    fn two_pole_recovery(
+        p1 in -50.0f64..-0.1,
+        sep in 1.5f64..20.0,
+    ) {
+        let p2 = p1 * sep; // well separated
+        let m = moments_of(&[p1, p2], 5);
+        let model = ReducedOrderModel::from_pade(&m, 2).expect("pade builds");
+        prop_assert!(model.is_stable());
+        prop_assert!((model.dc_gain() - 1.0).abs() < 1e-6);
+        let mut got: Vec<f64> = model.poles().iter().map(|z| z.re).collect();
+        got.sort_by(f64::total_cmp);
+        let mut want = [p1, p2];
+        want.sort_by(f64::total_cmp);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-4 * w.abs(), "{got:?} vs {want:?}");
+        }
+    }
+
+    /// The step response of a recovered model matches the original
+    /// pole/residue system everywhere.
+    #[test]
+    fn step_response_matches_original(
+        p1 in -10.0f64..-0.5,
+        sep in 2.0f64..8.0,
+        t in 0.01f64..20.0,
+    ) {
+        let p2 = p1 * sep;
+        let m = moments_of(&[p1, p2], 5);
+        let model = ReducedOrderModel::from_pade(&m, 2).expect("pade builds");
+        // Original response: 1 + Σ (r_k/p_k)e^{p_k t}.
+        let poles = [p1, p2];
+        let mut orig = 1.0;
+        for k in 0..2 {
+            let mut num = p1 * p2; // Π(−p) for 2 poles = p1·p2
+            let mut den = 1.0;
+            for j in 0..2 {
+                if j != k {
+                    den *= poles[k] - poles[j];
+                }
+            }
+            num /= poles[k];
+            orig += num / den * (poles[k] * t).exp();
+        }
+        let got = model.step_response(Time::from_seconds(t));
+        prop_assert!((got - orig).abs() < 1e-6, "t={t}: {got} vs {orig}");
+    }
+
+    /// AWE models built from random RC lines are stable and percent-accurate
+    /// against the Wyatt-exact single-pole limit... more usefully: their
+    /// first 2q moments match the tree's exact moments.
+    #[test]
+    fn tree_model_matches_input_moments(seed in any::<u64>(), n in 2usize..12) {
+        let tree = topology::random_tree(
+            seed,
+            n,
+            (Resistance::from_ohms(1.0), Resistance::from_ohms(60.0)),
+            (Inductance::ZERO, Inductance::from_nanohenries(1.0)),
+            (Capacitance::from_femtofarads(20.0), Capacitance::from_picofarads(0.5)),
+        );
+        let sink = tree.leaves().next().expect("sink");
+        let q = 2;
+        let moments = rlc_moments::transfer_moments(&tree, 2 * q);
+        let Ok(model) = ReducedOrderModel::from_pade(moments.at(sink), q) else {
+            // Degenerate Hankel systems can occur; skip those cases.
+            return Ok(());
+        };
+        // Nearly repeated poles make the pole/residue form intrinsically
+        // ill-conditioned (residues blow up with opposite signs); moment
+        // agreement degrades there through no fault of the construction.
+        // Restrict the property to well-separated poles.
+        let p = model.poles();
+        let scale = p.iter().map(|z| z.norm()).fold(0.0f64, f64::max);
+        let min_sep = (p[0] - p[1]).norm();
+        prop_assume!(min_sep > 0.05 * scale);
+        // Moments of the reduced model: m_j = Σ −r/p^{j+1}. A q-pole Padé
+        // matches m_0 … m_{2q−1} (2q moments including m_0); m_{2q} is the
+        // first unmatched one.
+        for j in 1..2 * q {
+            let model_mj: f64 = model
+                .poles()
+                .iter()
+                .zip(model.residues())
+                .map(|(&p, &r)| (-(r / p.powi(j as i32 + 1))).re)
+                .sum::<f64>();
+            let exact = moments.at(sink)[j];
+            // Exact in infinite precision; the Hankel solve and root
+            // extraction leave a small numerical residue that grows with
+            // moment order.
+            prop_assert!(
+                (model_mj - exact).abs() <= 1e-3 * exact.abs().max(1e-300),
+                "seed {seed} m{j}: {model_mj} vs {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conjugate_pole_pairs_from_ringing_moments() {
+    // Moments of an underdamped 2nd-order system must produce a conjugate
+    // pole pair with negative real part.
+    // H = 1/(1 + s·(2ζ/ωn) + s²/ωn²), ζ=0.3, ωn=2.
+    let (zeta, wn) = (0.3, 2.0);
+    let b1 = 2.0 * zeta / wn;
+    let b2: f64 = 1.0 / (wn * wn);
+    // Series inversion for moments: m0=1, m1=−b1, m2=b1²−b2, m3=−b1³+2b1b2, m4=b1⁴−3b1²b2+b2².
+    let m = [
+        1.0,
+        -b1,
+        b1 * b1 - b2,
+        -b1 * b1 * b1 + 2.0 * b1 * b2,
+        b1.powi(4) - 3.0 * b1 * b1 * b2 + b2 * b2,
+    ];
+    let model = ReducedOrderModel::from_pade(&m, 2).expect("pade builds");
+    assert!(model.is_stable());
+    let p = model.poles();
+    assert!((p[0] - p[1].conj()).norm() < 1e-9, "conjugate pair");
+    assert!((p[0].re + zeta * wn).abs() < 1e-6);
+    assert!((p[0].im.abs() - wn * (1.0f64 - zeta * zeta).sqrt()).abs() < 1e-6);
+    let _ = Complex64::ZERO;
+}

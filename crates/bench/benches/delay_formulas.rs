@@ -1,0 +1,64 @@
+//! Criterion benchmark for experiment A2: the fitted closed forms
+//! (eqs. 33–34) versus exact numerical inversion of the step response.
+//!
+//! The fitted formulas exist so the model can sit inside synthesis inner
+//! loops; they should be one to two orders of magnitude cheaper than the
+//! Brent inversions while staying within a few percent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eed::{fitted, step};
+
+const ZETAS: [f64; 6] = [0.25, 0.5, 0.8, 1.0, 1.6, 3.0];
+
+fn bench_fitted(c: &mut Criterion) {
+    c.bench_function("delay_50_fitted_eq33", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &z in &ZETAS {
+                acc += fitted::delay_50_scaled(std::hint::black_box(z));
+            }
+            acc
+        })
+    });
+    c.bench_function("rise_time_fitted_eq34", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &z in &ZETAS {
+                acc += fitted::rise_time_scaled(std::hint::black_box(z));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_exact_inversion(c: &mut Criterion) {
+    c.bench_function("delay_50_exact_inversion", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &z in &ZETAS {
+                acc += step::time_to_reach_scaled(std::hint::black_box(z), 0.5);
+            }
+            acc
+        })
+    });
+    c.bench_function("rise_time_exact_inversion", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &z in &ZETAS {
+                acc += fitted::exact_rise_scaled(std::hint::black_box(z));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_refit(c: &mut Criterion) {
+    // Regenerating the fit from scratch (done once, offline).
+    let grid: Vec<f64> = (4..=40).map(|k| k as f64 * 0.1).collect();
+    c.bench_function("refit_delay_37pt_grid", |b| {
+        b.iter(|| fitted::refit_delay(std::hint::black_box(&grid)))
+    });
+}
+
+criterion_group!(benches, bench_fitted, bench_exact_inversion, bench_refit);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmark for the Appendix complexity claim: the two tree
+//! sums (and the full model pass built on them) are computed for all nodes
+//! in time linear in the number of branches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eed::TreeAnalysis;
+use rlc_bench::section;
+use rlc_tree::topology;
+
+fn bench_tree_sums(c: &mut Criterion) {
+    let sec = section(20.0, 2.0, 0.3);
+    let mut group = c.benchmark_group("tree_sums");
+    for exp in [8u32, 11, 14] {
+        let n = 1usize << exp;
+        let (line, _) = topology::single_line(n, sec);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("line", n), &line, |b, tree| {
+            b.iter(|| rlc_moments::tree_sums(std::hint::black_box(tree)))
+        });
+        let tree = topology::balanced_tree(exp as usize + 1, 2, sec);
+        group.throughput(Throughput::Elements(tree.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("balanced", tree.len()),
+            &tree,
+            |b, tree| b.iter(|| rlc_moments::tree_sums(std::hint::black_box(tree))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let sec = section(20.0, 2.0, 0.3);
+    let mut group = c.benchmark_group("tree_analysis");
+    for exp in [8u32, 11, 14] {
+        let n = 1usize << exp;
+        let (line, _) = topology::single_line(n, sec);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("line", n), &line, |b, tree| {
+            b.iter(|| TreeAnalysis::new(std::hint::black_box(tree)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_moments(c: &mut Criterion) {
+    // Exact moments to order 8 (the AWE q=4 requirement) for comparison:
+    // still linear, but ~4x the work of the model's two sums.
+    let sec = section(20.0, 2.0, 0.3);
+    let (line, _) = topology::single_line(1 << 11, sec);
+    c.bench_function("transfer_moments_order8_2048", |b| {
+        b.iter(|| rlc_moments::transfer_moments(std::hint::black_box(&line), 8))
+    });
+}
+
+criterion_group!(benches, bench_tree_sums, bench_full_analysis, bench_exact_moments);
+criterion_main!(benches);

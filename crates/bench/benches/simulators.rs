@@ -1,0 +1,47 @@
+//! Criterion benchmark contrasting the O(n)-per-step tree solver with the
+//! dense MNA formulation, and measuring solver throughput on large trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rlc_bench::section;
+use rlc_sim::{mna, simulate, SimOptions, Source};
+use rlc_tree::topology;
+use rlc_units::Time;
+
+fn small_options() -> SimOptions {
+    SimOptions::new(Time::from_picoseconds(2.0), Time::from_nanoseconds(4.0))
+}
+
+fn bench_tree_vs_mna(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_fig5_2000steps");
+    let (tree, nodes) = topology::fig5(section(25.0, 4.0, 0.4));
+    let observe = [nodes.n7];
+    let src = Source::step(1.0);
+    let options = small_options();
+    group.bench_function("tree_solver", |b| {
+        b.iter(|| simulate(&tree, &src, &options, std::hint::black_box(&observe)))
+    });
+    group.bench_function("dense_mna", |b| {
+        b.iter(|| mna::simulate_mna(&tree, &src, &options, std::hint::black_box(&observe)))
+    });
+    group.finish();
+}
+
+fn bench_tree_solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_solver_500steps");
+    group.sample_size(10);
+    let src = Source::step(1.0);
+    for exp in [6u32, 9, 12] {
+        let n = 1usize << exp;
+        let (line, sink) = topology::single_line(n, section(20.0, 2.0, 0.3));
+        let observe = [sink];
+        let options = SimOptions::new(Time::from_picoseconds(5.0), Time::from_nanoseconds(2.5));
+        group.throughput(Throughput::Elements((n as u64) * 500));
+        group.bench_with_input(BenchmarkId::new("line", n), &line, |b, tree| {
+            b.iter(|| simulate(tree, &src, &options, std::hint::black_box(&observe)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_vs_mna, bench_tree_solver_scaling);
+criterion_main!(benches);

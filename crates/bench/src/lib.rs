@@ -1,0 +1,194 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index): it prints the
+//! same rows/series the figure plots, writes a CSV under `target/figures/`,
+//! and ends with a `SHAPE-CHECK` block asserting the qualitative claims the
+//! figure makes. `EXPERIMENTS.md` records the outcomes.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use eed::{SecondOrderModel, TreeAnalysis};
+use rlc_sim::{simulate, SimOptions, Source, Waveform};
+use rlc_tree::{NodeId, RlcSection, RlcTree};
+use rlc_units::{Capacitance, Inductance, Resistance, Time};
+
+/// Builds an `RlcSection` from engineering magnitudes (Ω, nH, pF).
+pub fn section(r_ohms: f64, l_nh: f64, c_pf: f64) -> RlcSection {
+    RlcSection::new(
+        Resistance::from_ohms(r_ohms),
+        Inductance::from_nanohenries(l_nh),
+        Capacitance::from_picofarads(c_pf),
+    )
+}
+
+/// Returns a copy of `tree` with every inductance scaled so that the model
+/// at `node` has damping factor `zeta`.
+///
+/// Since `ζ = T_RC/(2√T_LC)` and `T_LC` is linear in a global inductance
+/// scale `k`, the required scale is `k = (T_RC/(2ζ))²/T_LC` — this is how
+/// the Fig. 11 sweep "for several values of ζ" is produced.
+///
+/// # Panics
+///
+/// Panics if the tree has no inductance at `node` or `zeta` is not
+/// positive.
+pub fn retune_zeta(tree: &RlcTree, node: NodeId, zeta: f64) -> RlcTree {
+    assert!(zeta > 0.0, "target damping must be positive, got {zeta}");
+    let sums = rlc_moments::tree_sums(tree);
+    let t_rc = sums.rc(node).as_seconds();
+    let t_lc = sums.lc(node).as_seconds_squared();
+    assert!(
+        t_lc > 0.0,
+        "cannot retune an RC tree (zero inductance) to a finite ζ"
+    );
+    let k = (t_rc / (2.0 * zeta)).powi(2) / t_lc;
+    tree.map_sections(|_, s| s.with_inductance(s.inductance() * k))
+}
+
+/// Simulates the unit-step response at `node`, sized from the model's own
+/// delay estimate: step `delay/resolution`, horizon `delay·horizon`.
+pub fn sim_step_waveform(
+    tree: &RlcTree,
+    node: NodeId,
+    resolution: f64,
+    horizon: f64,
+) -> Waveform {
+    let delay = TreeAnalysis::new(tree).delay_50(node);
+    let options = SimOptions::new(
+        Time::from_seconds(delay.as_seconds() / resolution),
+        Time::from_seconds(delay.as_seconds() * horizon),
+    );
+    simulate(tree, &Source::step(1.0), &options, &[node]).remove(0)
+}
+
+/// Relative 50% delay error of the model (exact inversion) versus the
+/// simulated waveform.
+pub fn delay_error(model: &SecondOrderModel, wave: &Waveform) -> f64 {
+    let sim = wave.delay_50(1.0).expect("waveform crosses 50%");
+    ((model.delay_50_exact() - sim).as_seconds() / sim.as_seconds()).abs()
+}
+
+/// Maximum absolute difference between the model's step response and the
+/// simulated waveform (in fractions of the supply), sampled on the
+/// waveform's own time grid.
+pub fn waveform_error(model: &SecondOrderModel, wave: &Waveform) -> f64 {
+    wave.times()
+        .iter()
+        .map(|&t| (model.unit_step(t) - wave.sample_at(t)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// A CSV sink under `target/figures/<name>.csv` that echoes nothing and
+/// tolerates missing directories.
+pub struct FigureCsv {
+    path: PathBuf,
+    file: fs::File,
+}
+
+impl FigureCsv {
+    /// Creates `target/figures/<name>.csv` with the given header row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be created (I/O error in the build dir).
+    pub fn create(name: &str, header: &str) -> Self {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/figures");
+        fs::create_dir_all(&dir).expect("create target/figures");
+        let path = dir.join(format!("{name}.csv"));
+        let mut file = fs::File::create(&path).expect("create figure CSV");
+        writeln!(file, "{header}").expect("write CSV header");
+        Self { path, file }
+    }
+
+    /// Appends one row of comma-separated values.
+    pub fn row(&mut self, values: &[f64]) {
+        let line = values
+            .iter()
+            .map(|v| format!("{v:.9e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(self.file, "{line}").expect("write CSV row");
+    }
+
+    /// Appends one pre-formatted row (for mixed text/number rows).
+    pub fn raw_row(&mut self, line: &str) {
+        writeln!(self.file, "{line}").expect("write CSV row");
+    }
+
+    /// The file path, for the closing message.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+/// Prints the `SHAPE-CHECK` verdict line used by every figure binary and
+/// panics (non-zero exit) on failure, so the harness can be scripted.
+pub fn shape_check(description: &str, ok: bool) {
+    if ok {
+        println!("SHAPE-CHECK PASS: {description}");
+    } else {
+        println!("SHAPE-CHECK FAIL: {description}");
+        panic!("shape check failed: {description}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_tree::topology;
+
+    #[test]
+    fn retune_hits_target_zeta() {
+        let (tree, nodes) = topology::fig5(section(25.0, 5.0, 0.5));
+        for target in [0.3, 0.5, 1.0, 2.0] {
+            let tuned = retune_zeta(&tree, nodes.n7, target);
+            let timing = TreeAnalysis::new(&tuned);
+            assert!(
+                (timing.model(nodes.n7).zeta() - target).abs() < 1e-9,
+                "target {target}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retune an RC tree")]
+    fn retune_rejects_rc_tree() {
+        let (tree, sink) = topology::single_line(2, section(10.0, 0.0, 1.0));
+        let _ = retune_zeta(&tree, sink, 0.5);
+    }
+
+    #[test]
+    fn waveform_helpers_are_consistent() {
+        let (tree, sink) = topology::single_line(3, section(30.0, 2.0, 0.3));
+        let wave = sim_step_waveform(&tree, sink, 300.0, 30.0);
+        let timing = TreeAnalysis::new(&tree);
+        let model = timing.model(sink);
+        // A short inductive line carries double-digit model error (that is
+        // the phenomenon the figures measure); the helpers just need to
+        // report it in a sane range.
+        assert!(delay_error(model, &wave) < 0.25);
+        assert!(waveform_error(model, &wave) < 0.5);
+    }
+
+    #[test]
+    fn figure_csv_writes_rows() {
+        let mut csv = FigureCsv::create("__unit_test", "a,b");
+        csv.row(&[1.0, 2.0]);
+        csv.raw_row("x,y");
+        let content = std::fs::read_to_string(csv.path()).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("1.000000000e0,2.000000000e0"));
+        assert!(content.ends_with("x,y\n"));
+        let _ = std::fs::remove_file(csv.path());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape check failed")]
+    fn shape_check_panics_on_failure() {
+        shape_check("intentional", false);
+    }
+}

@@ -1,0 +1,205 @@
+//! Frequency-domain view of the second-order model.
+//!
+//! The time-domain metrics (delay, rise, overshoot) have frequency-domain
+//! twins that circuit designers reason with: resonance peaking for
+//! `ζ < 1/√2` is the spectral signature of ringing, and the −3 dB
+//! bandwidth tracks the rise time. These are direct evaluations of the
+//! model transfer function `H(jω)` (paper eq. 13).
+
+use rlc_numeric::Complex64;
+use rlc_units::AngularFrequency;
+
+use crate::model::{Damping, SecondOrderModel};
+
+impl SecondOrderModel {
+    /// Evaluates the transfer function `H(jω)` at a real frequency.
+    ///
+    /// For first-order (RC) models this is `1/(1 + jω·T_RC)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eed::SecondOrderModel;
+    /// use rlc_units::AngularFrequency;
+    ///
+    /// let m = SecondOrderModel::new(0.3, AngularFrequency::from_radians_per_second(1.0e9));
+    /// // DC gain is 1; at the natural frequency the magnitude is 1/(2ζ).
+    /// let at_dc = m.frequency_response(AngularFrequency::from_radians_per_second(1.0));
+    /// assert!((at_dc.norm() - 1.0).abs() < 1e-9);
+    /// let at_wn = m.frequency_response(AngularFrequency::from_radians_per_second(1.0e9));
+    /// assert!((at_wn.norm() - 1.0 / 0.6).abs() < 1e-9);
+    /// ```
+    pub fn frequency_response(&self, omega: AngularFrequency) -> Complex64 {
+        let w = omega.as_radians_per_second();
+        match self.damping() {
+            Damping::FirstOrder => {
+                let tau = self.elmore_time_constant().as_seconds();
+                (Complex64::ONE + Complex64::I * (w * tau)).recip()
+            }
+            _ => {
+                let wn = self.omega_n().as_radians_per_second();
+                let ratio = w / wn;
+                let denom = Complex64::new(1.0 - ratio * ratio, 2.0 * self.zeta() * ratio);
+                denom.recip()
+            }
+        }
+    }
+
+    /// The magnitude `|H(jω)|`.
+    pub fn magnitude(&self, omega: AngularFrequency) -> f64 {
+        self.frequency_response(omega).norm()
+    }
+
+    /// The resonance peak `(ω_peak, |H|_peak)`, present only for
+    /// `ζ < 1/√2`: `ω_peak = ω_n·√(1−2ζ²)`, `|H|_peak = 1/(2ζ√(1−ζ²))`.
+    ///
+    /// Returns `None` for ζ ≥ 1/√2 and for first-order models, whose
+    /// magnitude responses are monotone.
+    pub fn resonance_peak(&self) -> Option<(AngularFrequency, f64)> {
+        if self.damping() == Damping::FirstOrder {
+            return None;
+        }
+        let zeta = self.zeta();
+        if zeta >= core::f64::consts::FRAC_1_SQRT_2 {
+            return None;
+        }
+        let wn = self.omega_n().as_radians_per_second();
+        let w_peak = wn * (1.0 - 2.0 * zeta * zeta).sqrt();
+        let peak = 1.0 / (2.0 * zeta * (1.0 - zeta * zeta).sqrt());
+        Some((AngularFrequency::from_radians_per_second(w_peak), peak))
+    }
+
+    /// The −3 dB bandwidth: the frequency where `|H|` first falls to
+    /// `1/√2`.
+    ///
+    /// Closed form for the second-order case:
+    /// `ω_3dB = ω_n·√(1−2ζ² + √((1−2ζ²)² + 1))`; `1/T_RC` for first-order
+    /// models.
+    pub fn bandwidth_3db(&self) -> AngularFrequency {
+        match self.damping() {
+            Damping::FirstOrder => {
+                AngularFrequency::from_radians_per_second(
+                    1.0 / self.elmore_time_constant().as_seconds(),
+                )
+            }
+            _ => {
+                let zeta = self.zeta();
+                let a = 1.0 - 2.0 * zeta * zeta;
+                let wn = self.omega_n().as_radians_per_second();
+                AngularFrequency::from_radians_per_second(
+                    wn * (a + (a * a + 1.0).sqrt()).sqrt(),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_units::{Capacitance, Resistance};
+
+    fn model(zeta: f64) -> SecondOrderModel {
+        SecondOrderModel::new(zeta, AngularFrequency::from_radians_per_second(1.0))
+    }
+
+    fn first_order(tau: f64) -> SecondOrderModel {
+        SecondOrderModel::from_section(&rlc_tree::RlcSection::rc(
+            Resistance::from_ohms(tau),
+            Capacitance::from_farads(1.0),
+        ))
+    }
+
+    fn w(x: f64) -> AngularFrequency {
+        AngularFrequency::from_radians_per_second(x)
+    }
+
+    #[test]
+    fn dc_gain_is_one_everywhere() {
+        for &zeta in &[0.2, 0.707, 1.0, 3.0] {
+            assert!((model(zeta).magnitude(w(1e-9)) - 1.0).abs() < 1e-6);
+        }
+        assert!((first_order(2.0).magnitude(w(1e-9)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn magnitude_at_natural_frequency() {
+        // |H(jω_n)| = 1/(2ζ) exactly.
+        for &zeta in &[0.25, 0.5, 2.0] {
+            assert!((model(zeta).magnitude(w(1.0)) - 1.0 / (2.0 * zeta)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn high_frequency_rolloff_is_40db_per_decade() {
+        let m = model(0.7);
+        let mag_100 = m.magnitude(w(100.0));
+        let mag_1000 = m.magnitude(w(1000.0));
+        // Two-pole rolloff: ×10 in frequency → ÷100 in magnitude.
+        assert!((mag_100 / mag_1000 - 100.0).abs() / 100.0 < 0.01);
+        // First-order: 20 dB/decade.
+        let fo = first_order(1.0);
+        let ratio = fo.magnitude(w(100.0)) / fo.magnitude(w(1000.0));
+        assert!((ratio - 10.0).abs() / 10.0 < 0.01);
+    }
+
+    #[test]
+    fn resonance_only_below_sqrt_half() {
+        assert!(model(0.3).resonance_peak().is_some());
+        assert!(model(0.8).resonance_peak().is_none());
+        assert!(model(1.5).resonance_peak().is_none());
+        assert!(first_order(1.0).resonance_peak().is_none());
+    }
+
+    #[test]
+    fn resonance_peak_matches_sampled_maximum() {
+        let m = model(0.35);
+        let (w_peak, peak) = m.resonance_peak().expect("resonant");
+        // The closed-form peak is at least as large as any sampled point,
+        // and the sampled maximum occurs near ω_peak.
+        let mut best = (0.0, 0.0);
+        let mut x = 0.01;
+        while x < 3.0 {
+            let mag = m.magnitude(w(x));
+            if mag > best.1 {
+                best = (x, mag);
+            }
+            x += 0.001;
+        }
+        assert!((best.0 - w_peak.as_radians_per_second()).abs() < 0.01);
+        assert!((best.1 - peak).abs() < 1e-4);
+        assert!(peak > 1.0);
+    }
+
+    #[test]
+    fn bandwidth_definition_holds() {
+        for &zeta in &[0.3, 0.707, 1.0, 2.5] {
+            let m = model(zeta);
+            let w3 = m.bandwidth_3db();
+            assert!(
+                (m.magnitude(w3) - core::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9,
+                "ζ={zeta}"
+            );
+        }
+        let fo = first_order(2.0);
+        assert!(
+            (fo.magnitude(fo.bandwidth_3db()) - core::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn bandwidth_tracks_rise_time_inversely() {
+        // Classic rule of thumb: wider bandwidth ⇔ faster rise.
+        let fast = model(0.6);
+        let slow = SecondOrderModel::new(0.6, w(0.5));
+        assert!(fast.bandwidth_3db() > slow.bandwidth_3db());
+        assert!(fast.rise_time() < slow.rise_time());
+    }
+
+    #[test]
+    fn response_is_conjugate_symmetric_in_magnitude() {
+        // |H(jω)| must be even in ω (real impulse response).
+        let m = model(0.4);
+        assert!((m.magnitude(w(0.7)) - m.frequency_response(w(0.7)).conj().norm()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,417 @@
+//! The per-node second-order model `(ζ, ω_n)`.
+
+use core::fmt;
+
+use rlc_tree::{NodeId, RlcSection, RlcTree};
+use rlc_units::{AngularFrequency, Time, TimeSquared};
+
+/// Damping classification of a [`SecondOrderModel`].
+///
+/// The paper's expressions are continuous across these regimes; the
+/// classification exists because the *closed forms* of the step response
+/// differ (complex vs. real poles), and because overshoot/settling metrics
+/// only exist for underdamped responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Damping {
+    /// `ζ < 1`: complex poles, non-monotone ringing response.
+    Underdamped,
+    /// `ζ ≈ 1`: repeated real pole.
+    CriticallyDamped,
+    /// `ζ > 1`: two real poles, monotone response.
+    Overdamped,
+    /// `T_LC = 0` (an RC tree): the model degenerates to the single-pole
+    /// Elmore/Wyatt form `1/(1 + s·T_RC)`.
+    FirstOrder,
+}
+
+impl fmt::Display for Damping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Damping::Underdamped => "underdamped",
+            Damping::CriticallyDamped => "critically damped",
+            Damping::Overdamped => "overdamped",
+            Damping::FirstOrder => "first order (RC)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Relative half-width of the band around `ζ = 1` treated as critically
+/// damped, to keep the closed forms numerically stable where the
+/// underdamped and overdamped expressions become ill-conditioned.
+const CRITICAL_BAND: f64 = 1e-6;
+
+/// The paper's second-order approximation at one tree node:
+/// `H(s) = 1/(s²/ω_n² + 2ζ·s/ω_n + 1)` (eq. 13).
+///
+/// Constructed from the two O(n) tree sums via eqs. (29)–(30), from a single
+/// section, or from raw `(ζ, ω_n)`. The model is **always stable**: ζ and
+/// ω_n are positive by construction for any physical tree, which is the
+/// property that makes the method safe inside optimization loops (unlike
+/// moment-matching methods of order ≥ 3, which can produce unstable poles).
+///
+/// # Examples
+///
+/// ```
+/// use eed::{Damping, SecondOrderModel};
+/// use rlc_units::{Time, TimeSquared};
+///
+/// // T_RC = 100 ps, T_LC = (50 ps)² → ζ = 1 exactly.
+/// let model = SecondOrderModel::from_sums(
+///     Time::from_picoseconds(100.0),
+///     TimeSquared::from_seconds_squared(2.5e-21),
+/// );
+/// assert_eq!(model.damping(), Damping::CriticallyDamped);
+/// assert!((model.zeta() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondOrderModel {
+    /// Damping factor ζ; `f64::INFINITY` encodes the first-order (RC) case.
+    zeta: f64,
+    /// Natural frequency ω_n in rad/s; infinite in the first-order case.
+    omega_n: AngularFrequency,
+    /// The Elmore time constant `T_RC = 2ζ/ω_n` — kept explicitly so the
+    /// first-order limit stays exact.
+    tau: Time,
+}
+
+impl SecondOrderModel {
+    /// Creates a model from an explicit damping factor and natural
+    /// frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zeta` is not positive and finite, or `omega_n` is not
+    /// positive and finite. (Use [`from_sums`](Self::from_sums) for the RC
+    /// degenerate case.)
+    pub fn new(zeta: f64, omega_n: AngularFrequency) -> Self {
+        assert!(
+            zeta.is_finite() && zeta > 0.0,
+            "damping factor must be positive and finite, got {zeta}"
+        );
+        assert!(
+            omega_n.is_finite() && omega_n.as_radians_per_second() > 0.0,
+            "natural frequency must be positive and finite, got {omega_n}"
+        );
+        Self {
+            zeta,
+            omega_n,
+            tau: Time::from_seconds(2.0 * zeta / omega_n.as_radians_per_second()),
+        }
+    }
+
+    /// Builds the model from the paper's tree sums (eqs. 29–30):
+    /// `ω_n = 1/√T_LC`, `ζ = T_RC/(2√T_LC)`.
+    ///
+    /// A zero `T_LC` (RC tree) yields the first-order Elmore/Wyatt model
+    /// with time constant `T_RC`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sum is negative or non-finite, or if both are zero
+    /// (a node with no dynamics has no meaningful delay model).
+    pub fn from_sums(t_rc: Time, t_lc: TimeSquared) -> Self {
+        assert!(
+            t_rc.is_finite() && t_rc.as_seconds() >= 0.0,
+            "T_RC must be finite and non-negative, got {t_rc}"
+        );
+        assert!(
+            t_lc.is_finite() && t_lc.as_seconds_squared() >= 0.0,
+            "T_LC must be finite and non-negative, got {t_lc}"
+        );
+        let sqrt_lc = t_lc.sqrt();
+        if sqrt_lc.as_seconds() == 0.0 {
+            assert!(
+                t_rc.as_seconds() > 0.0,
+                "a node with zero T_RC and zero T_LC has no delay model"
+            );
+            return Self {
+                zeta: f64::INFINITY,
+                omega_n: AngularFrequency::from_radians_per_second(f64::INFINITY),
+                tau: t_rc,
+            };
+        }
+        let omega_n = sqrt_lc.reciprocal();
+        let zeta = t_rc.as_seconds() / (2.0 * sqrt_lc.as_seconds());
+        Self {
+            zeta,
+            omega_n,
+            tau: t_rc,
+        }
+    }
+
+    /// Builds the model for a *single* RLC section driven directly by the
+    /// source (paper eqs. 14–15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the section has zero capacitance, or zero resistance *and*
+    /// zero inductance (no dynamics).
+    pub fn from_section(section: &RlcSection) -> Self {
+        Self::from_sums(
+            section.resistance() * section.capacitance(),
+            section.inductance() * section.capacitance(),
+        )
+    }
+
+    /// Builds the model at node `i` of `tree` by computing the tree sums.
+    ///
+    /// For repeated queries on one tree prefer
+    /// [`TreeAnalysis`](crate::TreeAnalysis), which computes all nodes in
+    /// one O(n) pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not belong to `tree`, or the node has no dynamics.
+    pub fn at_node(tree: &RlcTree, i: NodeId) -> Self {
+        let sums = rlc_moments::tree_sums(tree);
+        Self::from_sums(sums.rc(i), sums.lc(i))
+    }
+
+    /// The damping factor ζ (eq. 29). Infinite for first-order models.
+    #[inline]
+    pub fn zeta(&self) -> f64 {
+        self.zeta
+    }
+
+    /// The natural frequency ω_n (eq. 30). Infinite for first-order models.
+    #[inline]
+    pub fn omega_n(&self) -> AngularFrequency {
+        self.omega_n
+    }
+
+    /// The Elmore time constant `T_RC = 2ζ/ω_n` — the quantity the classic
+    /// Elmore/Wyatt delay is built from. Exact in every regime.
+    #[inline]
+    pub fn elmore_time_constant(&self) -> Time {
+        self.tau
+    }
+
+    /// Classifies the damping regime.
+    pub fn damping(&self) -> Damping {
+        if self.zeta.is_infinite() {
+            Damping::FirstOrder
+        } else if (self.zeta - 1.0).abs() <= CRITICAL_BAND {
+            Damping::CriticallyDamped
+        } else if self.zeta < 1.0 {
+            Damping::Underdamped
+        } else {
+            Damping::Overdamped
+        }
+    }
+
+    /// `true` if the step response is non-monotone (rings).
+    pub fn is_underdamped(&self) -> bool {
+        self.damping() == Damping::Underdamped
+    }
+
+    /// The damped oscillation frequency `ω_d = ω_n·√(1−ζ²)`.
+    ///
+    /// Returns `None` unless the model is underdamped.
+    pub fn omega_d(&self) -> Option<AngularFrequency> {
+        if self.is_underdamped() {
+            Some(AngularFrequency::from_radians_per_second(
+                self.omega_n.as_radians_per_second() * (1.0 - self.zeta * self.zeta).sqrt(),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// The two poles of the approximation, as `(real, imaginary)` parts in
+    /// rad/s; the second pole is the conjugate/partner (paper eq. 16).
+    ///
+    /// Returns `None` for first-order models (single real pole at
+    /// `−1/T_RC`).
+    pub fn poles(&self) -> Option<[(f64, f64); 2]> {
+        if self.zeta.is_infinite() {
+            return None;
+        }
+        let wn = self.omega_n.as_radians_per_second();
+        let z = self.zeta;
+        if z < 1.0 {
+            let re = -z * wn;
+            let im = wn * (1.0 - z * z).sqrt();
+            Some([(re, im), (re, -im)])
+        } else {
+            let d = (z * z - 1.0).sqrt();
+            Some([(wn * (-z + d), 0.0), (wn * (-z - d), 0.0)])
+        }
+    }
+
+    /// Converts a physical time into the dimensionless scaled time
+    /// `t' = ω_n·t` of paper eq. (32).
+    #[inline]
+    pub fn scale_time(&self, t: Time) -> f64 {
+        self.omega_n * t
+    }
+
+    /// Converts a scaled time back into physical seconds.
+    #[inline]
+    pub fn unscale_time(&self, t_scaled: f64) -> Time {
+        Time::from_seconds(t_scaled / self.omega_n.as_radians_per_second())
+    }
+}
+
+impl fmt::Display for SecondOrderModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.zeta.is_infinite() {
+            write!(f, "first-order model, τ = {}", self.tau)
+        } else {
+            write!(
+                f,
+                "second-order model, ζ = {:.4}, ω_n = {} ({})",
+                self.zeta,
+                self.omega_n,
+                self.damping()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_units::{Capacitance, Inductance, Resistance};
+
+    fn sec(r: f64, l: f64, c: f64) -> RlcSection {
+        RlcSection::new(
+            Resistance::from_ohms(r),
+            Inductance::from_henries(l),
+            Capacitance::from_farads(c),
+        )
+    }
+
+    #[test]
+    fn single_section_matches_textbook() {
+        // R=2, L=1, C=1: ωn = 1/√(LC) = 1, ζ = (R/2)√(C/L) = 1.
+        let m = SecondOrderModel::from_section(&sec(2.0, 1.0, 1.0));
+        assert!((m.zeta() - 1.0).abs() < 1e-12);
+        assert!((m.omega_n().as_radians_per_second() - 1.0).abs() < 1e-12);
+        assert_eq!(m.damping(), Damping::CriticallyDamped);
+        assert!((m.elmore_time_constant().as_seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_classification() {
+        assert_eq!(
+            SecondOrderModel::from_section(&sec(0.5, 1.0, 1.0)).damping(),
+            Damping::Underdamped
+        );
+        assert_eq!(
+            SecondOrderModel::from_section(&sec(4.0, 1.0, 1.0)).damping(),
+            Damping::Overdamped
+        );
+        assert_eq!(
+            SecondOrderModel::from_section(&sec(1.0, 0.0, 1.0)).damping(),
+            Damping::FirstOrder
+        );
+    }
+
+    #[test]
+    fn first_order_case_keeps_elmore_constant() {
+        let m = SecondOrderModel::from_section(&sec(10.0, 0.0, 3.0));
+        assert!(m.zeta().is_infinite());
+        assert!(!m.omega_n().is_finite());
+        assert_eq!(m.elmore_time_constant().as_seconds(), 30.0);
+        assert_eq!(m.poles(), None);
+        assert_eq!(m.omega_d(), None);
+    }
+
+    #[test]
+    fn underdamped_poles_are_conjugate() {
+        let m = SecondOrderModel::from_section(&sec(1.0, 1.0, 1.0)); // ζ = 0.5
+        let [p1, p2] = m.poles().unwrap();
+        assert_eq!(p1.0, p2.0);
+        assert_eq!(p1.1, -p2.1);
+        assert!((p1.0 + 0.5).abs() < 1e-12); // −ζωn
+        assert!((p1.1 - (0.75f64).sqrt()).abs() < 1e-12); // ωd
+        let wd = m.omega_d().unwrap();
+        assert!((wd.as_radians_per_second() - (0.75f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdamped_poles_real_negative_product_wn2() {
+        let m = SecondOrderModel::from_section(&sec(5.0, 1.0, 1.0)); // ζ = 2.5
+        let [p1, p2] = m.poles().unwrap();
+        assert_eq!(p1.1, 0.0);
+        assert_eq!(p2.1, 0.0);
+        assert!(p1.0 < 0.0 && p2.0 < 0.0);
+        // p1·p2 = ωn².
+        let wn = m.omega_n().as_radians_per_second();
+        assert!((p1.0 * p2.0 - wn * wn).abs() < 1e-9);
+        // p1+p2 = −2ζωn = −R/L for a single section.
+        assert!((p1.0 + p2.0 + 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_sums_matches_eqs_29_30() {
+        let t_rc = Time::from_seconds(3.0);
+        let t_lc = TimeSquared::from_seconds_squared(4.0);
+        let m = SecondOrderModel::from_sums(t_rc, t_lc);
+        assert!((m.omega_n().as_radians_per_second() - 0.5).abs() < 1e-12);
+        assert!((m.zeta() - 0.75).abs() < 1e-12);
+        assert_eq!(m.elmore_time_constant(), t_rc);
+    }
+
+    #[test]
+    fn time_scaling_round_trips() {
+        let m = SecondOrderModel::new(0.7, AngularFrequency::from_radians_per_second(2.0e9));
+        let t = Time::from_picoseconds(150.0);
+        let scaled = m.scale_time(t);
+        assert!((scaled - 0.3).abs() < 1e-12);
+        assert!((m.unscale_time(scaled).as_seconds() - t.as_seconds()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn at_node_matches_tree_sums() {
+        use rlc_tree::topology;
+        let (tree, nodes) = topology::fig5(sec(25.0, 5e-9, 0.5e-12));
+        let m = SecondOrderModel::at_node(&tree, nodes.n7);
+        let sums = rlc_moments::tree_sums(&tree);
+        let expect = SecondOrderModel::from_sums(sums.rc(nodes.n7), sums.lc(nodes.n7));
+        assert_eq!(m, expect);
+    }
+
+    #[test]
+    fn critical_band_is_tight() {
+        let just_under = SecondOrderModel::new(
+            1.0 - 1e-3,
+            AngularFrequency::from_radians_per_second(1.0),
+        );
+        assert_eq!(just_under.damping(), Damping::Underdamped);
+        let just_over = SecondOrderModel::new(
+            1.0 + 1e-3,
+            AngularFrequency::from_radians_per_second(1.0),
+        );
+        assert_eq!(just_over.damping(), Damping::Overdamped);
+        let exactly = SecondOrderModel::new(1.0, AngularFrequency::from_radians_per_second(1.0));
+        assert_eq!(exactly.damping(), Damping::CriticallyDamped);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping factor")]
+    fn new_rejects_non_positive_zeta() {
+        let _ = SecondOrderModel::new(0.0, AngularFrequency::from_radians_per_second(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "natural frequency")]
+    fn new_rejects_bad_omega() {
+        let _ = SecondOrderModel::new(1.0, AngularFrequency::from_radians_per_second(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no delay model")]
+    fn from_sums_rejects_all_zero() {
+        let _ = SecondOrderModel::from_sums(Time::ZERO, TimeSquared::ZERO);
+    }
+
+    #[test]
+    fn display_mentions_regime() {
+        let m = SecondOrderModel::from_section(&sec(1.0, 1.0, 1.0));
+        assert!(m.to_string().contains("underdamped"));
+        let rc = SecondOrderModel::from_section(&sec(1.0, 0.0, 1.0));
+        assert!(rc.to_string().contains("first-order"));
+    }
+}

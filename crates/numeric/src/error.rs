@@ -1,0 +1,95 @@
+//! Error type shared by the numerical kernels.
+
+use core::fmt;
+
+/// Error returned by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// A bracketing root finder was given an interval `[a, b]` on which the
+    /// function does not change sign.
+    NoSignChange {
+        /// Left endpoint of the supplied interval.
+        a: f64,
+        /// Right endpoint of the supplied interval.
+        b: f64,
+    },
+    /// An iterative method did not converge within its iteration budget.
+    NoConvergence {
+        /// The iteration budget that was exhausted.
+        iterations: usize,
+    },
+    /// A linear system was singular (or numerically singular) at the given
+    /// pivot index.
+    SingularMatrix {
+        /// Pivot/column index where elimination broke down.
+        pivot: usize,
+    },
+    /// The caller supplied dimensions that do not describe a valid problem
+    /// (e.g. a non-square matrix for LU, or mismatched lengths).
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: &'static str,
+    },
+    /// The problem is degenerate (e.g. fitting zero data points, or finding
+    /// roots of the zero polynomial).
+    Degenerate {
+        /// Human-readable description of the degeneracy.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::NoSignChange { a, b } => {
+                write!(f, "no sign change on interval [{a}, {b}]")
+            }
+            NumericError::NoConvergence { iterations } => {
+                write!(f, "no convergence within {iterations} iterations")
+            }
+            NumericError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            NumericError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            NumericError::Degenerate { context } => {
+                write!(f, "degenerate problem: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            NumericError::NoSignChange { a: 0.0, b: 1.0 }.to_string(),
+            "no sign change on interval [0, 1]"
+        );
+        assert_eq!(
+            NumericError::NoConvergence { iterations: 7 }.to_string(),
+            "no convergence within 7 iterations"
+        );
+        assert_eq!(
+            NumericError::SingularMatrix { pivot: 3 }.to_string(),
+            "matrix is singular at pivot 3"
+        );
+        assert!(NumericError::DimensionMismatch { context: "x" }
+            .to_string()
+            .contains("x"));
+        assert!(NumericError::Degenerate { context: "y" }.to_string().contains("y"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

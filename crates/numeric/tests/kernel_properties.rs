@@ -1,0 +1,139 @@
+//! Property tests for the numerical kernels: root finding, polynomial
+//! root recovery, and linear-algebra residuals over random inputs.
+
+use proptest::prelude::*;
+use rlc_numeric::linalg::Matrix;
+use rlc_numeric::{roots, Complex64, Polynomial};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Brent finds the root of any monotone cubic with a sign change.
+    #[test]
+    fn brent_solves_monotone_cubics(root in -50.0f64..50.0, scale in 0.1f64..10.0) {
+        let f = |x: f64| scale * (x - root) + 0.01 * (x - root).powi(3);
+        let r = roots::brent(f, root - 80.0, root + 80.0, 1e-12, 300)
+            .expect("bracketed root");
+        prop_assert!((r - root).abs() < 1e-7, "{r} vs {root}");
+    }
+
+    /// Safeguarded Newton agrees with Brent on smooth brackets.
+    #[test]
+    fn newton_agrees_with_brent(a in 0.5f64..4.0, b in 0.1f64..3.0) {
+        // f(x) = e^{a·x} − b − 1 has a single root.
+        let f = |x: f64| (a * x).exp() - b - 1.0;
+        let df = |x: f64| a * (a * x).exp();
+        let lo = -10.0;
+        let hi = 10.0;
+        let brent = roots::brent(f, lo, hi, 1e-13, 300).expect("bracket");
+        let newton =
+            roots::newton_bracketed(f, df, 0.0, lo, hi, 1e-13, 300).expect("bracket");
+        prop_assert!((brent - newton).abs() < 1e-9);
+    }
+
+    /// from_roots → roots recovers well-separated real roots.
+    #[test]
+    fn polynomial_root_roundtrip(
+        seeds in proptest::collection::vec(0.1f64..10.0, 2..6),
+    ) {
+        // Build strictly separated negative roots: r_k = −Π(1+seed).
+        let mut acc = 1.0;
+        let mut wanted: Vec<f64> = Vec::new();
+        for s in &seeds {
+            acc *= 1.0 + s;
+            wanted.push(-acc);
+        }
+        let complex_roots: Vec<Complex64> =
+            wanted.iter().map(|&r| Complex64::from_real(r)).collect();
+        let poly = Polynomial::from_roots(&complex_roots);
+        let mut recovered: Vec<f64> = poly
+            .roots(1e-12, 2000)
+            .expect("converges")
+            .iter()
+            .map(|z| z.re)
+            .collect();
+        recovered.sort_by(f64::total_cmp);
+        let mut wanted_sorted = wanted.clone();
+        wanted_sorted.sort_by(f64::total_cmp);
+        for (got, want) in recovered.iter().zip(&wanted_sorted) {
+            prop_assert!(
+                (got - want).abs() < 1e-5 * want.abs(),
+                "{recovered:?} vs {wanted_sorted:?}"
+            );
+        }
+    }
+
+    /// LU solve leaves a tiny residual on diagonally dominant systems.
+    #[test]
+    fn lu_residual_small(
+        entries in proptest::collection::vec(-1.0f64..1.0, 16),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let mut m = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                m[(i, j)] = entries[i * 4 + j];
+            }
+            m[(i, i)] += 5.0; // dominance → well conditioned
+        }
+        let x = m.solve(&rhs).expect("nonsingular");
+        let back = m.mul_vec(&x);
+        for (b, r) in back.iter().zip(&rhs) {
+            prop_assert!((b - r).abs() < 1e-9);
+        }
+        // Factor-once path gives the same answer.
+        let lu = m.lu().expect("nonsingular");
+        let x2 = lu.solve(&rhs).expect("solves");
+        for (a, b) in x.iter().zip(&x2) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// Least squares satisfies the normal equations on random tall systems.
+    #[test]
+    fn least_squares_normal_equations(
+        entries in proptest::collection::vec(-1.0f64..1.0, 18),
+        rhs in proptest::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        let mut m = Matrix::zeros(6, 3);
+        for i in 0..6 {
+            for j in 0..3 {
+                m[(i, j)] = entries[i * 3 + j];
+            }
+        }
+        // Ensure full column rank by biasing the diagonal blocks.
+        for j in 0..3 {
+            m[(j, j)] += 3.0;
+            m[(j + 3, j)] += 3.0;
+        }
+        let x = m.solve_least_squares(&rhs).expect("full rank");
+        let fit = m.mul_vec(&x);
+        let resid: Vec<f64> = fit.iter().zip(&rhs).map(|(f, y)| f - y).collect();
+        // Aᵀ·resid = 0 at the optimum.
+        for j in 0..3 {
+            let g: f64 = (0..6).map(|i| m[(i, j)] * resid[i]).sum();
+            prop_assert!(g.abs() < 1e-8, "gradient {j} = {g}");
+        }
+    }
+
+    /// Complex field laws: (a·b)·a⁻¹ ≈ b for non-tiny a.
+    #[test]
+    fn complex_division_inverts_multiplication(
+        ar in -100.0f64..100.0, ai in -100.0f64..100.0,
+        br in -100.0f64..100.0, bi in -100.0f64..100.0,
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        prop_assume!(a.norm() > 1e-3);
+        let back = a * b / a;
+        prop_assert!((back - b).norm() <= 1e-9 * (1.0 + b.norm()));
+    }
+
+    /// exp(z)·exp(−z) = 1.
+    #[test]
+    fn complex_exp_inverse(re in -20.0f64..20.0, im in -20.0f64..20.0) {
+        let z = Complex64::new(re, im);
+        let product = z.exp() * (-z).exp();
+        prop_assert!((product - Complex64::ONE).norm() < 1e-9);
+    }
+}

@@ -1,0 +1,175 @@
+//! Figures of merit for the importance of on-chip inductance.
+//!
+//! From the authors' companion paper (Ismail, Friedman & Neves, *Figures of
+//! merit to characterize the importance of on-chip inductance*, DAC 1998,
+//! reference \[8\] of the reproduced paper): for a wire with per-unit-length
+//! parameters `r`, `l`, `c` driven by a signal with rise time `t_r`,
+//! inductive (transmission-line) behaviour matters only for lengths inside
+//!
+//! ```text
+//! t_r / (2·√(l·c))   <   length   <   2/r · √(l/c)
+//! ```
+//!
+//! * below the lower limit the wire is shorter than the signal's spatial
+//!   extent — it behaves as a lumped capacitance;
+//! * above the upper limit the accumulated resistance overdamps any
+//!   inductive behaviour (attenuation dominates).
+//!
+//! The window can be empty: sufficiently resistive wires never exhibit
+//! inductive effects at any length.
+
+use rlc_tree::wire::WireModel;
+use rlc_units::Time;
+
+/// The range of wire lengths (in µm) for which inductance significantly
+/// affects the waveform, or `None` if the window is empty.
+///
+/// # Panics
+///
+/// Panics if `rise_time` is not positive and finite, or the wire has zero
+/// inductance or capacitance per unit length.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_tree::wire::WireModel;
+/// use rlc_units::Time;
+/// use rlc_opt::fom::inductance_window;
+///
+/// // A fast edge on a low-resistance clock spine has a wide window…
+/// let w = inductance_window(&WireModel::CLOCK_SPINE, Time::from_picoseconds(30.0));
+/// assert!(w.is_some());
+/// // …while a slow edge on a resistive minimum-width wire has none.
+/// let none = inductance_window(
+///     &WireModel::MINIMUM_WIDTH_SIGNAL,
+///     Time::from_nanoseconds(1.0),
+/// );
+/// assert!(none.is_none());
+/// ```
+pub fn inductance_window(wire: &WireModel, rise_time: Time) -> Option<(f64, f64)> {
+    assert!(
+        rise_time.is_finite() && rise_time.as_seconds() > 0.0,
+        "rise time must be positive and finite, got {rise_time}"
+    );
+    let r = wire.resistance_per_um().as_ohms();
+    let l = wire.inductance_per_um().as_henries();
+    let c = wire.capacitance_per_um().as_farads();
+    assert!(
+        l > 0.0 && c > 0.0,
+        "wire must have positive inductance and capacitance per unit length"
+    );
+    // Both limits in µm (per-unit-length values are per µm).
+    let lower = rise_time.as_seconds() / (2.0 * (l * c).sqrt());
+    let upper = if r > 0.0 {
+        2.0 / r * (l / c).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    (lower < upper).then_some((lower, upper))
+}
+
+/// Returns `true` if a wire of `length_um` with the given input rise time
+/// falls inside the inductance-significance window.
+///
+/// # Panics
+///
+/// Same conditions as [`inductance_window`]; additionally `length_um` must
+/// be positive.
+pub fn is_inductance_significant(wire: &WireModel, length_um: f64, rise_time: Time) -> bool {
+    assert!(
+        length_um.is_finite() && length_um > 0.0,
+        "length must be positive and finite, got {length_um}"
+    );
+    match inductance_window(wire, rise_time) {
+        Some((lo, hi)) => length_um > lo && length_um < hi,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_spine_has_wide_window_for_fast_edges() {
+        let (lo, hi) =
+            inductance_window(&WireModel::CLOCK_SPINE, Time::from_picoseconds(30.0))
+                .expect("window exists");
+        assert!(lo < hi);
+        // Millimetre-scale clock routes land inside the window.
+        assert!(is_inductance_significant(
+            &WireModel::CLOCK_SPINE,
+            3000.0,
+            Time::from_picoseconds(30.0)
+        ));
+        assert!(lo > 0.0);
+    }
+
+    #[test]
+    fn resistive_wire_never_inductive() {
+        // r = 0.15 Ω/µm: upper limit 2/r·√(l/c) ≈ 0.49 mm, below the lower
+        // limit for any realistically slow edge.
+        let w = inductance_window(
+            &WireModel::MINIMUM_WIDTH_SIGNAL,
+            Time::from_nanoseconds(1.0),
+        );
+        assert!(w.is_none());
+    }
+
+    #[test]
+    fn faster_edges_widen_the_window_downward() {
+        let wire = WireModel::IBM_COPPER_GLOBAL;
+        let (lo_fast, hi_fast) =
+            inductance_window(&wire, Time::from_picoseconds(20.0)).expect("window");
+        let (lo_slow, hi_slow) =
+            inductance_window(&wire, Time::from_picoseconds(50.0)).expect("window");
+        assert!(lo_fast < lo_slow, "faster edge lowers the minimum length");
+        assert!((hi_fast - hi_slow).abs() < 1e-9, "upper limit is rise-time independent");
+        // Slow enough edges close the window entirely.
+        assert!(inductance_window(&wire, Time::from_picoseconds(200.0)).is_none());
+    }
+
+    #[test]
+    fn short_and_long_wires_fall_outside() {
+        let wire = WireModel::CLOCK_SPINE;
+        let t_r = Time::from_picoseconds(30.0);
+        let (lo, hi) = inductance_window(&wire, t_r).expect("window");
+        assert!(!is_inductance_significant(&wire, lo * 0.5, t_r));
+        assert!(!is_inductance_significant(&wire, hi * 2.0, t_r));
+        assert!(is_inductance_significant(&wire, (lo * hi).sqrt(), t_r));
+    }
+
+    #[test]
+    fn window_agrees_with_damping_factor_trend() {
+        // Inside the window the lumped model of the wire is underdamped;
+        // far above it, overdamped. Ties the FOM back to ζ.
+        use eed::TreeAnalysis;
+        let wire = WireModel::CLOCK_SPINE;
+        let t_r = Time::from_picoseconds(30.0);
+        let (lo, hi) = inductance_window(&wire, t_r).expect("window");
+        let zeta_at = |len: f64| {
+            let mut tree = rlc_tree::RlcTree::new();
+            let sink = wire.route(&mut tree, None, len, 8);
+            TreeAnalysis::new(&tree).model(sink).zeta()
+        };
+        assert!(zeta_at((lo * hi).sqrt()) < 1.0, "inside the window: ringing");
+        assert!(zeta_at(hi * 4.0) > 1.0, "far beyond: overdamped");
+    }
+
+    #[test]
+    #[should_panic(expected = "rise time must be positive")]
+    fn rejects_bad_rise_time() {
+        let _ = inductance_window(&WireModel::CLOCK_SPINE, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive inductance")]
+    fn rejects_rc_wire() {
+        let rc = WireModel::new(
+            rlc_units::Resistance::from_ohms(0.1),
+            rlc_units::Inductance::ZERO,
+            rlc_units::Capacitance::from_femtofarads(0.2),
+        );
+        let _ = inductance_window(&rc, Time::from_picoseconds(50.0));
+    }
+}

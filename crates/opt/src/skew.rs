@@ -1,0 +1,114 @@
+//! Clock-skew analysis over the sinks of a distribution tree.
+//!
+//! The paper notes that skew derived from Elmore-class models correlates
+//! strongly with SPICE-derived skew \[26\]; this module provides the same
+//! report on the RLC model.
+
+use eed::TreeAnalysis;
+use rlc_tree::{NodeId, RlcTree};
+use rlc_units::Time;
+
+/// Arrival-time summary over a set of clock pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewReport {
+    /// Per-pin `(pin, arrival)` in the order supplied.
+    pub arrivals: Vec<(NodeId, Time)>,
+    /// The latest pin and its arrival.
+    pub latest: (NodeId, Time),
+    /// The earliest pin and its arrival.
+    pub earliest: (NodeId, Time),
+}
+
+impl SkewReport {
+    /// The skew: latest minus earliest arrival.
+    pub fn skew(&self) -> Time {
+        self.latest.1 - self.earliest.1
+    }
+}
+
+/// Computes arrival times (50% delays) at all leaves of `tree`.
+///
+/// Returns `None` for empty trees or trees whose sinks have no dynamics.
+pub fn clock_skew(tree: &RlcTree) -> Option<SkewReport> {
+    let pins: Vec<NodeId> = tree.leaves().collect();
+    clock_skew_at(tree, &pins)
+}
+
+/// Computes arrival times at an explicit pin set.
+///
+/// Returns `None` if `pins` is empty or none of them has dynamics.
+///
+/// # Panics
+///
+/// Panics if any pin is not a node of `tree`.
+pub fn clock_skew_at(tree: &RlcTree, pins: &[NodeId]) -> Option<SkewReport> {
+    let timing = TreeAnalysis::new(tree);
+    let arrivals: Vec<(NodeId, Time)> = pins
+        .iter()
+        .filter_map(|&pin| Some((pin, timing.try_model(pin)?.delay_50())))
+        .collect();
+    let latest = arrivals
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite delays"))?;
+    let earliest = arrivals
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite delays"))?;
+    Some(SkewReport {
+        arrivals,
+        latest,
+        earliest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_tree::{topology, RlcSection};
+    use rlc_units::{Capacitance, Inductance, Resistance};
+
+    fn sec(r: f64, l: f64, c: f64) -> RlcSection {
+        RlcSection::new(
+            Resistance::from_ohms(r),
+            Inductance::from_nanohenries(l),
+            Capacitance::from_picofarads(c),
+        )
+    }
+
+    #[test]
+    fn balanced_tree_has_zero_skew() {
+        let tree = topology::balanced_tree(4, 2, sec(20.0, 2.0, 0.3));
+        let report = clock_skew(&tree).expect("has pins");
+        assert_eq!(report.arrivals.len(), 8);
+        assert!(report.skew().as_seconds() < 1e-20);
+    }
+
+    #[test]
+    fn asymmetry_creates_skew_toward_heavy_branch() {
+        let (tree, nodes) = topology::fig5_asymmetric(4.0, sec(20.0, 2.0, 0.3));
+        let report = clock_skew(&tree).expect("has pins");
+        assert!(report.skew().as_seconds() > 0.0);
+        // The latest pin sits under the high-impedance left branch.
+        assert!(
+            report.latest.0 == nodes.n4 || report.latest.0 == nodes.n5,
+            "latest = {}",
+            report.latest.0
+        );
+    }
+
+    #[test]
+    fn explicit_pin_subset() {
+        let (tree, nodes) = topology::fig5(sec(20.0, 2.0, 0.3));
+        let report = clock_skew_at(&tree, &[nodes.n4, nodes.n7]).expect("pins");
+        assert_eq!(report.arrivals.len(), 2);
+        assert!(report.skew().as_seconds() < 1e-20, "balanced pair");
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(clock_skew(&RlcTree::new()).is_none());
+        let (tree, _) = topology::fig5(sec(20.0, 2.0, 0.3));
+        assert!(clock_skew_at(&tree, &[]).is_none());
+    }
+}

@@ -1,0 +1,243 @@
+//! Input source waveforms.
+
+use rlc_units::Time;
+
+/// An ideal voltage source waveform driving the root of an RLC tree.
+///
+/// All sources start at 0 V at `t ≤ 0` (the circuits are simulated from
+/// rest) and settle to a final value.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_sim::Source;
+/// use rlc_units::Time;
+///
+/// let ramp = Source::ramp(1.0, Time::from_picoseconds(100.0));
+/// assert_eq!(ramp.value_at(Time::ZERO), 0.0);
+/// assert_eq!(ramp.value_at(Time::from_picoseconds(50.0)), 0.5);
+/// assert_eq!(ramp.value_at(Time::from_nanoseconds(1.0)), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// An ideal step to `v` at `t = 0`.
+    Step {
+        /// Final voltage.
+        v: f64,
+    },
+    /// A linear ramp from 0 to `v` over `t_rise`, then flat.
+    Ramp {
+        /// Final voltage.
+        v: f64,
+        /// Ramp duration.
+        t_rise: Time,
+    },
+    /// The exponential `v·(1 − e^{−t/τ})` of paper eq. (43); its 90% rise
+    /// time is `2.3·τ` (eq. 27 of the paper's numbering).
+    Exponential {
+        /// Final voltage.
+        v: f64,
+        /// Time constant τ.
+        tau: Time,
+    },
+    /// Piecewise-linear interpolation through `(time, voltage)` breakpoints
+    /// (flat extrapolation after the last point).
+    PiecewiseLinear {
+        /// Breakpoints, strictly increasing in time.
+        points: Vec<(Time, f64)>,
+    },
+}
+
+impl Source {
+    /// An ideal step to `v`.
+    pub fn step(v: f64) -> Self {
+        Source::Step { v }
+    }
+
+    /// A saturated ramp to `v` over `t_rise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_rise` is not positive.
+    pub fn ramp(v: f64, t_rise: Time) -> Self {
+        assert!(
+            t_rise.as_seconds() > 0.0,
+            "ramp rise time must be positive, got {t_rise}"
+        );
+        Source::Ramp { v, t_rise }
+    }
+
+    /// The exponential input of paper eq. (43).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not positive.
+    pub fn exponential(v: f64, tau: Time) -> Self {
+        assert!(
+            tau.as_seconds() > 0.0,
+            "exponential time constant must be positive, got {tau}"
+        );
+        Source::Exponential { v, tau }
+    }
+
+    /// A piecewise-linear source through the given breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or times are not strictly increasing.
+    pub fn piecewise_linear(points: Vec<(Time, f64)>) -> Self {
+        assert!(!points.is_empty(), "PWL source needs at least one point");
+        for w in points.windows(2) {
+            assert!(
+                w[1].0 > w[0].0,
+                "PWL times must be strictly increasing ({} then {})",
+                w[0].0,
+                w[1].0
+            );
+        }
+        Source::PiecewiseLinear { points }
+    }
+
+    /// The source voltage at time `t`.
+    pub fn value_at(&self, t: Time) -> f64 {
+        let ts = t.as_seconds();
+        if ts < 0.0 {
+            return 0.0;
+        }
+        match self {
+            Source::Step { v } => {
+                if ts > 0.0 {
+                    *v
+                } else {
+                    0.0
+                }
+            }
+            Source::Ramp { v, t_rise } => {
+                let x = ts / t_rise.as_seconds();
+                v * x.min(1.0)
+            }
+            Source::Exponential { v, tau } => v * (1.0 - (-ts / tau.as_seconds()).exp()),
+            Source::PiecewiseLinear { points } => {
+                if ts <= points[0].0.as_seconds() {
+                    // Linear from (0,0) unless the first breakpoint is at 0.
+                    let (t0, v0) = points[0];
+                    if t0.as_seconds() == 0.0 {
+                        return v0;
+                    }
+                    return v0 * ts / t0.as_seconds();
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if ts <= t1.as_seconds() {
+                        let frac = (ts - t0.as_seconds()) / (t1.as_seconds() - t0.as_seconds());
+                        return v0 + frac * (v1 - v0);
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+        }
+    }
+
+    /// The final (settled) voltage of the source.
+    pub fn final_value(&self) -> f64 {
+        match self {
+            Source::Step { v } | Source::Ramp { v, .. } | Source::Exponential { v, .. } => *v,
+            Source::PiecewiseLinear { points } => points.last().expect("non-empty").1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_is_zero_then_v() {
+        let s = Source::step(2.5);
+        assert_eq!(s.value_at(Time::from_seconds(-1.0)), 0.0);
+        assert_eq!(s.value_at(Time::ZERO), 0.0);
+        assert_eq!(s.value_at(Time::from_picoseconds(1.0)), 2.5);
+        assert_eq!(s.final_value(), 2.5);
+    }
+
+    #[test]
+    fn ramp_saturates() {
+        let s = Source::ramp(2.0, Time::from_seconds(4.0));
+        assert_eq!(s.value_at(Time::from_seconds(1.0)), 0.5);
+        assert_eq!(s.value_at(Time::from_seconds(4.0)), 2.0);
+        assert_eq!(s.value_at(Time::from_seconds(9.0)), 2.0);
+    }
+
+    #[test]
+    fn exponential_rise_time_is_2_3_tau() {
+        // Paper: the 90% rise time of the exponential input is 2.3·τ.
+        let tau = Time::from_seconds(1.0);
+        let s = Source::exponential(1.0, tau);
+        let v = s.value_at(Time::from_seconds(std::f64::consts::LN_10));
+        assert!((v - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_extrapolates_flat() {
+        let s = Source::piecewise_linear(vec![
+            (Time::from_seconds(1.0), 0.0),
+            (Time::from_seconds(2.0), 1.0),
+            (Time::from_seconds(3.0), 0.5),
+        ]);
+        assert_eq!(s.value_at(Time::from_seconds(0.5)), 0.0);
+        assert_eq!(s.value_at(Time::from_seconds(1.5)), 0.5);
+        assert_eq!(s.value_at(Time::from_seconds(2.5)), 0.75);
+        assert_eq!(s.value_at(Time::from_seconds(10.0)), 0.5);
+        assert_eq!(s.final_value(), 0.5);
+    }
+
+    #[test]
+    fn pwl_before_first_point_ramps_from_zero() {
+        let s = Source::piecewise_linear(vec![(Time::from_seconds(2.0), 4.0)]);
+        assert_eq!(s.value_at(Time::from_seconds(1.0)), 2.0);
+    }
+
+    #[test]
+    fn pwl_with_zero_time_first_point() {
+        let s = Source::piecewise_linear(vec![
+            (Time::ZERO, 1.0),
+            (Time::from_seconds(1.0), 2.0),
+        ]);
+        assert_eq!(s.value_at(Time::ZERO), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn pwl_rejects_unsorted() {
+        let _ = Source::piecewise_linear(vec![
+            (Time::from_seconds(2.0), 0.0),
+            (Time::from_seconds(1.0), 1.0),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn pwl_rejects_empty() {
+        let _ = Source::piecewise_linear(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rise time must be positive")]
+    fn ramp_rejects_zero_rise() {
+        let _ = Source::ramp(1.0, Time::ZERO);
+    }
+
+    #[test]
+    fn all_sources_are_causal() {
+        let sources = [
+            Source::step(1.0),
+            Source::ramp(1.0, Time::from_seconds(1.0)),
+            Source::exponential(1.0, Time::from_seconds(1.0)),
+            Source::piecewise_linear(vec![(Time::from_seconds(1.0), 1.0)]),
+        ];
+        for s in &sources {
+            assert_eq!(s.value_at(Time::from_seconds(-0.5)), 0.0, "{s:?}");
+        }
+    }
+}

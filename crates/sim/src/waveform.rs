@@ -1,0 +1,413 @@
+//! Sampled waveforms and the timing measurements the paper's figures use.
+
+use rlc_units::Time;
+
+/// A uniformly or non-uniformly sampled voltage waveform.
+///
+/// Measurements interpolate linearly between samples, so a simulation with
+/// a reasonable time step yields delay/rise numbers accurate well below the
+/// step size.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_sim::Waveform;
+/// use rlc_units::Time;
+///
+/// // A crude exponential rise toward 1 V.
+/// let times: Vec<Time> = (0..=100).map(|k| Time::from_picoseconds(k as f64 * 10.0)).collect();
+/// let values: Vec<f64> = times.iter().map(|t| 1.0 - (-t.as_seconds() / 200e-12).exp()).collect();
+/// let wave = Waveform::new(times, values);
+///
+/// let t50 = wave.delay_50(1.0).expect("crosses 50%");
+/// // Exact: τ·ln2 ≈ 138.6 ps.
+/// assert!((t50.as_picoseconds() - 138.6).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    times: Vec<Time>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from matching time/value samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ, fewer than 2 samples are given, times
+    /// are not strictly increasing, or any value is non-finite.
+    pub fn new(times: Vec<Time>, values: Vec<f64>) -> Self {
+        assert_eq!(
+            times.len(),
+            values.len(),
+            "times and values must have equal length"
+        );
+        assert!(times.len() >= 2, "a waveform needs at least two samples");
+        for w in times.windows(2) {
+            assert!(
+                w[1] > w[0],
+                "times must be strictly increasing ({} then {})",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "waveform values must be finite"
+        );
+        Self { times, values }
+    }
+
+    /// The sample times.
+    pub fn times(&self) -> &[Time] {
+        &self.times
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Always `false` (construction requires ≥ 2 samples); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The last sampled value (the settled value if the simulation ran long
+    /// enough).
+    pub fn last_value(&self) -> f64 {
+        *self.values.last().expect("non-empty by construction")
+    }
+
+    /// The value at `t` by linear interpolation (clamped at the ends).
+    pub fn sample_at(&self, t: Time) -> f64 {
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().expect("non-empty") {
+            return self.last_value();
+        }
+        // Binary search for the bracketing interval.
+        let idx = self
+            .times
+            .partition_point(|&sample_t| sample_t <= t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        let frac = (t - t0).as_seconds() / (t1 - t0).as_seconds();
+        v0 + frac * (v1 - v0)
+    }
+
+    /// The first time the waveform crosses `level` going upward, linearly
+    /// interpolated; `None` if it never does.
+    pub fn first_rising_crossing(&self, level: f64) -> Option<Time> {
+        for i in 1..self.values.len() {
+            let (v0, v1) = (self.values[i - 1], self.values[i]);
+            if v0 < level && v1 >= level {
+                let (t0, t1) = (self.times[i - 1], self.times[i]);
+                let frac = (level - v0) / (v1 - v0);
+                return Some(t0 + (t1 - t0) * frac);
+            }
+        }
+        // A waveform that starts at or above the level "crosses" at its
+        // first sample.
+        if self.values[0] >= level {
+            Some(self.times[0])
+        } else {
+            None
+        }
+    }
+
+    /// The 50% propagation delay: first crossing of `0.5·v_final`.
+    pub fn delay_50(&self, v_final: f64) -> Option<Time> {
+        self.first_rising_crossing(0.5 * v_final)
+    }
+
+    /// The 10–90% rise time relative to `v_final`.
+    pub fn rise_time_10_90(&self, v_final: f64) -> Option<Time> {
+        let t10 = self.first_rising_crossing(0.1 * v_final)?;
+        let t90 = self.first_rising_crossing(0.9 * v_final)?;
+        Some(t90 - t10)
+    }
+
+    /// The global maximum as `(time, value)`.
+    pub fn peak(&self) -> (Time, f64) {
+        let mut best = (self.times[0], self.values[0]);
+        for (&t, &v) in self.times.iter().zip(&self.values) {
+            if v > best.1 {
+                best = (t, v);
+            }
+        }
+        best
+    }
+
+    /// Maximum overshoot above `v_final`, as a fraction of `v_final`
+    /// (0 if the waveform never exceeds it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_final` is zero or non-finite.
+    pub fn overshoot_fraction(&self, v_final: f64) -> f64 {
+        assert!(
+            v_final != 0.0 && v_final.is_finite(),
+            "final value must be non-zero and finite, got {v_final}"
+        );
+        let (_, peak) = self.peak();
+        ((peak - v_final) / v_final).max(0.0)
+    }
+
+    /// The settling time: the first time after which the waveform stays
+    /// within `±band·v_final` of `v_final` (paper Fig. 7; `band` is the
+    /// paper's `x`, typically 0.1).
+    ///
+    /// Returns `None` if the waveform has not settled by its last sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band` is not in `(0, 1)` or `v_final` is zero/non-finite.
+    pub fn settling_time(&self, v_final: f64, band: f64) -> Option<Time> {
+        assert!(
+            band > 0.0 && band < 1.0,
+            "settling band must lie strictly between 0 and 1, got {band}"
+        );
+        assert!(
+            v_final != 0.0 && v_final.is_finite(),
+            "final value must be non-zero and finite, got {v_final}"
+        );
+        let tol = band * v_final.abs();
+        // Find the last sample outside the band; the crossing into the band
+        // after it is the settling instant.
+        let mut last_outside: Option<usize> = None;
+        for (i, &v) in self.values.iter().enumerate() {
+            if (v - v_final).abs() > tol {
+                last_outside = Some(i);
+            }
+        }
+        match last_outside {
+            None => Some(self.times[0]),
+            Some(i) if i + 1 >= self.len() => None, // still outside at the end
+            Some(i) => {
+                // Interpolate the band crossing between samples i and i+1.
+                let (t0, t1) = (self.times[i], self.times[i + 1]);
+                let (v0, v1) = (self.values[i], self.values[i + 1]);
+                let target = if v0 > v_final + tol {
+                    v_final + tol
+                } else {
+                    v_final - tol
+                };
+                if (v1 - v0).abs() < f64::MIN_POSITIVE * 16.0 {
+                    return Some(t1);
+                }
+                let frac = ((target - v0) / (v1 - v0)).clamp(0.0, 1.0);
+                Some(t0 + (t1 - t0) * frac)
+            }
+        }
+    }
+
+    /// The 50% propagation delay measured *relative to an input waveform*:
+    /// output 50% crossing minus input 50% crossing (how delays are
+    /// defined for non-step inputs, e.g. the paper's Fig. 9 sweeps).
+    ///
+    /// Returns `None` if either waveform fails to cross its half level.
+    pub fn delay_50_from(&self, input: &Waveform, v_final: f64) -> Option<Time> {
+        let t_out = self.first_rising_crossing(0.5 * v_final)?;
+        let t_in = input.first_rising_crossing(0.5 * v_final)?;
+        Some(t_out - t_in)
+    }
+
+    /// Writes the waveform as CSV (`time_s,value` rows with a header).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlc_sim::Waveform;
+    /// use rlc_units::Time;
+    /// let w = Waveform::new(
+    ///     vec![Time::ZERO, Time::from_seconds(1.0)],
+    ///     vec![0.0, 1.0],
+    /// );
+    /// let mut out = Vec::new();
+    /// w.write_csv(&mut out)?;
+    /// let text = String::from_utf8(out).expect("utf8");
+    /// assert!(text.starts_with("time_s,value\n"));
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "time_s,value")?;
+        for (t, v) in self.times.iter().zip(&self.values) {
+            writeln!(writer, "{:.9e},{:.9e}", t.as_seconds(), v)?;
+        }
+        Ok(())
+    }
+
+    /// Maximum absolute difference from another waveform, comparing by
+    /// interpolating `other` at this waveform's sample times.
+    pub fn max_abs_difference(&self, other: &Waveform) -> f64 {
+        self.times
+            .iter()
+            .zip(&self.values)
+            .map(|(&t, &v)| (v - other.sample_at(t)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_wave() -> Waveform {
+        // 0 → 1 linearly over 10 s, then flat at 1 until 20 s.
+        let times: Vec<Time> = (0..=20).map(|k| Time::from_seconds(k as f64)).collect();
+        let values: Vec<f64> = (0..=20).map(|k| (k as f64 / 10.0).min(1.0)).collect();
+        Waveform::new(times, values)
+    }
+
+    #[test]
+    fn crossings_interpolate() {
+        let w = ramp_wave();
+        let t = w.first_rising_crossing(0.55).unwrap();
+        assert!((t.as_seconds() - 5.5).abs() < 1e-12);
+        assert_eq!(w.delay_50(1.0).unwrap(), Time::from_seconds(5.0));
+        assert_eq!(
+            w.rise_time_10_90(1.0).unwrap(),
+            Time::from_seconds(8.0)
+        );
+    }
+
+    #[test]
+    fn missing_crossing_is_none() {
+        let w = ramp_wave();
+        assert_eq!(w.first_rising_crossing(2.0), None);
+    }
+
+    #[test]
+    fn waveform_starting_above_level() {
+        let w = Waveform::new(
+            vec![Time::from_seconds(1.0), Time::from_seconds(2.0)],
+            vec![0.8, 0.9],
+        );
+        assert_eq!(w.first_rising_crossing(0.5).unwrap(), Time::from_seconds(1.0));
+    }
+
+    #[test]
+    fn sample_at_interpolates_and_clamps() {
+        let w = ramp_wave();
+        assert_eq!(w.sample_at(Time::from_seconds(2.5)), 0.25);
+        assert_eq!(w.sample_at(Time::from_seconds(-5.0)), 0.0);
+        assert_eq!(w.sample_at(Time::from_seconds(100.0)), 1.0);
+        assert_eq!(w.sample_at(Time::from_seconds(10.0)), 1.0);
+    }
+
+    #[test]
+    fn peak_and_overshoot() {
+        let times: Vec<Time> = (0..5).map(|k| Time::from_seconds(k as f64)).collect();
+        let w = Waveform::new(times, vec![0.0, 0.9, 1.3, 1.05, 1.0]);
+        let (pt, pv) = w.peak();
+        assert_eq!(pt, Time::from_seconds(2.0));
+        assert_eq!(pv, 1.3);
+        assert!((w.overshoot_fraction(1.0) - 0.3).abs() < 1e-12);
+        // Monotone waveform → zero overshoot.
+        assert_eq!(ramp_wave().overshoot_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn settling_time_ringing_waveform() {
+        // Rings around 1.0 with shrinking amplitude; settles (band 0.1)
+        // after the 1.3 and 0.85 excursions, i.e. between samples 3 and 4.
+        let times: Vec<Time> = (0..7).map(|k| Time::from_seconds(k as f64)).collect();
+        let w = Waveform::new(times, vec![0.0, 0.9, 1.3, 0.85, 1.05, 0.98, 1.0]);
+        let ts = w.settling_time(1.0, 0.1).unwrap();
+        assert!(ts > Time::from_seconds(3.0) && ts <= Time::from_seconds(4.0), "{ts}");
+    }
+
+    #[test]
+    fn settling_time_none_if_still_outside() {
+        let times: Vec<Time> = (0..3).map(|k| Time::from_seconds(k as f64)).collect();
+        let w = Waveform::new(times, vec![0.0, 0.5, 0.7]);
+        assert_eq!(w.settling_time(1.0, 0.1), None);
+    }
+
+    #[test]
+    fn settling_time_immediate_if_always_inside() {
+        let times: Vec<Time> = (0..3).map(|k| Time::from_seconds(k as f64)).collect();
+        let w = Waveform::new(times, vec![0.95, 1.02, 1.0]);
+        assert_eq!(w.settling_time(1.0, 0.1).unwrap(), Time::from_seconds(0.0));
+    }
+
+    #[test]
+    fn delay_relative_to_input() {
+        let input = ramp_wave(); // crosses 0.5 at t = 5
+        let times: Vec<Time> = (0..=20).map(|k| Time::from_seconds(k as f64)).collect();
+        let shifted: Vec<f64> = (0..=20)
+            .map(|k| ((k as f64 - 3.0) / 10.0).clamp(0.0, 1.0))
+            .collect();
+        let output = Waveform::new(times, shifted); // crosses 0.5 at t = 8
+        let d = output.delay_50_from(&input, 1.0).unwrap();
+        assert!((d.as_seconds() - 3.0).abs() < 1e-9);
+        // Missing crossings yield None.
+        let flat = Waveform::new(
+            vec![Time::ZERO, Time::from_seconds(1.0)],
+            vec![0.0, 0.1],
+        );
+        assert_eq!(flat.delay_50_from(&input, 1.0), None);
+    }
+
+    #[test]
+    fn csv_round_trip_contains_all_samples() {
+        let w = ramp_wave();
+        let mut buf = Vec::new();
+        w.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), w.len() + 1);
+        assert!(text.lines().nth(1).unwrap().starts_with("0.0"));
+    }
+
+    #[test]
+    fn max_abs_difference_of_shifted_waves() {
+        let w = ramp_wave();
+        let times: Vec<Time> = (0..=20).map(|k| Time::from_seconds(k as f64)).collect();
+        let values: Vec<f64> = (0..=20).map(|k| (k as f64 / 10.0).min(1.0) + 0.05).collect();
+        let shifted = Waveform::new(times, values);
+        assert!((w.max_abs_difference(&shifted) - 0.05).abs() < 1e-12);
+        assert_eq!(w.max_abs_difference(&w.clone()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_times() {
+        let _ = Waveform::new(
+            vec![Time::from_seconds(1.0), Time::from_seconds(1.0)],
+            vec![0.0, 1.0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_lengths() {
+        let _ = Waveform::new(vec![Time::ZERO, Time::from_seconds(1.0)], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn rejects_single_sample() {
+        let _ = Waveform::new(vec![Time::ZERO], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_values() {
+        let _ = Waveform::new(
+            vec![Time::ZERO, Time::from_seconds(1.0)],
+            vec![0.0, f64::NAN],
+        );
+    }
+}

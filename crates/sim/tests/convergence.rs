@@ -1,0 +1,186 @@
+//! Numerical-quality tests for the transient solvers: convergence order,
+//! cross-method agreement on random trees, and A-stability behaviour.
+
+use rlc_sim::{mna, simulate, Integration, SimOptions, Source, Waveform};
+use rlc_tree::{topology, NodeId, RlcSection, RlcTree};
+use rlc_units::{Capacitance, Inductance, Resistance, Time};
+
+fn section(r: f64, l_nh: f64, c_pf: f64) -> RlcSection {
+    RlcSection::new(
+        Resistance::from_ohms(r),
+        Inductance::from_nanohenries(l_nh),
+        Capacitance::from_picofarads(c_pf),
+    )
+}
+
+/// Reference solution at a fixed probe time, from a very fine step.
+fn reference(tree: &RlcTree, sink: NodeId, probe: Time) -> f64 {
+    let options = SimOptions::new(Time::from_seconds(probe.as_seconds() / 80_000.0), probe);
+    simulate(tree, &Source::step(1.0), &options, &[sink])[0].last_value()
+}
+
+fn value_at(tree: &RlcTree, sink: NodeId, probe: Time, dt: Time, method: Integration) -> f64 {
+    let options = SimOptions::new(dt, probe).with_integration(method);
+    simulate(tree, &Source::step(1.0), &options, &[sink])[0].last_value()
+}
+
+#[test]
+fn trapezoidal_is_second_order_accurate() {
+    // Halving the step must cut the error by ~4x. Probe mid-transient
+    // where the error is largest.
+    let (tree, sink) = topology::single_line(3, section(30.0, 2.0, 0.3));
+    let probe = Time::from_picoseconds(200.0);
+    let exact = reference(&tree, sink, probe);
+    let e1 = (value_at(&tree, sink, probe, Time::from_picoseconds(2.0), Integration::Trapezoidal)
+        - exact)
+        .abs();
+    let e2 = (value_at(&tree, sink, probe, Time::from_picoseconds(1.0), Integration::Trapezoidal)
+        - exact)
+        .abs();
+    let e4 =
+        (value_at(&tree, sink, probe, Time::from_picoseconds(0.5), Integration::Trapezoidal)
+            - exact)
+            .abs();
+    let r12 = e1 / e2;
+    let r24 = e2 / e4;
+    assert!(
+        (3.0..5.5).contains(&r12) && (3.0..5.5).contains(&r24),
+        "convergence ratios {r12:.2}, {r24:.2} (errors {e1:.2e}, {e2:.2e}, {e4:.2e})"
+    );
+}
+
+#[test]
+fn backward_euler_is_first_order_accurate() {
+    let (tree, sink) = topology::single_line(3, section(30.0, 2.0, 0.3));
+    let probe = Time::from_picoseconds(200.0);
+    let exact = reference(&tree, sink, probe);
+    let e1 = (value_at(&tree, sink, probe, Time::from_picoseconds(2.0), Integration::BackwardEuler)
+        - exact)
+        .abs();
+    let e2 = (value_at(&tree, sink, probe, Time::from_picoseconds(1.0), Integration::BackwardEuler)
+        - exact)
+        .abs();
+    let ratio = e1 / e2;
+    assert!(
+        (1.6..2.6).contains(&ratio),
+        "BE convergence ratio {ratio:.2} (errors {e1:.2e}, {e2:.2e})"
+    );
+}
+
+#[test]
+fn solvers_agree_on_random_trees() {
+    use rlc_units::{Capacitance as C, Inductance as L, Resistance as R};
+    for seed in 0..8u64 {
+        let tree = topology::random_tree(
+            seed,
+            12,
+            (R::from_ohms(5.0), R::from_ohms(80.0)),
+            (L::from_picohenries(100.0), L::from_nanohenries(3.0)),
+            (C::from_femtofarads(50.0), C::from_picofarads(0.4)),
+        );
+        let sinks: Vec<NodeId> = tree.leaves().collect();
+        let options = SimOptions::new(Time::from_picoseconds(1.0), Time::from_nanoseconds(8.0));
+        let src = Source::step(1.0);
+        let w_tree = simulate(&tree, &src, &options, &sinks);
+        let w_mna = mna::simulate_mna(&tree, &src, &options, &sinks);
+        for (a, b) in w_tree.iter().zip(&w_mna) {
+            let diff = a.max_abs_difference(b);
+            assert!(diff < 1e-7, "seed {seed}: tree vs MNA diff {diff}");
+        }
+    }
+}
+
+#[test]
+fn large_step_remains_stable() {
+    // A-stability: even a grossly oversized step must not blow up (it may
+    // be inaccurate, but must stay bounded and settle to the right DC).
+    let (tree, sink) = topology::single_line(4, section(10.0, 8.0, 0.5));
+    for method in [Integration::Trapezoidal, Integration::BackwardEuler] {
+        let options = SimOptions::new(
+            Time::from_nanoseconds(1.0), // ≫ the LC period
+            Time::from_nanoseconds(400.0),
+        )
+        .with_integration(method);
+        let w = &simulate(&tree, &Source::step(1.0), &options, &[sink])[0];
+        assert!(
+            w.values().iter().all(|v| v.abs() < 3.0),
+            "{method:?} diverged"
+        );
+        assert!(
+            (w.last_value() - 1.0).abs() < 0.05,
+            "{method:?} settled to {}",
+            w.last_value()
+        );
+    }
+}
+
+#[test]
+fn backward_euler_damps_trapezoidal_ringing_artifacts() {
+    // With a large step on a stiff circuit, trapezoidal rings numerically
+    // (±1 oscillation factor per step); BE damps. Quantify: BE's waveform
+    // total variation is smaller at equal (too-large) steps.
+    let (tree, sink) = topology::single_line(2, section(1.0, 10.0, 0.5));
+    let dt = Time::from_picoseconds(300.0);
+    let t_stop = Time::from_nanoseconds(60.0);
+    let tv = |w: &Waveform| -> f64 {
+        w.values().windows(2).map(|p| (p[1] - p[0]).abs()).sum()
+    };
+    let w_tr = &simulate(
+        &tree,
+        &Source::step(1.0),
+        &SimOptions::new(dt, t_stop),
+        &[sink],
+    )[0];
+    let w_be = &simulate(
+        &tree,
+        &Source::step(1.0),
+        &SimOptions::new(dt, t_stop).with_integration(Integration::BackwardEuler),
+        &[sink],
+    )[0];
+    assert!(
+        tv(w_be) < tv(w_tr),
+        "BE total variation {} should be below trapezoidal {}",
+        tv(w_be),
+        tv(w_tr)
+    );
+}
+
+#[test]
+fn rk4_matches_trapezoidal_on_smooth_input() {
+    // Smooth (ramp) input avoids the t=0 jump: all three methods agree.
+    let (tree, sink) = topology::single_line(3, section(25.0, 1.5, 0.25));
+    let src = Source::ramp(1.0, Time::from_picoseconds(300.0));
+    let opt_imp = SimOptions::new(Time::from_picoseconds(0.2), Time::from_nanoseconds(3.0));
+    let opt_rk4 = SimOptions::new(Time::from_femtoseconds(25.0), Time::from_nanoseconds(3.0));
+    let w_tr = &simulate(&tree, &src, &opt_imp, &[sink])[0];
+    let w_rk = &mna::simulate_rk4(&tree, &src, &opt_rk4, &[sink])[0];
+    assert!(
+        w_tr.max_abs_difference(w_rk) < 5e-4,
+        "diff {}",
+        w_tr.max_abs_difference(w_rk)
+    );
+}
+
+#[test]
+fn energy_conservation_in_lossless_limit() {
+    // A near-lossless LC line rings for a long time without amplitude
+    // growth (trapezoidal conserves the discrete energy). Peak amplitude
+    // in the last quarter of the run must not exceed the first peak.
+    let (tree, sink) = topology::single_line(2, section(0.001, 10.0, 0.5));
+    let options = SimOptions::new(Time::from_picoseconds(1.0), Time::from_nanoseconds(200.0));
+    let w = &simulate(&tree, &Source::step(1.0), &options, &[sink])[0];
+    let n = w.len();
+    let early_peak = w.values()[..n / 4]
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    let late_peak = w.values()[3 * n / 4..]
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    assert!(early_peak > 1.5, "should ring strongly, peak {early_peak}");
+    assert!(
+        late_peak <= early_peak * 1.001,
+        "amplitude must not grow: early {early_peak}, late {late_peak}"
+    );
+}

@@ -1,0 +1,200 @@
+//! Fluent construction of hand-shaped trees.
+
+use std::collections::HashMap;
+
+use crate::{NodeId, RlcSection, RlcTree, TreeError};
+
+/// Builds an [`RlcTree`] with human-readable node labels.
+///
+/// The builder is convenient for transcribing circuits from schematics (such
+/// as the paper's Fig. 5 and Fig. 8): sections are attached by *label*
+/// rather than by [`NodeId`], and labels are checked for uniqueness.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_tree::{RlcSection, TreeBuilder};
+/// use rlc_units::{Resistance, Inductance, Capacitance};
+///
+/// let s = RlcSection::new(
+///     Resistance::from_ohms(10.0),
+///     Inductance::from_nanohenries(1.0),
+///     Capacitance::from_picofarads(0.2),
+/// );
+///
+/// let mut b = TreeBuilder::new();
+/// b.root("trunk", s)?;
+/// b.attach("trunk", "left", s)?;
+/// b.attach("trunk", "right", s)?;
+/// let (tree, labels) = b.finish();
+///
+/// assert_eq!(tree.len(), 3);
+/// let left = labels["left"];
+/// assert_eq!(tree.parent(left), Some(labels["trunk"]));
+/// # Ok::<(), rlc_tree::TreeError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    tree: RlcTree,
+    labels: HashMap<String, NodeId>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a section attached to the input source under `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::DuplicateLabel`] if `label` is already used.
+    pub fn root(&mut self, label: &str, section: RlcSection) -> Result<NodeId, TreeError> {
+        self.check_fresh(label)?;
+        let id = self.tree.add_root_section(section);
+        self.labels.insert(label.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Adds a section downstream of the node labelled `parent`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::UnknownLabel`] if `parent` has not been defined.
+    /// * [`TreeError::DuplicateLabel`] if `label` is already used.
+    pub fn attach(
+        &mut self,
+        parent: &str,
+        label: &str,
+        section: RlcSection,
+    ) -> Result<NodeId, TreeError> {
+        let &pid = self
+            .labels
+            .get(parent)
+            .ok_or_else(|| TreeError::UnknownLabel {
+                label: parent.to_owned(),
+            })?;
+        self.check_fresh(label)?;
+        let id = self.tree.add_section(pid, section);
+        self.labels.insert(label.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Adds a chain of `count` identical sections downstream of `parent`,
+    /// labelling them `"{label}0"`, `"{label}1"`, …; returns the last node.
+    ///
+    /// Chains model distributed wires: a physical wire is usually split into
+    /// several lumped sections for accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`attach`](Self::attach). `count` of zero returns
+    /// the parent id unchanged.
+    pub fn chain(
+        &mut self,
+        parent: &str,
+        label: &str,
+        section: RlcSection,
+        count: usize,
+    ) -> Result<NodeId, TreeError> {
+        let mut prev = parent.to_owned();
+        let mut last = *self
+            .labels
+            .get(parent)
+            .ok_or_else(|| TreeError::UnknownLabel {
+                label: parent.to_owned(),
+            })?;
+        for k in 0..count {
+            let name = format!("{label}{k}");
+            last = self.attach(&prev, &name, section)?;
+            prev = name;
+        }
+        Ok(last)
+    }
+
+    /// Looks up a previously defined label.
+    pub fn node(&self, label: &str) -> Option<NodeId> {
+        self.labels.get(label).copied()
+    }
+
+    /// Finishes construction, returning the tree and the label map.
+    pub fn finish(self) -> (RlcTree, HashMap<String, NodeId>) {
+        (self.tree, self.labels)
+    }
+
+    fn check_fresh(&self, label: &str) -> Result<(), TreeError> {
+        if self.labels.contains_key(label) {
+            return Err(TreeError::DuplicateLabel {
+                label: label.to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_units::{Capacitance, Resistance};
+
+    fn s() -> RlcSection {
+        RlcSection::rc(Resistance::from_ohms(1.0), Capacitance::from_farads(1.0))
+    }
+
+    #[test]
+    fn builds_labelled_tree() {
+        let mut b = TreeBuilder::new();
+        b.root("a", s()).unwrap();
+        b.attach("a", "b", s()).unwrap();
+        b.attach("a", "c", s()).unwrap();
+        let (tree, labels) = b.finish();
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.children(labels["a"]).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut b = TreeBuilder::new();
+        b.root("a", s()).unwrap();
+        let err = b.root("a", s()).unwrap_err();
+        assert!(matches!(err, TreeError::DuplicateLabel { .. }));
+        let err = b.attach("a", "a", s()).unwrap_err();
+        assert!(matches!(err, TreeError::DuplicateLabel { .. }));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut b = TreeBuilder::new();
+        let err = b.attach("ghost", "x", s()).unwrap_err();
+        assert!(matches!(err, TreeError::UnknownLabel { .. }));
+    }
+
+    #[test]
+    fn chain_builds_sequence() {
+        let mut b = TreeBuilder::new();
+        b.root("a", s()).unwrap();
+        let last = b.chain("a", "w", s(), 3).unwrap();
+        let (tree, labels) = b.finish();
+        assert_eq!(tree.len(), 4);
+        assert_eq!(labels["w2"], last);
+        assert_eq!(tree.depth(last), 4);
+        assert_eq!(tree.parent(labels["w0"]), Some(labels["a"]));
+    }
+
+    #[test]
+    fn chain_of_zero_returns_parent() {
+        let mut b = TreeBuilder::new();
+        let a = b.root("a", s()).unwrap();
+        let last = b.chain("a", "w", s(), 0).unwrap();
+        assert_eq!(last, a);
+    }
+
+    #[test]
+    fn node_lookup() {
+        let mut b = TreeBuilder::new();
+        let a = b.root("a", s()).unwrap();
+        assert_eq!(b.node("a"), Some(a));
+        assert_eq!(b.node("nope"), None);
+    }
+}

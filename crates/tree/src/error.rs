@@ -1,0 +1,81 @@
+//! Error type for tree construction and netlist I/O.
+
+use core::fmt;
+
+/// Error returned by tree construction and netlist parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// A builder label was defined twice.
+    DuplicateLabel {
+        /// The offending label.
+        label: String,
+    },
+    /// A builder label was referenced before being defined.
+    UnknownLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// A netlist line could not be parsed.
+    ParseNetlist {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The netlist's element graph is not a source-rooted tree.
+    NotATree {
+        /// What structural property failed (cycle, disconnected node, …).
+        message: String,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::DuplicateLabel { label } => write!(f, "duplicate node label {label:?}"),
+            TreeError::UnknownLabel { label } => write!(f, "unknown node label {label:?}"),
+            TreeError::ParseNetlist { line, message } => {
+                write!(f, "netlist parse error on line {line}: {message}")
+            }
+            TreeError::NotATree { message } => {
+                write!(f, "netlist does not describe an RLC tree: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TreeError::DuplicateLabel { label: "a".into() }.to_string(),
+            "duplicate node label \"a\""
+        );
+        assert!(TreeError::UnknownLabel { label: "b".into() }
+            .to_string()
+            .contains("unknown"));
+        assert!(TreeError::ParseNetlist {
+            line: 3,
+            message: "bad card".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(TreeError::NotATree {
+            message: "cycle".into()
+        }
+        .to_string()
+        .contains("cycle"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<TreeError>();
+    }
+}

@@ -1,0 +1,296 @@
+//! A single RLC section.
+
+use core::fmt;
+
+use rlc_units::{Capacitance, Inductance, Resistance};
+
+/// One section of an RLC tree: a series resistance and inductance from the
+/// parent node, terminated by a node with a shunt capacitance to ground.
+///
+/// ```text
+///   parent ──[ R ]──[ L ]──●── child sections…
+///                          │
+///                         ═╧═ C
+///                          ⏚
+/// ```
+///
+/// A pure-RC section has zero inductance; a lossless LC section has zero
+/// resistance. Negative element values are rejected by [`RlcSection::new`].
+///
+/// # Examples
+///
+/// ```
+/// use rlc_tree::RlcSection;
+/// use rlc_units::{Resistance, Inductance, Capacitance};
+///
+/// let s = RlcSection::new(
+///     Resistance::from_ohms(25.0),
+///     Inductance::from_nanohenries(5.0),
+///     Capacitance::from_picofarads(0.5),
+/// );
+/// assert_eq!(s.resistance().as_ohms(), 25.0);
+/// assert!(!s.is_rc());
+///
+/// let rc = RlcSection::rc(Resistance::from_ohms(25.0), Capacitance::from_picofarads(0.5));
+/// assert!(rc.is_rc());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RlcSection {
+    resistance: Resistance,
+    inductance: Inductance,
+    capacitance: Capacitance,
+}
+
+impl RlcSection {
+    /// Creates a section from its three element values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or non-finite. (Zero values are fine:
+    /// zero-impedance sections are how general trees are reduced to binary
+    /// ones, per the paper's Appendix.)
+    pub fn new(resistance: Resistance, inductance: Inductance, capacitance: Capacitance) -> Self {
+        assert!(
+            resistance.as_ohms() >= 0.0 && resistance.is_finite(),
+            "section resistance must be finite and non-negative, got {resistance}"
+        );
+        assert!(
+            inductance.as_henries() >= 0.0 && inductance.is_finite(),
+            "section inductance must be finite and non-negative, got {inductance}"
+        );
+        assert!(
+            capacitance.as_farads() >= 0.0 && capacitance.is_finite(),
+            "section capacitance must be finite and non-negative, got {capacitance}"
+        );
+        Self {
+            resistance,
+            inductance,
+            capacitance,
+        }
+    }
+
+    /// Creates a pure-RC section (zero inductance).
+    pub fn rc(resistance: Resistance, capacitance: Capacitance) -> Self {
+        Self::new(resistance, Inductance::ZERO, capacitance)
+    }
+
+    /// Creates a zero-impedance section (used to binarize general trees).
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// The series resistance.
+    #[inline]
+    pub fn resistance(&self) -> Resistance {
+        self.resistance
+    }
+
+    /// The series inductance.
+    #[inline]
+    pub fn inductance(&self) -> Inductance {
+        self.inductance
+    }
+
+    /// The shunt capacitance at the section's downstream node.
+    #[inline]
+    pub fn capacitance(&self) -> Capacitance {
+        self.capacitance
+    }
+
+    /// Returns `true` if the section has no inductance.
+    #[inline]
+    pub fn is_rc(&self) -> bool {
+        self.inductance == Inductance::ZERO
+    }
+
+    /// Returns a copy with all three impedance values scaled by `factor`.
+    ///
+    /// Scaling R, L **and** C by the same factor is how the paper's `asym`
+    /// parameter unbalances a tree (Section V-B): `asym = 2` makes the left
+    /// branch twice the impedance of the right branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self::new(
+            self.resistance * factor,
+            self.inductance * factor,
+            self.capacitance * factor,
+        )
+    }
+
+    /// Returns a copy with the characteristic impedance scaled by `factor`:
+    /// series R and L multiply by it, shunt C divides by it — the effect of
+    /// making the wire `factor` times narrower. This is the paper's `asym`
+    /// scaling (Section V-B): "the impedance of the left branch is always
+    /// twice the impedance of the right branch" for `asym = 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn impedance_scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "impedance factor must be finite and positive, got {factor}"
+        );
+        Self::new(
+            self.resistance * factor,
+            self.inductance * factor,
+            self.capacitance / factor,
+        )
+    }
+
+    /// Returns a copy with only the series impedances (R and L) scaled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn series_scaled(&self, factor: f64) -> Self {
+        Self::new(
+            self.resistance * factor,
+            self.inductance * factor,
+            self.capacitance,
+        )
+    }
+
+    /// Returns a copy with the inductance replaced.
+    pub fn with_inductance(&self, inductance: Inductance) -> Self {
+        Self::new(self.resistance, inductance, self.capacitance)
+    }
+
+    /// Returns a copy with an extra capacitance added at the node (e.g. a
+    /// sink load).
+    pub fn with_added_capacitance(&self, extra: Capacitance) -> Self {
+        Self::new(self.resistance, self.inductance, self.capacitance + extra)
+    }
+
+    /// Damping factor `ζ = (R/2)·√(C/L)` of this section driven alone.
+    ///
+    /// Returns infinity for an RC section (`L = 0`): the response is purely
+    /// overdamped, consistent with ζ → ∞ in the paper's model.
+    pub fn damping_factor(&self) -> f64 {
+        let rc = (self.resistance * self.capacitance).as_seconds();
+        let lc = (self.inductance * self.capacitance).sqrt().as_seconds();
+        if lc == 0.0 {
+            if rc == 0.0 {
+                // No dynamics at all; call it critically damped.
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            rc / (2.0 * lc)
+        }
+    }
+}
+
+impl fmt::Display for RlcSection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "R={} L={} C={}",
+            self.resistance, self.inductance, self.capacitance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section(r: f64, l: f64, c: f64) -> RlcSection {
+        RlcSection::new(
+            Resistance::from_ohms(r),
+            Inductance::from_henries(l),
+            Capacitance::from_farads(c),
+        )
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = section(25.0, 5e-9, 0.5e-12);
+        assert_eq!(s.resistance().as_ohms(), 25.0);
+        assert_eq!(s.inductance().as_henries(), 5e-9);
+        assert_eq!(s.capacitance().as_farads(), 0.5e-12);
+    }
+
+    #[test]
+    fn rc_constructor_has_zero_inductance() {
+        let s = RlcSection::rc(Resistance::from_ohms(1.0), Capacitance::from_farads(1.0));
+        assert!(s.is_rc());
+        assert_eq!(s.inductance(), Inductance::ZERO);
+    }
+
+    #[test]
+    fn zero_section_is_all_zero() {
+        let z = RlcSection::zero();
+        assert_eq!(z.resistance().as_ohms(), 0.0);
+        assert_eq!(z.inductance().as_henries(), 0.0);
+        assert_eq!(z.capacitance().as_farads(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be finite and non-negative")]
+    fn rejects_negative_resistance() {
+        let _ = section(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inductance must be finite and non-negative")]
+    fn rejects_nan_inductance() {
+        let _ = section(1.0, f64::NAN, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be finite and non-negative")]
+    fn rejects_infinite_capacitance() {
+        let _ = section(1.0, 0.0, f64::INFINITY);
+    }
+
+    #[test]
+    fn scaled_scales_all_three() {
+        let s = section(2.0, 4.0, 8.0).scaled(0.5);
+        assert_eq!(s.resistance().as_ohms(), 1.0);
+        assert_eq!(s.inductance().as_henries(), 2.0);
+        assert_eq!(s.capacitance().as_farads(), 4.0);
+    }
+
+    #[test]
+    fn series_scaled_leaves_capacitance() {
+        let s = section(2.0, 4.0, 8.0).series_scaled(2.0);
+        assert_eq!(s.resistance().as_ohms(), 4.0);
+        assert_eq!(s.inductance().as_henries(), 8.0);
+        assert_eq!(s.capacitance().as_farads(), 8.0);
+    }
+
+    #[test]
+    fn with_modifiers() {
+        let s = section(1.0, 1.0, 1.0)
+            .with_inductance(Inductance::from_henries(9.0))
+            .with_added_capacitance(Capacitance::from_farads(2.0));
+        assert_eq!(s.inductance().as_henries(), 9.0);
+        assert_eq!(s.capacitance().as_farads(), 3.0);
+    }
+
+    #[test]
+    fn damping_factor_single_section() {
+        // R=2, L=1, C=1 → ζ = (2/2)·√(1/1) = 1 (critically damped)
+        assert_eq!(section(2.0, 1.0, 1.0).damping_factor(), 1.0);
+        // Lower R → underdamped
+        assert!(section(1.0, 1.0, 1.0).damping_factor() < 1.0);
+        // RC section → infinite ζ
+        assert_eq!(section(1.0, 0.0, 1.0).damping_factor(), f64::INFINITY);
+        // Degenerate zero section → defined as 1.0
+        assert_eq!(RlcSection::zero().damping_factor(), 1.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = section(25.0, 5e-9, 0.5e-12);
+        let text = s.to_string();
+        assert!(text.contains("25 Ω"), "{text}");
+        assert!(text.contains("5 nH"), "{text}");
+        assert!(text.contains("500 fF"), "{text}");
+    }
+}

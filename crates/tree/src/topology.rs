@@ -1,0 +1,603 @@
+//! Canonical tree topologies, including the paper's example circuits.
+//!
+//! Everything the evaluation section of the paper exercises is generated
+//! here: single lines (Section V-D "for a single line, the depth represents
+//! the number of sections"), balanced trees of arbitrary branching factor
+//! (Sections V-B/V-C), the asymmetric family parameterized by `asym`
+//! (Section V-B, Fig. 12), the Fig. 5 seven-section example, a Fig. 8-style
+//! example tree, and deterministic pseudo-random trees for property tests
+//! and benches.
+
+use rlc_units::{Capacitance, Inductance, Resistance};
+
+use crate::{NodeId, RlcSection, RlcTree};
+
+/// Builds a uniform single line of `sections` identical RLC sections.
+///
+/// Returns the tree and the id of the far-end (sink) node.
+///
+/// # Panics
+///
+/// Panics if `sections == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_tree::{RlcSection, topology};
+/// use rlc_units::{Resistance, Inductance, Capacitance};
+///
+/// let s = RlcSection::new(
+///     Resistance::from_ohms(10.0),
+///     Inductance::from_nanohenries(1.0),
+///     Capacitance::from_picofarads(0.1),
+/// );
+/// let (line, sink) = topology::single_line(8, s);
+/// assert_eq!(line.len(), 8);
+/// assert_eq!(line.depth(sink), 8);
+/// ```
+pub fn single_line(sections: usize, section: RlcSection) -> (RlcTree, NodeId) {
+    assert!(sections > 0, "a line must have at least one section");
+    let mut tree = RlcTree::with_capacity(sections);
+    let mut node = tree.add_root_section(section);
+    for _ in 1..sections {
+        node = tree.add_section(node, section);
+    }
+    (tree, node)
+}
+
+/// Builds a balanced tree with `levels` levels and branching factor
+/// `branching`, with every section identical.
+///
+/// Level 1 is the single trunk section; level `k` has `branching^(k−1)`
+/// sections. A balanced binary tree with `levels = n` therefore has
+/// `2^n − 1` sections and `2^(n−1)` sinks (paper Section V-C).
+///
+/// # Panics
+///
+/// Panics if `levels == 0` or `branching == 0`.
+pub fn balanced_tree(levels: usize, branching: usize, section: RlcSection) -> RlcTree {
+    balanced_tree_with(levels, branching, |_| section)
+}
+
+/// Builds a balanced tree whose section values may vary *by level*.
+///
+/// `section_for_level` receives the 1-based level index; using the same
+/// value for every call reproduces [`balanced_tree`]. Per-level variation
+/// keeps the tree balanced in the paper's sense (Section V-B: "the
+/// impedances of the sections that constitute each level are equal").
+///
+/// # Panics
+///
+/// Panics if `levels == 0` or `branching == 0`.
+pub fn balanced_tree_with<F>(levels: usize, branching: usize, mut section_for_level: F) -> RlcTree
+where
+    F: FnMut(usize) -> RlcSection,
+{
+    assert!(levels > 0, "tree must have at least one level");
+    assert!(branching > 0, "branching factor must be positive");
+    let mut tree = RlcTree::new();
+    let mut frontier = vec![tree.add_root_section(section_for_level(1))];
+    for level in 2..=levels {
+        let section = section_for_level(level);
+        let mut next = Vec::with_capacity(frontier.len() * branching);
+        for &parent in &frontier {
+            for _ in 0..branching {
+                next.push(tree.add_section(parent, section));
+            }
+        }
+        frontier = next;
+    }
+    tree
+}
+
+/// Builds the asymmetric binary family of Fig. 12.
+///
+/// Starting from a balanced binary tree of `levels` levels built from
+/// `base`, the *left* branch at every bifurcation has its characteristic
+/// impedance scaled by `asym` (R and L multiplied, C divided — see
+/// [`RlcSection::impedance_scaled`]), following the paper's description:
+/// "the impedance of the left branch is always twice the impedance of the
+/// right branch" for `asym = 2`. `asym = 1` gives back the balanced tree.
+///
+/// # Panics
+///
+/// Panics if `levels == 0` or `asym` is not finite and positive.
+pub fn asymmetric_tree(levels: usize, asym: f64, base: RlcSection) -> RlcTree {
+    assert!(levels > 0, "tree must have at least one level");
+    assert!(
+        asym.is_finite() && asym > 0.0,
+        "asym factor must be finite and positive, got {asym}"
+    );
+    let mut tree = RlcTree::new();
+    let root = tree.add_root_section(base);
+    let mut frontier = vec![root];
+    for _ in 2..=levels {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for &parent in &frontier {
+            next.push(tree.add_section(parent, base.impedance_scaled(asym))); // left
+            next.push(tree.add_section(parent, base)); // right
+        }
+        frontier = next;
+    }
+    tree
+}
+
+/// Node ids of the paper's Fig. 5 tree, named as in the figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig5Nodes {
+    /// Node 1: downstream of the trunk section.
+    pub n1: NodeId,
+    /// Node 2: left second-level node.
+    pub n2: NodeId,
+    /// Node 3: right second-level node.
+    pub n3: NodeId,
+    /// Node 4: sink under node 2.
+    pub n4: NodeId,
+    /// Node 5: sink under node 2.
+    pub n5: NodeId,
+    /// Node 6: sink under node 3.
+    pub n6: NodeId,
+    /// Node 7: sink under node 3 — the output observed throughout Section V.
+    pub n7: NodeId,
+}
+
+/// Builds the paper's Fig. 5 general RLC tree: a three-level binary tree of
+/// seven sections, balanced (all sections equal to `section`).
+///
+/// Node 7 is the output at which Figs. 11–12 evaluate the model.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_tree::{RlcSection, topology};
+/// use rlc_units::{Resistance, Inductance, Capacitance};
+///
+/// let s = RlcSection::new(
+///     Resistance::from_ohms(25.0),
+///     Inductance::from_nanohenries(5.0),
+///     Capacitance::from_picofarads(0.5),
+/// );
+/// let (tree, nodes) = topology::fig5(s);
+/// assert_eq!(tree.len(), 7);
+/// assert!(tree.is_leaf(nodes.n7));
+/// assert!(tree.is_balanced());
+/// ```
+pub fn fig5(section: RlcSection) -> (RlcTree, Fig5Nodes) {
+    fig5_with(|_| section)
+}
+
+/// Builds the Fig. 5 topology with per-section values.
+///
+/// `section_for` receives the paper's 1-based section number (1–7).
+pub fn fig5_with<F>(mut section_for: F) -> (RlcTree, Fig5Nodes)
+where
+    F: FnMut(usize) -> RlcSection,
+{
+    let mut tree = RlcTree::with_capacity(7);
+    let n1 = tree.add_root_section(section_for(1));
+    let n2 = tree.add_section(n1, section_for(2));
+    let n3 = tree.add_section(n1, section_for(3));
+    let n4 = tree.add_section(n2, section_for(4));
+    let n5 = tree.add_section(n2, section_for(5));
+    let n6 = tree.add_section(n3, section_for(6));
+    let n7 = tree.add_section(n3, section_for(7));
+    (
+        tree,
+        Fig5Nodes {
+            n1,
+            n2,
+            n3,
+            n4,
+            n5,
+            n6,
+            n7,
+        },
+    )
+}
+
+/// Builds the Fig. 5 topology with the left/right `asym` impedance ratio of
+/// Fig. 12 applied at both bifurcations.
+pub fn fig5_asymmetric(asym: f64, base: RlcSection) -> (RlcTree, Fig5Nodes) {
+    assert!(
+        asym.is_finite() && asym > 0.0,
+        "asym factor must be finite and positive, got {asym}"
+    );
+    fig5_with(|k| match k {
+        // Left branches (sections 2, 4, 6) carry the scaled impedance.
+        2 | 4 | 6 => base.impedance_scaled(asym),
+        _ => base,
+    })
+}
+
+/// An example tree in the spirit of the paper's Fig. 8 (the exact element
+/// values were not reproduced in the available text; these representative
+/// deep-submicrometer values are documented in `DESIGN.md`).
+///
+/// The tree has a 4-section trunk that then splits into a short branch to
+/// output `O1` and a longer three-section branch to output `O2` — the
+/// observed output of Fig. 9. Returns `(tree, o1, o2)`.
+pub fn fig8() -> (RlcTree, NodeId, NodeId) {
+    let trunk = RlcSection::new(
+        Resistance::from_ohms(15.0),
+        Inductance::from_nanohenries(2.5),
+        Capacitance::from_picofarads(0.3),
+    );
+    let short = RlcSection::new(
+        Resistance::from_ohms(30.0),
+        Inductance::from_nanohenries(1.5),
+        Capacitance::from_picofarads(0.25),
+    );
+    let long = RlcSection::new(
+        Resistance::from_ohms(20.0),
+        Inductance::from_nanohenries(2.0),
+        Capacitance::from_picofarads(0.2),
+    );
+    let sink_load = Capacitance::from_picofarads(0.15);
+
+    let mut tree = RlcTree::new();
+    let mut node = tree.add_root_section(trunk);
+    for _ in 1..4 {
+        node = tree.add_section(node, trunk);
+    }
+    // Short branch to O1.
+    let o1 = tree.add_section(node, short.with_added_capacitance(sink_load));
+    // Long branch to O2.
+    let mut n = tree.add_section(node, long);
+    n = tree.add_section(n, long);
+    let o2 = tree.add_section(n, long.with_added_capacitance(sink_load));
+    (tree, o1, o2)
+}
+
+/// Builds the ladder circuit equivalent to a *balanced* tree (paper
+/// Fig. 10 and Section V-B).
+///
+/// In a balanced tree, symmetry lets all nodes of a level be shunted
+/// without changing any response, so the `b^(k−1)` parallel sections of
+/// level `k` collapse into one section with `R/b^(k−1)`, `L/b^(k−1)` and
+/// `C·b^(k−1)`. The resulting ladder has one section per level and *no
+/// finite zeros* — the pole-zero cancellation that makes the second-order
+/// approximation so accurate for balanced trees.
+///
+/// Returns `None` if the tree is not balanced (or is empty).
+///
+/// # Examples
+///
+/// ```
+/// use rlc_tree::{RlcSection, topology};
+/// use rlc_units::{Resistance, Inductance, Capacitance};
+///
+/// let s = RlcSection::new(
+///     Resistance::from_ohms(20.0),
+///     Inductance::from_nanohenries(2.0),
+///     Capacitance::from_picofarads(0.3),
+/// );
+/// let tree = topology::balanced_tree(3, 2, s);
+/// let ladder = topology::equivalent_ladder(&tree).expect("balanced");
+/// assert_eq!(ladder.len(), 3); // one section per level
+/// // Totals are preserved.
+/// assert!((ladder.total_capacitance().as_farads()
+///     - tree.total_capacitance().as_farads()).abs() < 1e-24);
+/// ```
+pub fn equivalent_ladder(tree: &RlcTree) -> Option<RlcTree> {
+    if tree.is_empty() || !tree.is_balanced() {
+        return None;
+    }
+    // Per-level section value and multiplicity.
+    let mut per_level: Vec<(RlcSection, usize)> = Vec::new();
+    for id in tree.node_ids() {
+        let depth = tree.depth(id);
+        if per_level.len() < depth {
+            per_level.resize(depth, (RlcSection::zero(), 0));
+        }
+        per_level[depth - 1].0 = *tree.section(id);
+        per_level[depth - 1].1 += 1;
+    }
+    let mut ladder = RlcTree::with_capacity(per_level.len());
+    let mut parent: Option<NodeId> = None;
+    for (section, count) in per_level {
+        let k = count as f64;
+        let merged = RlcSection::new(
+            section.resistance() / k,
+            section.inductance() / k,
+            section.capacitance() * k,
+        );
+        parent = Some(match parent {
+            Some(p) => ladder.add_section(p, merged),
+            None => ladder.add_root_section(merged),
+        });
+    }
+    Some(ladder)
+}
+
+/// Deterministic pseudo-random tree generator for property tests and
+/// benches.
+///
+/// Generates `sections` sections with element values drawn uniformly from
+/// the given inclusive ranges; each new section attaches to a uniformly
+/// random existing node (or the source for the first). The generator is a
+/// self-contained SplitMix64, so results are reproducible from `seed` with
+/// no external dependencies.
+///
+/// # Panics
+///
+/// Panics if `sections == 0` or any range is inverted or negative.
+pub fn random_tree(
+    seed: u64,
+    sections: usize,
+    r_range: (Resistance, Resistance),
+    l_range: (Inductance, Inductance),
+    c_range: (Capacitance, Capacitance),
+) -> RlcTree {
+    assert!(sections > 0, "tree must have at least one section");
+    let mut rng = SplitMix64::new(seed);
+    fn uniform(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo >= 0.0 && hi >= lo,
+            "range must be non-negative and ordered, got [{lo}, {hi}]"
+        );
+        lo + (hi - lo) * rng.next_f64()
+    }
+    let mut tree = RlcTree::with_capacity(sections);
+    for k in 0..sections {
+        let section = RlcSection::new(
+            Resistance::from_ohms(uniform(&mut rng, r_range.0.as_ohms(), r_range.1.as_ohms())),
+            Inductance::from_henries(uniform(
+                &mut rng,
+                l_range.0.as_henries(),
+                l_range.1.as_henries(),
+            )),
+            Capacitance::from_farads(uniform(
+                &mut rng,
+                c_range.0.as_farads(),
+                c_range.1.as_farads(),
+            )),
+        );
+        if k == 0 {
+            tree.add_root_section(section);
+        } else {
+            let parent = NodeId((rng.next_u64() % k as u64) as u32);
+            tree.add_section(parent, section);
+        }
+    }
+    tree
+}
+
+/// Minimal SplitMix64 PRNG (Steele, Lea & Flood 2014).
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(r: f64, l: f64, c: f64) -> RlcSection {
+        RlcSection::new(
+            Resistance::from_ohms(r),
+            Inductance::from_henries(l),
+            Capacitance::from_farads(c),
+        )
+    }
+
+    #[test]
+    fn single_line_shape() {
+        let (line, sink) = single_line(5, s(1.0, 1.0, 1.0));
+        assert_eq!(line.len(), 5);
+        assert_eq!(line.max_depth(), 5);
+        assert_eq!(line.leaves().collect::<Vec<_>>(), vec![sink]);
+        assert!(line.is_balanced());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one section")]
+    fn single_line_rejects_zero() {
+        let _ = single_line(0, RlcSection::zero());
+    }
+
+    #[test]
+    fn balanced_binary_counts() {
+        // n levels, branching 2 → 2^n − 1 sections, 2^(n−1) sinks.
+        for levels in 1..=5 {
+            let t = balanced_tree(levels, 2, s(1.0, 1.0, 1.0));
+            assert_eq!(t.len(), (1 << levels) - 1);
+            assert_eq!(t.leaves().count(), 1 << (levels - 1));
+            assert_eq!(t.max_depth(), levels);
+            assert!(t.is_balanced());
+        }
+    }
+
+    #[test]
+    fn balanced_sixteen_sink_variants_match_paper() {
+        // Paper Section V-C: 16 sinks via binary/5 levels or flat/2 levels.
+        let binary = balanced_tree(5, 2, s(1.0, 1.0, 1.0));
+        assert_eq!(binary.leaves().count(), 16);
+        assert_eq!(binary.len(), 31);
+        let flat = balanced_tree(2, 16, s(1.0, 1.0, 1.0));
+        assert_eq!(flat.leaves().count(), 16);
+        assert_eq!(flat.len(), 17);
+    }
+
+    #[test]
+    fn balanced_with_per_level_sections() {
+        let t = balanced_tree_with(3, 2, |level| s(level as f64, 0.0, 1.0));
+        assert!(t.is_balanced());
+        let root = t.roots()[0];
+        assert_eq!(t.section(root).resistance().as_ohms(), 1.0);
+        let leaf = t.leaves().next().unwrap();
+        assert_eq!(t.section(leaf).resistance().as_ohms(), 3.0);
+    }
+
+    #[test]
+    fn asymmetric_tree_scales_left() {
+        let t = asymmetric_tree(3, 2.0, s(1.0, 1.0, 1.0));
+        assert_eq!(t.len(), 7);
+        assert!(!t.is_balanced());
+        let root = t.roots()[0];
+        let kids = t.children(root);
+        assert_eq!(t.section(kids[0]).resistance().as_ohms(), 2.0); // left
+        assert_eq!(t.section(kids[1]).resistance().as_ohms(), 1.0); // right
+    }
+
+    #[test]
+    fn asymmetric_with_unit_ratio_is_balanced() {
+        let t = asymmetric_tree(4, 1.0, s(1.0, 1.0, 1.0));
+        assert!(t.is_balanced());
+    }
+
+    #[test]
+    #[should_panic(expected = "asym factor")]
+    fn asymmetric_rejects_bad_ratio() {
+        let _ = asymmetric_tree(3, 0.0, RlcSection::zero());
+    }
+
+    #[test]
+    fn fig5_structure_matches_paper() {
+        let (t, n) = fig5(s(1.0, 1.0, 1.0));
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.roots(), &[n.n1]);
+        assert_eq!(t.children(n.n1), &[n.n2, n.n3]);
+        assert_eq!(t.children(n.n2), &[n.n4, n.n5]);
+        assert_eq!(t.children(n.n3), &[n.n6, n.n7]);
+        for sink in [n.n4, n.n5, n.n6, n.n7] {
+            assert!(t.is_leaf(sink));
+        }
+        assert!(t.is_balanced());
+    }
+
+    #[test]
+    fn fig5_asymmetric_left_heavier() {
+        let (t, n) = fig5_asymmetric(3.0, s(1.0, 1.0, 1.0));
+        assert_eq!(t.section(n.n2).resistance().as_ohms(), 3.0);
+        assert_eq!(t.section(n.n3).resistance().as_ohms(), 1.0);
+        assert_eq!(t.section(n.n6).resistance().as_ohms(), 3.0);
+        assert_eq!(t.section(n.n7).resistance().as_ohms(), 1.0);
+    }
+
+    #[test]
+    fn fig8_has_two_outputs() {
+        let (t, o1, o2) = fig8();
+        assert!(t.is_leaf(o1));
+        assert!(t.is_leaf(o2));
+        assert_eq!(t.leaves().count(), 2);
+        // O2 is the deeper output.
+        assert!(t.depth(o2) > t.depth(o1));
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn equivalent_ladder_matches_paper_fig10() {
+        // 3-level binary tree: levels collapse to R, R/2, R/4 etc.
+        let tree = balanced_tree(3, 2, s(8.0, 4.0, 2.0));
+        let ladder = equivalent_ladder(&tree).expect("balanced");
+        assert_eq!(ladder.len(), 3);
+        let ids: Vec<NodeId> = ladder.node_ids().collect();
+        assert_eq!(ladder.section(ids[0]).resistance().as_ohms(), 8.0);
+        assert_eq!(ladder.section(ids[1]).resistance().as_ohms(), 4.0);
+        assert_eq!(ladder.section(ids[2]).resistance().as_ohms(), 2.0);
+        assert_eq!(ladder.section(ids[2]).capacitance().as_farads(), 8.0);
+        assert_eq!(ladder.max_depth(), 3);
+    }
+
+    #[test]
+    fn equivalent_ladder_handles_any_branching_factor() {
+        let tree = balanced_tree(2, 16, s(16.0, 16.0, 1.0));
+        let ladder = equivalent_ladder(&tree).expect("balanced");
+        assert_eq!(ladder.len(), 2);
+        let leaf = ladder.leaves().next().unwrap();
+        assert_eq!(ladder.section(leaf).resistance().as_ohms(), 1.0);
+        assert_eq!(ladder.section(leaf).capacitance().as_farads(), 16.0);
+    }
+
+    #[test]
+    fn equivalent_ladder_rejects_unbalanced_and_empty() {
+        let unbalanced = asymmetric_tree(3, 2.0, s(1.0, 1.0, 1.0));
+        assert!(equivalent_ladder(&unbalanced).is_none());
+        assert!(equivalent_ladder(&RlcTree::new()).is_none());
+    }
+
+    #[test]
+    fn random_tree_is_reproducible() {
+        let mk = || {
+            random_tree(
+                42,
+                50,
+                (Resistance::from_ohms(1.0), Resistance::from_ohms(100.0)),
+                (Inductance::ZERO, Inductance::from_nanohenries(10.0)),
+                (
+                    Capacitance::from_femtofarads(10.0),
+                    Capacitance::from_picofarads(1.0),
+                ),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        // Different seed → different tree.
+        let c = random_tree(
+            43,
+            50,
+            (Resistance::from_ohms(1.0), Resistance::from_ohms(100.0)),
+            (Inductance::ZERO, Inductance::from_nanohenries(10.0)),
+            (
+                Capacitance::from_femtofarads(10.0),
+                Capacitance::from_picofarads(1.0),
+            ),
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_tree_values_within_ranges() {
+        let t = random_tree(
+            7,
+            200,
+            (Resistance::from_ohms(5.0), Resistance::from_ohms(6.0)),
+            (
+                Inductance::from_nanohenries(1.0),
+                Inductance::from_nanohenries(2.0),
+            ),
+            (
+                Capacitance::from_picofarads(0.1),
+                Capacitance::from_picofarads(0.2),
+            ),
+        );
+        for id in t.node_ids() {
+            let sec = t.section(id);
+            assert!((5.0..=6.0).contains(&sec.resistance().as_ohms()));
+            assert!((1.0e-9..=2.0e-9).contains(&sec.inductance().as_henries()));
+            assert!((0.1e-12..=0.2e-12).contains(&sec.capacitance().as_farads()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-negative and ordered")]
+    fn random_tree_rejects_inverted_range() {
+        let _ = random_tree(
+            1,
+            2,
+            (Resistance::from_ohms(10.0), Resistance::from_ohms(1.0)),
+            (Inductance::ZERO, Inductance::ZERO),
+            (Capacitance::ZERO, Capacitance::ZERO),
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Physical wire models: per-unit-length parameters and segmentation.
+//!
+//! The paper's circuits are lumped trees, but the sections model *distributed
+//! wires*. This module carries the per-unit-length electrical parameters of a
+//! wire and converts a physical length into a chain of lumped
+//! [`RlcSection`]s — the standard discretization used when applying lumped
+//! delay models to real interconnect.
+
+use rlc_units::{Capacitance, Inductance, Resistance};
+
+use crate::{NodeId, RlcSection, RlcTree};
+
+/// Per-unit-length electrical parameters of an on-chip wire.
+///
+/// Lengths are expressed in micrometers throughout, matching layout
+/// conventions.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_tree::wire::WireModel;
+///
+/// let wire = WireModel::IBM_COPPER_GLOBAL;
+/// // A 1 mm wire split into 10 lumped sections:
+/// let sections = wire.lump(1000.0, 10);
+/// assert_eq!(sections.len(), 10);
+/// let total_r: f64 = sections.iter().map(|s| s.resistance().as_ohms()).sum();
+/// assert!((total_r - wire.resistance_per_um().as_ohms() * 1000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    r_per_um: Resistance,
+    l_per_um: Inductance,
+    c_per_um: Capacitance,
+}
+
+impl WireModel {
+    /// A wide copper global-layer wire representative of the paper's era
+    /// (late-1990s 0.25 µm CMOS): 0.015 Ω/µm, 0.246 pH/µm, 0.176 fF/µm —
+    /// the parameter set used in the authors' companion repeater-insertion
+    /// study.
+    pub const IBM_COPPER_GLOBAL: Self = Self {
+        r_per_um: Resistance::from_ohms(0.015),
+        l_per_um: Inductance::from_henries(0.246e-12),
+        c_per_um: Capacitance::from_farads(0.176e-15),
+    };
+
+    /// A minimum-width signal wire on a lower metal layer: ten times the
+    /// resistance of the global wire, slightly lower inductance, similar
+    /// capacitance. Strongly overdamped — RC-like behaviour.
+    pub const MINIMUM_WIDTH_SIGNAL: Self = Self {
+        r_per_um: Resistance::from_ohms(0.15),
+        l_per_um: Inductance::from_henries(0.2e-12),
+        c_per_um: Capacitance::from_farads(0.15e-15),
+    };
+
+    /// A very wide, low-resistance clock spine: 0.005 Ω/µm. Clock
+    /// distribution networks are where inductive effects matter most
+    /// (paper Section I).
+    pub const CLOCK_SPINE: Self = Self {
+        r_per_um: Resistance::from_ohms(0.005),
+        l_per_um: Inductance::from_henries(0.3e-12),
+        c_per_um: Capacitance::from_farads(0.2e-15),
+    };
+
+    /// Creates a wire model from explicit per-micrometer parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative or non-finite.
+    pub fn new(r_per_um: Resistance, l_per_um: Inductance, c_per_um: Capacitance) -> Self {
+        assert!(
+            r_per_um.as_ohms() >= 0.0 && r_per_um.is_finite(),
+            "resistance per µm must be finite and non-negative"
+        );
+        assert!(
+            l_per_um.as_henries() >= 0.0 && l_per_um.is_finite(),
+            "inductance per µm must be finite and non-negative"
+        );
+        assert!(
+            c_per_um.as_farads() >= 0.0 && c_per_um.is_finite(),
+            "capacitance per µm must be finite and non-negative"
+        );
+        Self {
+            r_per_um,
+            l_per_um,
+            c_per_um,
+        }
+    }
+
+    /// Resistance per micrometer.
+    pub fn resistance_per_um(&self) -> Resistance {
+        self.r_per_um
+    }
+
+    /// Inductance per micrometer.
+    pub fn inductance_per_um(&self) -> Inductance {
+        self.l_per_um
+    }
+
+    /// Capacitance per micrometer.
+    pub fn capacitance_per_um(&self) -> Capacitance {
+        self.c_per_um
+    }
+
+    /// Returns a copy scaled for a wire `width_factor` times wider:
+    /// resistance divides by the factor, capacitance multiplies, inductance
+    /// is (to first order) unchanged.
+    ///
+    /// This is the knob wire-sizing optimizations turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_factor` is not finite and positive.
+    pub fn widened(&self, width_factor: f64) -> Self {
+        assert!(
+            width_factor.is_finite() && width_factor > 0.0,
+            "width factor must be finite and positive, got {width_factor}"
+        );
+        Self::new(
+            self.r_per_um / width_factor,
+            self.l_per_um,
+            self.c_per_um * width_factor,
+        )
+    }
+
+    /// Total lumped section equivalent to `length_um` of this wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_um` is negative or non-finite.
+    pub fn section(&self, length_um: f64) -> RlcSection {
+        assert!(
+            length_um.is_finite() && length_um >= 0.0,
+            "wire length must be finite and non-negative, got {length_um}"
+        );
+        RlcSection::new(
+            self.r_per_um * length_um,
+            self.l_per_um * length_um,
+            self.c_per_um * length_um,
+        )
+    }
+
+    /// Splits `length_um` of wire into `segments` equal lumped sections.
+    ///
+    /// More segments approximate the distributed wire better; the totals
+    /// (ΣR, ΣL, ΣC) are independent of the segment count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0` or `length_um` is invalid.
+    pub fn lump(&self, length_um: f64, segments: usize) -> Vec<RlcSection> {
+        assert!(segments > 0, "segment count must be positive");
+        let per = self.section(length_um / segments as f64);
+        vec![per; segments]
+    }
+
+    /// Appends `length_um` of this wire as a `segments`-section chain below
+    /// `parent` in `tree` (or at the source when `parent` is `None`).
+    /// Returns the far-end node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0`, `length_um` is invalid, or `parent` does
+    /// not belong to `tree`.
+    pub fn route(
+        &self,
+        tree: &mut RlcTree,
+        parent: Option<NodeId>,
+        length_um: f64,
+        segments: usize,
+    ) -> NodeId {
+        let sections = self.lump(length_um, segments);
+        let mut node = match parent {
+            Some(p) => tree.add_section(p, sections[0]),
+            None => tree.add_root_section(sections[0]),
+        };
+        for &s in &sections[1..] {
+            node = tree.add_section(node, s);
+        }
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for preset in [
+            WireModel::IBM_COPPER_GLOBAL,
+            WireModel::MINIMUM_WIDTH_SIGNAL,
+            WireModel::CLOCK_SPINE,
+        ] {
+            assert!(preset.resistance_per_um().as_ohms() > 0.0);
+            assert!(preset.inductance_per_um().as_henries() > 0.0);
+            assert!(preset.capacitance_per_um().as_farads() > 0.0);
+        }
+        // Clock spine is the least resistive — most inductance-prone.
+        assert!(
+            WireModel::CLOCK_SPINE.resistance_per_um()
+                < WireModel::IBM_COPPER_GLOBAL.resistance_per_um()
+        );
+    }
+
+    #[test]
+    fn section_scales_linearly_with_length() {
+        let w = WireModel::IBM_COPPER_GLOBAL;
+        let s1 = w.section(100.0);
+        let s2 = w.section(200.0);
+        assert!((s2.resistance().as_ohms() - 2.0 * s1.resistance().as_ohms()).abs() < 1e-12);
+        assert!((s2.capacitance().as_farads() - 2.0 * s1.capacitance().as_farads()).abs() < 1e-27);
+    }
+
+    #[test]
+    fn lump_preserves_totals() {
+        let w = WireModel::MINIMUM_WIDTH_SIGNAL;
+        for segments in [1, 3, 10, 37] {
+            let parts = w.lump(500.0, segments);
+            assert_eq!(parts.len(), segments);
+            let total_r: f64 = parts.iter().map(|s| s.resistance().as_ohms()).sum();
+            let total_c: f64 = parts.iter().map(|s| s.capacitance().as_farads()).sum();
+            assert!((total_r - 75.0).abs() < 1e-9, "{segments} segs");
+            assert!((total_c - 75.0e-15).abs() < 1e-25, "{segments} segs");
+        }
+    }
+
+    #[test]
+    fn widened_moves_r_down_c_up() {
+        let w = WireModel::IBM_COPPER_GLOBAL.widened(2.0);
+        assert!(
+            (w.resistance_per_um().as_ohms()
+                - WireModel::IBM_COPPER_GLOBAL.resistance_per_um().as_ohms() / 2.0)
+                .abs()
+                < 1e-15
+        );
+        assert!(
+            (w.capacitance_per_um().as_farads()
+                - WireModel::IBM_COPPER_GLOBAL.capacitance_per_um().as_farads() * 2.0)
+                .abs()
+                < 1e-27
+        );
+        assert_eq!(
+            w.inductance_per_um(),
+            WireModel::IBM_COPPER_GLOBAL.inductance_per_um()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width factor")]
+    fn widened_rejects_zero() {
+        let _ = WireModel::IBM_COPPER_GLOBAL.widened(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wire length")]
+    fn section_rejects_negative_length() {
+        let _ = WireModel::IBM_COPPER_GLOBAL.section(-1.0);
+    }
+
+    #[test]
+    fn route_builds_chain_in_tree() {
+        let w = WireModel::IBM_COPPER_GLOBAL;
+        let mut tree = RlcTree::new();
+        let mid = w.route(&mut tree, None, 1000.0, 4);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.depth(mid), 4);
+        // Branch two wires from the midpoint.
+        let a = w.route(&mut tree, Some(mid), 500.0, 2);
+        let b = w.route(&mut tree, Some(mid), 500.0, 2);
+        assert_eq!(tree.len(), 8);
+        assert_eq!(tree.children(mid).len(), 2);
+        assert!(tree.is_leaf(a) && tree.is_leaf(b));
+    }
+
+    #[test]
+    fn zero_length_wire_is_zero_section() {
+        let s = WireModel::CLOCK_SPINE.section(0.0);
+        assert_eq!(s, RlcSection::zero());
+    }
+}

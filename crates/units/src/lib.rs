@@ -1,0 +1,66 @@
+//! Typed electrical quantities for RLC interconnect analysis.
+//!
+//! This crate provides thin, zero-cost newtypes over `f64` for the physical
+//! quantities that appear throughout the Equivalent Elmore Delay workspace:
+//! [`Resistance`], [`Inductance`], [`Capacitance`], [`Time`],
+//! [`AngularFrequency`], and [`Voltage`], plus the derived squared quantity
+//! [`TimeSquared`] produced by `L·C` products.
+//!
+//! Dimensional arithmetic is encoded in the operator impls: multiplying a
+//! [`Resistance`] by a [`Capacitance`] yields a [`Time`], multiplying an
+//! [`Inductance`] by a [`Capacitance`] yields a [`TimeSquared`], and taking
+//! [`TimeSquared::sqrt`] brings you back to [`Time`]. Mixing up an Elmore
+//! `ΣRC` sum with its inductive `ΣLC` twin therefore fails to compile instead
+//! of producing a silently wrong damping factor.
+//!
+//! # Examples
+//!
+//! ```
+//! use rlc_units::{Resistance, Inductance, Capacitance};
+//!
+//! let r = Resistance::from_ohms(25.0);
+//! let l = Inductance::from_nanohenries(10.0);
+//! let c = Capacitance::from_picofarads(1.0);
+//!
+//! let tau_rc = r * c;          // Time
+//! let tau_lc2 = l * c;         // TimeSquared
+//! let tau_lc = tau_lc2.sqrt(); // Time
+//!
+//! // Damping factor of a single RLC section: ζ = (R/2)·sqrt(C/L)
+//! let zeta = tau_rc.as_seconds() / (2.0 * tau_lc.as_seconds());
+//! assert!((zeta - 0.125).abs() < 1e-12);
+//! ```
+//!
+//! All quantities parse and display engineering (SI-prefixed) notation:
+//!
+//! ```
+//! use rlc_units::Capacitance;
+//!
+//! let c: Capacitance = "2.5p".parse()?;
+//! assert_eq!(c.as_farads(), 2.5e-12);
+//! assert_eq!(c.to_string(), "2.5 pF");
+//! # Ok::<(), rlc_units::ParseQuantityError>(())
+//! ```
+
+mod parse;
+mod quantity;
+
+pub use parse::ParseQuantityError;
+pub use quantity::{
+    AngularFrequency, Capacitance, Inductance, Resistance, Time, TimeSquared, Voltage,
+};
+
+/// Formats a raw value with an engineering SI prefix and the given unit symbol.
+///
+/// Exposed for downstream crates that print tables of raw `f64` data but want
+/// formatting consistent with the unit types.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rlc_units::engineering(2.5e-12, "F"), "2.5 pF");
+/// assert_eq!(rlc_units::engineering(0.0, "s"), "0 s");
+/// ```
+pub fn engineering(value: f64, unit: &str) -> String {
+    parse::format_engineering(value, unit)
+}

@@ -1,0 +1,224 @@
+//! Engineering-notation (SI prefix) formatting and parsing.
+
+use core::fmt;
+
+/// Error returned when a quantity string cannot be parsed.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_units::Resistance;
+/// let err = "ohms".parse::<Resistance>().unwrap_err();
+/// assert!(err.to_string().contains("invalid quantity"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQuantityError {
+    input: String,
+}
+
+impl ParseQuantityError {
+    pub(crate) fn new(input: &str) -> Self {
+        Self {
+            input: input.to_owned(),
+        }
+    }
+
+    /// The offending input string.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid quantity syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseQuantityError {}
+
+/// SI prefixes from yocto to yotta, as `(symbol, exponent-of-ten)`.
+const PREFIXES: &[(&str, i32)] = &[
+    ("y", -24),
+    ("z", -21),
+    ("a", -18),
+    ("f", -15),
+    ("p", -12),
+    ("n", -9),
+    ("u", -6),
+    ("µ", -6),
+    ("m", -3),
+    ("k", 3),
+    ("M", 6),
+    ("G", 9),
+    ("T", 12),
+    ("P", 15),
+];
+
+/// Formats `value` with an SI prefix chosen so the mantissa lies in `[1, 1000)`.
+pub(crate) fn format_engineering(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    let magnitude = value.abs();
+    // Pick the largest prefix whose scale does not exceed the magnitude.
+    let mut best: Option<(&str, i32)> = None;
+    for &(sym, exp) in PREFIXES.iter().filter(|&&(s, _)| s != "µ") {
+        let scale = 10f64.powi(exp);
+        if magnitude >= scale && (best.is_none() || exp > best.unwrap().1) {
+            best = Some((sym, exp));
+        }
+    }
+    match best {
+        Some((sym, exp)) if magnitude < 10f64.powi(exp + 3) || exp == 15 => {
+            let mantissa = value / 10f64.powi(exp);
+            format!("{} {}{}", trim_float(mantissa), sym, unit)
+        }
+        _ if (1.0..1000.0).contains(&magnitude) => {
+            format!("{} {}", trim_float(value), unit)
+        }
+        _ => format!("{value:e} {unit}"),
+    }
+}
+
+/// Renders a float with up to 4 significant decimals and no trailing zeros.
+fn trim_float(v: f64) -> String {
+    let s = format!("{v:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_owned()
+}
+
+/// Parses `"2.5p"`, `"2.5pF"`, `"2.5 pF"`, `"100"` etc. into a base-unit value.
+pub(crate) fn parse_engineering(s: &str, unit: &str) -> Result<f64, ParseQuantityError> {
+    let original = s;
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(ParseQuantityError::new(original));
+    }
+    // Split numeric head from the suffix.
+    let split = s
+        .char_indices()
+        .find(|&(i, c)| {
+            !(c.is_ascii_digit()
+                || c == '.'
+                || c == '-'
+                || c == '+'
+                || (matches!(c, 'e' | 'E')
+                    && s[i + c.len_utf8()..]
+                        .chars()
+                        .next()
+                        .is_some_and(|n| n.is_ascii_digit() || n == '-' || n == '+')))
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    let (head, tail) = s.split_at(split);
+    let number: f64 = head
+        .parse()
+        .map_err(|_| ParseQuantityError::new(original))?;
+    let tail = tail.trim();
+    // Strip a trailing unit symbol if present.
+    let tail = tail
+        .strip_suffix(unit)
+        .or_else(|| {
+            // Accept the plain-ASCII fallback "ohm"/"Ohm" for Ω.
+            if unit == "Ω" {
+                tail.strip_suffix("ohm").or_else(|| tail.strip_suffix("Ohm"))
+            } else {
+                None
+            }
+        })
+        .unwrap_or(tail)
+        .trim();
+    if tail.is_empty() {
+        return Ok(number);
+    }
+    for &(sym, exp) in PREFIXES {
+        if tail == sym {
+            return Ok(number * 10f64.powi(exp));
+        }
+    }
+    Err(ParseQuantityError::new(original))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_prefixed_values() {
+        assert_eq!(format_engineering(2.5e-12, "F"), "2.5 pF");
+        assert_eq!(format_engineering(1.0e-9, "s"), "1 ns");
+        assert_eq!(format_engineering(25.0, "Ω"), "25 Ω");
+        assert_eq!(format_engineering(4.7e3, "Ω"), "4.7 kΩ");
+        assert_eq!(format_engineering(-3.0e-3, "V"), "-3 mV");
+        assert_eq!(format_engineering(0.0, "H"), "0 H");
+        assert_eq!(format_engineering(2.0e9, "rad/s"), "2 Grad/s");
+    }
+
+    #[test]
+    fn formats_non_finite() {
+        assert_eq!(format_engineering(f64::INFINITY, "s"), "inf s");
+        assert!(format_engineering(f64::NAN, "s").starts_with("NaN"));
+    }
+
+    #[test]
+    fn parses_bare_numbers() {
+        assert_eq!(parse_engineering("42", "Ω").unwrap(), 42.0);
+        assert_eq!(parse_engineering("-1.5", "F").unwrap(), -1.5);
+        assert_eq!(parse_engineering("1e-12", "F").unwrap(), 1e-12);
+    }
+
+    #[test]
+    fn parses_prefixes() {
+        assert_eq!(parse_engineering("2.5p", "F").unwrap(), 2.5e-12);
+        assert_eq!(parse_engineering("2.5pF", "F").unwrap(), 2.5e-12);
+        assert_eq!(parse_engineering("2.5 pF", "F").unwrap(), 2.5e-12);
+        assert_eq!(parse_engineering("10n", "H").unwrap(), 10.0e-9);
+        assert_eq!(parse_engineering("3u", "s").unwrap(), 3.0e-6);
+        assert_eq!(parse_engineering("3µ", "s").unwrap(), 3.0e-6);
+        assert_eq!(parse_engineering("1k", "Ω").unwrap(), 1000.0);
+        assert_eq!(parse_engineering("2M", "Ω").unwrap(), 2.0e6);
+    }
+
+    #[test]
+    fn parses_ascii_ohm_fallback() {
+        assert_eq!(parse_engineering("25 ohm", "Ω").unwrap(), 25.0);
+        assert_eq!(parse_engineering("25 Ohm", "Ω").unwrap(), 25.0);
+        assert_eq!(parse_engineering("1.2 kohm", "Ω").unwrap(), 1200.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_engineering("", "F").is_err());
+        assert!(parse_engineering("abc", "F").is_err());
+        assert!(parse_engineering("1.2.3", "F").is_err());
+        assert!(parse_engineering("1 xF", "F").is_err());
+    }
+
+    #[test]
+    fn scientific_notation_with_prefix() {
+        assert_eq!(parse_engineering("1.5e2 m", "s").unwrap(), 0.15);
+    }
+
+    #[test]
+    fn error_reports_input() {
+        let err = parse_engineering("bogus", "F").unwrap_err();
+        assert_eq!(err.input(), "bogus");
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for &v in &[1.0, 2.5e-12, 4.7e3, 0.25, 9.9e-9] {
+            let s = format_engineering(v, "F");
+            let back = parse_engineering(&s, "F").unwrap();
+            assert!(
+                (back - v).abs() <= v.abs() * 1e-4,
+                "{v} -> {s} -> {back}"
+            );
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! The quantity newtypes and their dimensional arithmetic.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use core::str::FromStr;
+
+use crate::parse::{format_engineering, parse_engineering, ParseQuantityError};
+
+/// Declares a scalar quantity newtype with the shared boilerplate:
+/// constructors, accessors, linear arithmetic, scalar scaling, `Sum`,
+/// engineering-notation `Display` and `FromStr`.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal, $base:ident, $from_base:ident, $as_base:ident
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Creates a quantity from a value in ", stringify!($base), ".")]
+            #[inline]
+            pub const fn $from_base(value: f64) -> Self {
+                Self(value)
+            }
+
+            #[doc = concat!("Returns the value in ", stringify!($base), ".")]
+            #[inline]
+            pub const fn $as_base(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the raw underlying value (same as the base-unit accessor).
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite (neither NaN nor infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of the two quantities (NaN-propagating like `f64::max`).
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of the two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&format_engineering(self.0, $unit))
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = ParseQuantityError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                parse_engineering(s, $unit).map(Self)
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+    };
+}
+
+quantity! {
+    /// Electrical resistance in ohms.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlc_units::Resistance;
+    /// let r = Resistance::from_ohms(50.0) + Resistance::from_ohms(25.0);
+    /// assert_eq!(r.as_ohms(), 75.0);
+    /// ```
+    Resistance, "Ω", ohms, from_ohms, as_ohms
+}
+
+quantity! {
+    /// Electrical inductance in henries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlc_units::Inductance;
+    /// let l = Inductance::from_nanohenries(2.0);
+    /// assert_eq!(l.as_henries(), 2.0e-9);
+    /// ```
+    Inductance, "H", henries, from_henries, as_henries
+}
+
+quantity! {
+    /// Electrical capacitance in farads.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlc_units::Capacitance;
+    /// let c = Capacitance::from_picofarads(0.5);
+    /// assert_eq!(c.as_farads(), 0.5e-12);
+    /// ```
+    Capacitance, "F", farads, from_farads, as_farads
+}
+
+quantity! {
+    /// A time interval in seconds.
+    ///
+    /// Produced by `Resistance * Capacitance` (an RC time constant) and by
+    /// [`TimeSquared::sqrt`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlc_units::{Resistance, Capacitance};
+    /// let tau = Resistance::from_ohms(1000.0) * Capacitance::from_picofarads(1.0);
+    /// assert_eq!(tau.as_seconds(), 1.0e-9);
+    /// ```
+    Time, "s", seconds, from_seconds, as_seconds
+}
+
+quantity! {
+    /// Angular frequency in radians per second.
+    ///
+    /// The natural frequency `ω_n` of a second-order model is an
+    /// `AngularFrequency`; its reciprocal is a [`Time`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlc_units::AngularFrequency;
+    /// let w = AngularFrequency::from_radians_per_second(2.0e9);
+    /// assert_eq!(w.period_time().as_seconds(), 0.5e-9);
+    /// ```
+    AngularFrequency, "rad/s", radians_per_second, from_radians_per_second, as_radians_per_second
+}
+
+quantity! {
+    /// Electric potential in volts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlc_units::Voltage;
+    /// let half = Voltage::from_volts(5.0) * 0.5;
+    /// assert_eq!(half.as_volts(), 2.5);
+    /// ```
+    Voltage, "V", volts, from_volts, as_volts
+}
+
+quantity! {
+    /// A squared time in seconds², the dimension of an `L·C` product.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlc_units::{Inductance, Capacitance};
+    /// let lc = Inductance::from_henries(1.0e-9) * Capacitance::from_farads(1.0e-12);
+    /// assert_eq!(lc.sqrt().as_seconds(), (1.0e-21_f64).sqrt());
+    /// ```
+    TimeSquared, "s²", seconds_squared, from_seconds_squared, as_seconds_squared
+}
+
+// --- Convenience constructors in common engineering magnitudes -------------
+
+impl Resistance {
+    /// Creates a resistance from a value in milliohms.
+    #[inline]
+    pub fn from_milliohms(value: f64) -> Self {
+        Self::from_ohms(value * 1e-3)
+    }
+
+    /// Creates a resistance from a value in kiloohms.
+    #[inline]
+    pub fn from_kiloohms(value: f64) -> Self {
+        Self::from_ohms(value * 1e3)
+    }
+}
+
+impl Inductance {
+    /// Creates an inductance from a value in nanohenries.
+    #[inline]
+    pub fn from_nanohenries(value: f64) -> Self {
+        Self::from_henries(value * 1e-9)
+    }
+
+    /// Creates an inductance from a value in picohenries.
+    #[inline]
+    pub fn from_picohenries(value: f64) -> Self {
+        Self::from_henries(value * 1e-12)
+    }
+
+    /// Returns the value in nanohenries.
+    #[inline]
+    pub fn as_nanohenries(self) -> f64 {
+        self.as_henries() * 1e9
+    }
+}
+
+impl Capacitance {
+    /// Creates a capacitance from a value in picofarads.
+    #[inline]
+    pub fn from_picofarads(value: f64) -> Self {
+        Self::from_farads(value * 1e-12)
+    }
+
+    /// Creates a capacitance from a value in femtofarads.
+    #[inline]
+    pub fn from_femtofarads(value: f64) -> Self {
+        Self::from_farads(value * 1e-15)
+    }
+
+    /// Returns the value in picofarads.
+    #[inline]
+    pub fn as_picofarads(self) -> f64 {
+        self.as_farads() * 1e12
+    }
+}
+
+impl Time {
+    /// Creates a time from a value in nanoseconds.
+    #[inline]
+    pub fn from_nanoseconds(value: f64) -> Self {
+        Self::from_seconds(value * 1e-9)
+    }
+
+    /// Creates a time from a value in picoseconds.
+    #[inline]
+    pub fn from_picoseconds(value: f64) -> Self {
+        Self::from_seconds(value * 1e-12)
+    }
+
+    /// Creates a time from a value in femtoseconds.
+    #[inline]
+    pub fn from_femtoseconds(value: f64) -> Self {
+        Self::from_seconds(value * 1e-15)
+    }
+
+    /// Returns the value in nanoseconds.
+    #[inline]
+    pub fn as_nanoseconds(self) -> f64 {
+        self.as_seconds() * 1e9
+    }
+
+    /// Returns the value in picoseconds.
+    #[inline]
+    pub fn as_picoseconds(self) -> f64 {
+        self.as_seconds() * 1e12
+    }
+
+    /// Squares this time, producing a [`TimeSquared`].
+    #[inline]
+    pub fn squared(self) -> TimeSquared {
+        TimeSquared::from_seconds_squared(self.as_seconds() * self.as_seconds())
+    }
+
+    /// Returns the reciprocal angular frequency `1/t`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlc_units::Time;
+    /// let t = Time::from_seconds(0.5);
+    /// assert_eq!(t.reciprocal().as_radians_per_second(), 2.0);
+    /// ```
+    #[inline]
+    pub fn reciprocal(self) -> AngularFrequency {
+        AngularFrequency::from_radians_per_second(1.0 / self.as_seconds())
+    }
+}
+
+impl TimeSquared {
+    /// Returns the (principal) square root as a [`Time`].
+    ///
+    /// For negative values this returns NaN seconds, mirroring `f64::sqrt`.
+    #[inline]
+    pub fn sqrt(self) -> Time {
+        Time::from_seconds(self.as_seconds_squared().sqrt())
+    }
+}
+
+impl AngularFrequency {
+    /// Returns the reciprocal `1/ω` as a [`Time`].
+    #[inline]
+    pub fn period_time(self) -> Time {
+        Time::from_seconds(1.0 / self.as_radians_per_second())
+    }
+}
+
+// --- Cross-dimensional products --------------------------------------------
+
+impl Mul<Capacitance> for Resistance {
+    type Output = Time;
+    /// `R · C` is an RC time constant.
+    #[inline]
+    fn mul(self, rhs: Capacitance) -> Time {
+        Time::from_seconds(self.as_ohms() * rhs.as_farads())
+    }
+}
+
+impl Mul<Resistance> for Capacitance {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Resistance) -> Time {
+        rhs * self
+    }
+}
+
+impl Mul<Capacitance> for Inductance {
+    type Output = TimeSquared;
+    /// `L · C` is a squared time (the reciprocal of `ω_n²`).
+    #[inline]
+    fn mul(self, rhs: Capacitance) -> TimeSquared {
+        TimeSquared::from_seconds_squared(self.as_henries() * rhs.as_farads())
+    }
+}
+
+impl Mul<Inductance> for Capacitance {
+    type Output = TimeSquared;
+    #[inline]
+    fn mul(self, rhs: Inductance) -> TimeSquared {
+        rhs * self
+    }
+}
+
+impl Div<Resistance> for Inductance {
+    type Output = Time;
+    /// `L / R` is the time constant of an RL circuit.
+    #[inline]
+    fn div(self, rhs: Resistance) -> Time {
+        Time::from_seconds(self.as_henries() / rhs.as_ohms())
+    }
+}
+
+impl Mul<Time> for AngularFrequency {
+    /// `ω · t` is the dimensionless phase.
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Time) -> f64 {
+        self.as_radians_per_second() * rhs.as_seconds()
+    }
+}
+
+impl Mul<AngularFrequency> for Time {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: AngularFrequency) -> f64 {
+        rhs * self
+    }
+}
+
+impl Mul<Time> for Time {
+    type Output = TimeSquared;
+    #[inline]
+    fn mul(self, rhs: Time) -> TimeSquared {
+        TimeSquared::from_seconds_squared(self.as_seconds() * rhs.as_seconds())
+    }
+}
+
+impl Div<Time> for TimeSquared {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: Time) -> Time {
+        Time::from_seconds(self.as_seconds_squared() / rhs.as_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_product_is_time() {
+        let tau = Resistance::from_ohms(2.0) * Capacitance::from_farads(3.0);
+        assert_eq!(tau.as_seconds(), 6.0);
+        // commutes
+        let tau2 = Capacitance::from_farads(3.0) * Resistance::from_ohms(2.0);
+        assert_eq!(tau, tau2);
+    }
+
+    #[test]
+    fn lc_product_is_time_squared() {
+        let lc = Inductance::from_henries(4.0) * Capacitance::from_farads(9.0);
+        assert_eq!(lc.as_seconds_squared(), 36.0);
+        assert_eq!(lc.sqrt().as_seconds(), 6.0);
+    }
+
+    #[test]
+    fn l_over_r_is_time() {
+        let t = Inductance::from_henries(10.0) / Resistance::from_ohms(5.0);
+        assert_eq!(t.as_seconds(), 2.0);
+    }
+
+    #[test]
+    fn omega_times_time_is_dimensionless() {
+        let phase = AngularFrequency::from_radians_per_second(3.0) * Time::from_seconds(2.0);
+        assert_eq!(phase, 6.0);
+    }
+
+    #[test]
+    fn linear_ops() {
+        let a = Time::from_seconds(1.0);
+        let b = Time::from_seconds(2.5);
+        assert_eq!((a + b).as_seconds(), 3.5);
+        assert_eq!((b - a).as_seconds(), 1.5);
+        assert_eq!((-a).as_seconds(), -1.0);
+        assert_eq!((a * 4.0).as_seconds(), 4.0);
+        assert_eq!((4.0 * a).as_seconds(), 4.0);
+        assert_eq!((b / 2.0).as_seconds(), 1.25);
+        assert_eq!(b / a, 2.5);
+    }
+
+    #[test]
+    fn add_assign_sub_assign() {
+        let mut t = Time::ZERO;
+        t += Time::from_seconds(3.0);
+        t -= Time::from_seconds(1.0);
+        assert_eq!(t.as_seconds(), 2.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Capacitance = (1..=4).map(|k| Capacitance::from_farads(k as f64)).sum();
+        assert_eq!(total.as_farads(), 10.0);
+        let slice = [Time::from_seconds(1.0), Time::from_seconds(2.0)];
+        let total: Time = slice.iter().sum();
+        assert_eq!(total.as_seconds(), 3.0);
+    }
+
+    #[test]
+    fn convenience_magnitudes() {
+        assert_eq!(Resistance::from_kiloohms(1.5).as_ohms(), 1500.0);
+        assert_eq!(Resistance::from_milliohms(250.0).as_ohms(), 0.25);
+        assert!((Inductance::from_nanohenries(3.0).as_henries() - 3.0e-9).abs() < 1e-22);
+        assert!((Inductance::from_picohenries(3.0).as_henries() - 3.0e-12).abs() < 1e-25);
+        assert!((Capacitance::from_femtofarads(7.0).as_farads() - 7.0e-15).abs() < 1e-30);
+        assert_eq!(Time::from_picoseconds(12.0).as_seconds(), 12.0e-12);
+        assert!((Time::from_nanoseconds(1.0).as_picoseconds() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_squared_roundtrip() {
+        let t = Time::from_seconds(3.0);
+        assert_eq!(t.squared().sqrt(), t);
+        assert_eq!((t * t).as_seconds_squared(), 9.0);
+        assert_eq!((t.squared() / t).as_seconds(), 3.0);
+    }
+
+    #[test]
+    fn reciprocal_roundtrip() {
+        let t = Time::from_seconds(0.25);
+        assert_eq!(t.reciprocal().as_radians_per_second(), 4.0);
+        assert_eq!(t.reciprocal().period_time(), t);
+    }
+
+    #[test]
+    fn ordering_and_clamping() {
+        let a = Time::from_seconds(1.0);
+        let b = Time::from_seconds(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Time::default(), Time::ZERO);
+        assert_eq!(Resistance::default().as_ohms(), 0.0);
+    }
+
+    #[test]
+    fn nan_is_not_finite() {
+        assert!(!Time::from_seconds(f64::NAN).is_finite());
+        assert!(!Time::from_seconds(f64::INFINITY).is_finite());
+        assert!(Time::from_seconds(1.0).is_finite());
+    }
+
+    #[test]
+    fn negative_time_squared_sqrt_is_nan() {
+        assert!(TimeSquared::from_seconds_squared(-1.0).sqrt().as_seconds().is_nan());
+    }
+
+    #[test]
+    fn into_f64() {
+        let x: f64 = Time::from_seconds(2.0).into();
+        assert_eq!(x, 2.0);
+    }
+
+    #[test]
+    fn quantities_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Resistance>();
+        assert_send_sync::<Inductance>();
+        assert_send_sync::<Capacitance>();
+        assert_send_sync::<Time>();
+        assert_send_sync::<TimeSquared>();
+        assert_send_sync::<AngularFrequency>();
+        assert_send_sync::<Voltage>();
+    }
+}

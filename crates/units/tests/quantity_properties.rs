@@ -1,0 +1,110 @@
+//! Property tests for the quantity types: algebraic laws of the
+//! dimensional arithmetic and the display/parse round-trip.
+
+use proptest::prelude::*;
+use rlc_units::{Capacitance, Inductance, Resistance, Time};
+
+fn finite() -> impl Strategy<Value = f64> {
+    // Engineering-plausible magnitudes, both signs.
+    prop_oneof![
+        -1e12f64..1e12,
+        -1e-3f64..1e-3,
+        Just(0.0),
+    ]
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    prop_oneof![1e-18f64..1e12, 1e-30f64..1e-18]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Addition is commutative and associative (to f64 accuracy).
+    #[test]
+    fn addition_laws(a in finite(), b in finite(), c in finite()) {
+        let (ta, tb, tc) = (
+            Time::from_seconds(a),
+            Time::from_seconds(b),
+            Time::from_seconds(c),
+        );
+        prop_assert_eq!(ta + tb, tb + ta);
+        let left = ((ta + tb) + tc).as_seconds();
+        let right = (ta + (tb + tc)).as_seconds();
+        let scale = a.abs().max(b.abs()).max(c.abs()).max(1.0);
+        prop_assert!((left - right).abs() <= 1e-12 * scale);
+    }
+
+    /// R·C products are bilinear and commute.
+    #[test]
+    fn rc_product_laws(r in positive(), c in positive(), k in 1e-6f64..1e6) {
+        let res = Resistance::from_ohms(r);
+        let cap = Capacitance::from_farads(c);
+        prop_assert_eq!(res * cap, cap * res);
+        let scaled = (res * k) * cap;
+        let direct = (res * cap) * k;
+        prop_assert!(
+            (scaled.as_seconds() - direct.as_seconds()).abs()
+                <= 1e-12 * direct.as_seconds().abs()
+        );
+    }
+
+    /// √(L·C) squared recovers L·C.
+    #[test]
+    fn sqrt_squares_back(l in positive(), c in positive()) {
+        let lc = Inductance::from_henries(l) * Capacitance::from_farads(c);
+        let back = lc.sqrt().squared();
+        prop_assert!(
+            (back.as_seconds_squared() - lc.as_seconds_squared()).abs()
+                <= 1e-12 * lc.as_seconds_squared()
+        );
+    }
+
+    /// Ratio of like quantities is the scalar that reproduces the original.
+    #[test]
+    fn ratio_inverts_scaling(t in positive(), k in 1e-9f64..1e9) {
+        let base = Time::from_seconds(t);
+        let scaled = base * k;
+        let ratio = scaled / base;
+        prop_assert!((ratio - k).abs() <= 1e-12 * k);
+    }
+
+    /// Display → parse round-trips within formatting precision for every
+    /// quantity type.
+    #[test]
+    fn display_parse_roundtrip(v in positive()) {
+        let t = Time::from_seconds(v);
+        let s = t.to_string();
+        let Ok(back) = s.parse::<Time>() else {
+            // Extreme exponents format as raw scientific notation with the
+            // unit attached, which also parses; anything else is a bug.
+            return Err(TestCaseError::fail(format!("{s:?} failed to parse")));
+        };
+        // 4 significant decimals in engineering formatting.
+        prop_assert!(
+            (back.as_seconds() - v).abs() <= 2e-4 * v,
+            "{v} -> {s} -> {}",
+            back.as_seconds()
+        );
+    }
+
+    /// Reciprocal round-trips between Time and AngularFrequency.
+    #[test]
+    fn reciprocal_roundtrip(t in positive()) {
+        let time = Time::from_seconds(t);
+        let back = time.reciprocal().period_time();
+        prop_assert!((back.as_seconds() - t).abs() <= 1e-12 * t);
+    }
+
+    /// Sum over an iterator equals the fold of additions.
+    #[test]
+    fn sum_matches_fold(values in proptest::collection::vec(finite(), 0..20)) {
+        let quantities: Vec<Capacitance> =
+            values.iter().map(|&v| Capacitance::from_farads(v)).collect();
+        let summed: Capacitance = quantities.iter().copied().sum();
+        let folded = quantities
+            .iter()
+            .fold(Capacitance::ZERO, |acc, &q| acc + q);
+        prop_assert_eq!(summed, folded);
+    }
+}

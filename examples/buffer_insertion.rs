@@ -1,0 +1,91 @@
+//! Optimal buffer placement in a branching net — van Ginneken's dynamic
+//! program (the paper's reference [27]) driven by Elmore time constants,
+//! then re-timed with the full RLC model.
+//!
+//! The scenario: a weak driver, a long trunk, a critical near sink, and a
+//! heavily loaded far branch. The DP discovers that buffering the heavy
+//! branch shields the critical path.
+//!
+//! Run with: `cargo run --example buffer_insertion`
+
+use equivalent_elmore::opt::{buffering, repeater::Repeater};
+use equivalent_elmore::prelude::*;
+
+fn main() {
+    // Build the net: 6-section trunk, then a split into
+    //  - a short branch to the critical receiver (small load), and
+    //  - a long branch to a bank of receivers (large load).
+    let wire = WireModel::MINIMUM_WIDTH_SIGNAL;
+    let mut net = RlcTree::new();
+    let split = wire.route(&mut net, None, 1500.0, 6);
+    let critical = wire.route(&mut net, Some(split), 400.0, 2);
+    {
+        let sec = net.section_mut(critical);
+        *sec = sec.with_added_capacitance(Capacitance::from_femtofarads(20.0));
+    }
+    let far = wire.route(&mut net, Some(split), 2500.0, 6);
+    {
+        let sec = net.section_mut(far);
+        *sec = sec.with_added_capacitance(Capacitance::from_picofarads(1.2));
+    }
+
+    let driver = Resistance::from_ohms(800.0);
+    let lib = Repeater::typical_cmos_250nm();
+    let size = 15.0;
+
+    println!(
+        "net: {} sections, {} sinks, driver {driver}",
+        net.len(),
+        net.leaves().count()
+    );
+
+    // Baseline: no buffers.
+    let unbuffered_elmore = buffering::elmore_delay_of(&net, &[], driver, &lib, size);
+    let unbuffered_rlc = buffering::evaluate(&net, &[], driver, &lib, size);
+    println!("\nunbuffered: Elmore constant {unbuffered_elmore}, RLC 50% delay {unbuffered_rlc}");
+
+    // Van Ginneken.
+    let sol = buffering::van_ginneken(&net, driver, &lib, size);
+    println!(
+        "\nvan Ginneken places {} buffer(s) at {:?}",
+        sol.buffers.len(),
+        sol.buffers
+    );
+    println!("predicted Elmore constant: {}", sol.elmore_delay);
+
+    // Re-time the chosen placement with the paper's RLC model.
+    let buffered_rlc = buffering::evaluate(&net, &sol.buffers, driver, &lib, size);
+    println!("RLC 50% delay with buffers: {buffered_rlc}");
+    println!(
+        "improvement: {:.1}% (RLC-timed)",
+        (1.0 - buffered_rlc.as_seconds() / unbuffered_rlc.as_seconds()) * 100.0
+    );
+
+    // Fidelity check (the paper's core argument for Elmore-class models):
+    // the Elmore-optimal placement is near-optimal under the better model.
+    // Compare against a few hand perturbations.
+    let mut better_found = false;
+    for &b in &sol.buffers {
+        for candidate in [net.parent(b), net.children(b).first().copied()] {
+            let Some(alt) = candidate else { continue };
+            let mut moved = sol.buffers.clone();
+            for slot in &mut moved {
+                if *slot == b {
+                    *slot = alt;
+                }
+            }
+            let d = buffering::evaluate(&net, &moved, driver, &lib, size);
+            if d < buffered_rlc * 0.98 {
+                better_found = true;
+            }
+        }
+    }
+    println!(
+        "fidelity: {}",
+        if better_found {
+            "a neighbouring placement beats the Elmore choice by >2% (rare)"
+        } else {
+            "no neighbouring placement beats the Elmore choice by >2% — high fidelity"
+        }
+    );
+}

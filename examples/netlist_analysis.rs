@@ -1,0 +1,103 @@
+//! Netlist-driven timing report: read a SPICE-like deck, analyze every
+//! sink, flag underdamped nets, and emit the tree back as a netlist.
+//!
+//! This is the "drop-in tool" shape of the library: the same flow an RC
+//! Elmore timer provides, generalized to RLC.
+//!
+//! Run with: `cargo run --example netlist_analysis`
+
+use equivalent_elmore::prelude::*;
+use equivalent_elmore::tree::netlist;
+
+/// A small bus: a driver feeding two branches through a shared trunk, with
+/// explicit inductors on the wide trunk wires.
+const DECK: &str = "\
+* two-sink RLC bus
+.input in
+R1 in  t1m 12
+L1 t1m t1  3n
+C1 t1  0   0.30p
+R2 t1  t2m 12
+L2 t2m t2  3n
+C2 t2  0   0.30p
+* branch A: short, lightly loaded
+R3 t2  a1  20
+C3 a1  0   0.15p
+R4 a1  a2  20
+C4 a2  0   0.25p
+* branch B: long, heavily loaded
+R5 t2  b1m 15
+L5 b1m b1  2n
+C5 b1  0   0.20p
+R6 b1  b2m 15
+L6 b2m b2  2n
+C6 b2  0   0.45p
+.end
+";
+
+fn main() {
+    let parsed = netlist::Netlist::parse(DECK).expect("deck is well-formed");
+    let net = parsed.tree();
+    println!(
+        "parsed {} sections, {} sinks, total C = {}",
+        net.len(),
+        net.leaves().count(),
+        net.total_capacitance()
+    );
+
+    let timing = TreeAnalysis::new(net);
+
+    // Report per named sink.
+    println!("\nsink   ζ       damping             50% delay    rise time    overshoot");
+    let mut named: Vec<(&str, NodeId)> = parsed.nodes().filter(|&(_, n)| net.is_leaf(n)).collect();
+    named.sort_by_key(|&(name, _)| name);
+    for (name, node) in named {
+        let m = timing.model(node);
+        let overshoot = m
+            .max_overshoot()
+            .map(|o| format!("{:.1}%", o * 100.0))
+            .unwrap_or_else(|| "-".to_owned());
+        println!(
+            "{name:<6} {:<7.3} {:<19} {:<12} {:<12} {overshoot}",
+            m.zeta(),
+            m.damping().to_string(),
+            m.delay_50().to_string(),
+            m.rise_time().to_string(),
+        );
+    }
+
+    // Flag nets that ring badly enough to threaten signal integrity.
+    println!();
+    for t in timing.sink_timings() {
+        if let Some(os) = t.model.max_overshoot() {
+            if os > 0.15 {
+                println!(
+                    "warning: {} overshoots by {:.0}% — consider damping or shielding",
+                    t.node,
+                    os * 100.0
+                );
+            }
+        }
+    }
+
+    // Validate the worst sink against simulation.
+    let (critical, model_delay) = timing.critical_sink().expect("has sinks");
+    let options = SimOptions::new(
+        Time::from_seconds(model_delay.as_seconds() / 300.0),
+        Time::from_seconds(model_delay.as_seconds() * 30.0),
+    );
+    let wave = &simulate(net, &Source::step(1.0), &options, &[critical])[0];
+    let sim_delay = wave.delay_50(1.0).expect("crosses 50%");
+    println!(
+        "\ncritical sink {critical}: model {model_delay}, simulated {sim_delay} ({:+.1}%)",
+        (model_delay.as_seconds() - sim_delay.as_seconds()) / sim_delay.as_seconds() * 100.0
+    );
+
+    // Round-trip the tree back out as a netlist.
+    let out = netlist::write(net);
+    println!("\nregenerated netlist ({} lines):", out.lines().count());
+    for line in out.lines().take(6) {
+        println!("  {line}");
+    }
+    println!("  ...");
+}

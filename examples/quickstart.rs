@@ -1,0 +1,52 @@
+//! Quickstart: analyze an RLC interconnect tree in a few lines.
+//!
+//! Builds the paper's Fig. 5 example tree, runs the O(n) equivalent-Elmore
+//! analysis, and compares its 50% delay prediction at every sink with a
+//! full transient simulation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use equivalent_elmore::prelude::*;
+
+fn main() {
+    // One RLC section: a 25 Ω / 5 nH / 0.5 pF lumped wire segment.
+    let section = RlcSection::new(
+        Resistance::from_ohms(25.0),
+        Inductance::from_nanohenries(5.0),
+        Capacitance::from_picofarads(0.5),
+    );
+
+    // The paper's Fig. 5 three-level tree (7 sections, 4 sinks).
+    let (net, nodes) = topology::fig5(section);
+
+    // --- The paper's model: one O(n) pass gives every node's timing. ---
+    let timing = TreeAnalysis::new(&net);
+    println!("per-sink timing from the closed-form model:");
+    for t in timing.sink_timings() {
+        println!(
+            "  {}: ζ = {:.3} ({}), 50% delay = {}, rise = {}",
+            t.node,
+            t.model.zeta(),
+            t.model.damping(),
+            t.delay_50,
+            t.rise_time,
+        );
+    }
+
+    // --- Golden reference: transient simulation (the AS/X stand-in). ---
+    let options = SimOptions::new(Time::from_picoseconds(1.0), Time::from_nanoseconds(30.0));
+    let sinks = [nodes.n4, nodes.n5, nodes.n6, nodes.n7];
+    let waves = simulate(&net, &Source::step(1.0), &options, &sinks);
+
+    println!("\nmodel vs simulation (50% delay):");
+    for (t, wave) in timing.sink_timings().iter().zip(&waves) {
+        let sim_delay = wave.delay_50(1.0).expect("signal crosses 50%");
+        let err = (t.delay_50.as_seconds() - sim_delay.as_seconds()).abs()
+            / sim_delay.as_seconds()
+            * 100.0;
+        println!("  {}: model {} vs sim {} ({err:.1}% error)", t.node, t.delay_50, sim_delay);
+    }
+
+    let (critical, delay) = timing.critical_sink().expect("tree has sinks");
+    println!("\ncritical sink: {critical} at {delay}");
+}

@@ -1,0 +1,97 @@
+//! Repeater insertion on a long global wire — the flagship synthesis loop
+//! that closed-form delay models exist to serve.
+//!
+//! Shows (1) the figure-of-merit test deciding whether the wire even needs
+//! RLC treatment, (2) joint (count, size) repeater optimization on the
+//! equivalent-Elmore delay, (3) the classic RC-only Bakoğlu answer
+//! over-inserting on an inductive wire, and (4) transient-simulation
+//! validation of the chosen stage design.
+//!
+//! Run with: `cargo run --example repeater_insertion`
+
+use equivalent_elmore::opt::{fom, repeater};
+use equivalent_elmore::prelude::*;
+
+fn main() {
+    let wire = WireModel::IBM_COPPER_GLOBAL;
+    let length_um = 10_000.0; // a 1 cm cross-chip route
+    let lib = repeater::Repeater::typical_cmos_250nm();
+
+    // (1) Does inductance matter here at all?
+    let rise = Time::from_picoseconds(40.0);
+    match fom::inductance_window(&wire, rise) {
+        Some((lo, hi)) => {
+            println!(
+                "inductance matters for lengths in [{lo:.0} µm, {hi:.0} µm]; this route: {length_um} µm"
+            );
+            println!(
+                "→ {}",
+                if length_um > lo && length_um < hi {
+                    "inside the window: use the RLC model"
+                } else {
+                    "outside the window: RC would suffice"
+                }
+            );
+        }
+        None => println!("wire is too resistive for inductive effects at any length"),
+    }
+
+    // (2) Optimize on the RLC model.
+    let plan = repeater::optimize(&wire, length_um, &lib);
+    println!(
+        "\nRLC-aware plan : {} stages, size {:.1}x, end-to-end delay {}",
+        plan.count, plan.size, plan.delay
+    );
+    // Repeaters shorten each driven segment — often INTO the inductance
+    // window even when the full route was beyond it.
+    let stage_len = length_um / plan.count as f64;
+    if fom::is_inductance_significant(&wire, stage_len, rise) {
+        println!("note: each {stage_len:.0} µm stage falls inside the inductance window");
+    }
+
+    // (3) The RC-only closed form.
+    let (k_rc, h_rc) = repeater::bakoglu_rc(&wire, length_um, &lib);
+    let k_rc_rounded = k_rc.round().max(1.0) as usize;
+    let rc_delay = repeater::total_delay(&wire, length_um, k_rc_rounded, h_rc, &lib);
+    println!(
+        "Bakoğlu (RC)   : {k_rc_rounded} stages, size {h_rc:.1}x, end-to-end delay {rc_delay}"
+    );
+    if plan.count < k_rc_rounded {
+        println!(
+            "→ inductance lets us use {} fewer repeaters for {:+.1}% delay",
+            k_rc_rounded - plan.count,
+            (plan.delay.as_seconds() / rc_delay.as_seconds() - 1.0) * 100.0
+        );
+    }
+
+    // (4) Validate one optimized stage against the transient simulator.
+    let stage_len = length_um / plan.count as f64;
+    let mut stage = RlcTree::new();
+    let driver = RlcSection::rc(
+        lib.resistance / plan.size,
+        lib.output_capacitance * plan.size,
+    );
+    let root = stage.add_root_section(driver);
+    let far = wire.route(&mut stage, Some(root), stage_len, 6);
+    let sec = stage.section_mut(far);
+    *sec = sec.with_added_capacitance(lib.input_capacitance * plan.size);
+
+    let model_stage = repeater::stage_delay(&wire, stage_len, plan.size, &lib);
+    let options = SimOptions::new(
+        Time::from_seconds(model_stage.as_seconds() / 400.0),
+        Time::from_seconds(model_stage.as_seconds() * 40.0),
+    );
+    let wave = &simulate(&stage, &Source::step(1.0), &options, &[far])[0];
+    let sim_stage = wave.delay_50(1.0).expect("stage settles");
+    println!(
+        "\nstage validation: model {model_stage} vs simulated {sim_stage} ({:+.1}%)",
+        (model_stage.as_seconds() - sim_stage.as_seconds()) / sim_stage.as_seconds() * 100.0
+    );
+    if let Some(os) = TreeAnalysis::new(&stage).model(far).max_overshoot() {
+        println!(
+            "stage overshoot: model {:.1}% vs simulated {:.1}%",
+            os * 100.0,
+            wave.overshoot_fraction(1.0) * 100.0
+        );
+    }
+}

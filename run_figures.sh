@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every figure of the paper's evaluation (see EXPERIMENTS.md).
+set -e
+for b in fig06_fit fig07_underdamped fig09_input_shape fig10_ladder \
+         fig11_balanced fig12_asymmetry fig13_branching fig14_depth \
+         fig15_node_position fig16_large_tree fig_a1_scaling \
+         fig_a3_moment_approx fig_a4_model_shootout fig_a5_repeater \
+         fig_a6_fidelity; do
+  echo "==== $b ===="
+  cargo run -p rlc-bench --bin "$b" --release
+done
+echo "all figures regenerated; CSVs in target/figures/"

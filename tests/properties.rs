@@ -1,0 +1,149 @@
+//! Property-based tests over random RLC trees: the structural invariants
+//! the paper's model guarantees by construction.
+
+use equivalent_elmore::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random RLC tree described by (seed, size, ranges).
+fn arb_tree() -> impl Strategy<Value = RlcTree> {
+    (
+        any::<u64>(),
+        2usize..40,
+        1.0f64..100.0,   // R upper bound, Ω
+        0.01f64..10.0,   // L upper bound, nH
+        0.01f64..1.0,    // C upper bound, pF
+    )
+        .prop_map(|(seed, n, r_hi, l_hi, c_hi)| {
+            topology::random_tree(
+                seed,
+                n,
+                (Resistance::from_ohms(r_hi * 0.01), Resistance::from_ohms(r_hi)),
+                (
+                    Inductance::from_nanohenries(l_hi * 0.01),
+                    Inductance::from_nanohenries(l_hi),
+                ),
+                (
+                    Capacitance::from_picofarads(c_hi * 0.01),
+                    Capacitance::from_picofarads(c_hi),
+                ),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Paper claim: the model is *always stable* — ζ and ω_n are positive
+    /// for every node of every physical tree.
+    #[test]
+    fn model_is_always_stable(tree in arb_tree()) {
+        let timing = TreeAnalysis::new(&tree);
+        for node in tree.node_ids() {
+            let m = timing.model(node);
+            prop_assert!(m.zeta() > 0.0);
+            prop_assert!(m.omega_n().as_radians_per_second() > 0.0);
+            if let Some(poles) = m.poles() {
+                for (re, _) in poles {
+                    prop_assert!(re < 0.0, "pole in right half-plane at {node}");
+                }
+            }
+        }
+    }
+
+    /// Delays are positive and finite; rise time dominates the 50% delay
+    /// except for strongly underdamped nodes (as ζ → 0, the 10–90% window
+    /// t₉₀−t₁₀ → arccos(0.1)−arccos(0.9) ≈ 1.02, *below* t₅₀ = π/3).
+    #[test]
+    fn delays_are_sane(tree in arb_tree()) {
+        let timing = TreeAnalysis::new(&tree);
+        for node in tree.node_ids() {
+            let d = timing.delay_50(node);
+            let r = timing.rise_time(node);
+            prop_assert!(d.is_finite() && d.as_seconds() > 0.0);
+            prop_assert!(r.is_finite() && r.as_seconds() > 0.0);
+            if timing.model(node).zeta() > 0.5 {
+                prop_assert!(r > d);
+            }
+            // Exact and fitted delays agree within the fit envelope.
+            let exact = timing.delay_50_exact(node);
+            let err = ((d - exact).as_seconds() / exact.as_seconds()).abs();
+            prop_assert!(err < 0.05, "fit error {err} at {node}");
+        }
+    }
+
+    /// The Elmore sum T_RC is monotone along every root→leaf path, and so
+    /// is the fitted delay for nodes in the same damping regime... the
+    /// robust invariant is monotonicity of the *sums*.
+    #[test]
+    fn tree_sums_monotone_along_paths(tree in arb_tree()) {
+        let sums = tree_sums(&tree);
+        for leaf in tree.leaves().collect::<Vec<_>>() {
+            let path = tree.path_from_root(leaf);
+            for pair in path.windows(2) {
+                prop_assert!(sums.rc(pair[1]) >= sums.rc(pair[0]));
+                prop_assert!(sums.lc(pair[1]) >= sums.lc(pair[0]));
+            }
+        }
+    }
+
+    /// First exact moment equals −T_RC on every node (cross-crate
+    /// consistency of the two independent moment computations).
+    #[test]
+    fn exact_moments_agree_with_tree_sums(tree in arb_tree()) {
+        let sums = tree_sums(&tree);
+        let moments = equivalent_elmore::moments::transfer_moments(&tree, 1);
+        for node in tree.node_ids() {
+            let m1 = moments.at(node)[1];
+            let t_rc = sums.rc(node).as_seconds();
+            prop_assert!((m1 + t_rc).abs() <= 1e-12 + 1e-9 * t_rc);
+        }
+    }
+
+    /// The simulator settles every node to the supply voltage. The horizon
+    /// comes from the *model's* settling estimate (a strongly underdamped
+    /// tree rings for ~1/ζ delay-lengths), closing the loop between the two
+    /// crates.
+    #[test]
+    fn simulation_settles_to_supply(tree in arb_tree()) {
+        let timing = TreeAnalysis::new(&tree);
+        let (sink, _) = timing.critical_sink().expect("has sinks");
+        let t_stop = timing.model(sink).settling_time(0.02) * 3.0;
+        let options = SimOptions::new(
+            Time::from_seconds(t_stop.as_seconds() / 20_000.0),
+            t_stop,
+        );
+        let wave = &simulate(&tree, &Source::step(1.0), &options, &[sink])[0];
+        prop_assert!((wave.last_value() - 1.0).abs() < 0.1,
+            "sink settled to {}", wave.last_value());
+    }
+
+    /// Scaling every inductance down makes every node *more* damped.
+    #[test]
+    fn less_inductance_means_more_damping(tree in arb_tree()) {
+        let timing = TreeAnalysis::new(&tree);
+        let damped = tree.map_sections(|_, s| s.with_inductance(s.inductance() * 0.25));
+        let damped_timing = TreeAnalysis::new(&damped);
+        for node in tree.node_ids() {
+            let z0 = timing.model(node).zeta();
+            let z1 = damped_timing.model(node).zeta();
+            prop_assert!(z1 >= z0 * 0.999, "ζ {z0} -> {z1} at {node}");
+        }
+    }
+
+    /// Netlist write→parse round-trips the model at every original sink.
+    #[test]
+    fn netlist_roundtrip_is_lossless(tree in arb_tree()) {
+        use equivalent_elmore::tree::netlist;
+        let deck = netlist::write(&tree);
+        let parsed = netlist::Netlist::parse(&deck).expect("own output parses");
+        let a = TreeAnalysis::new(&tree);
+        let b = TreeAnalysis::new(parsed.tree());
+        for leaf in tree.leaves().collect::<Vec<_>>() {
+            let name = format!("n{}", leaf.index());
+            let rt = parsed.node(&name).expect("leaf is named");
+            let za = a.model(leaf).zeta();
+            let zb = b.model(rt).zeta();
+            prop_assert!((za - zb).abs() <= 1e-9 * za.max(1.0), "{za} vs {zb}");
+        }
+    }
+}
