@@ -56,6 +56,9 @@ impl ReducedOrderModel {
         if available < 2 * order {
             return Err(AweError::InsufficientMoments { order, available });
         }
+        let _span = rlc_obs::span!("awe.pade");
+        rlc_obs::counter!("awe.pade.calls");
+        rlc_obs::counter!("awe.pade.moments_matched", 2 * order as u64);
         let q = order;
         // Moments of physical circuits carry units of seconds^k and span
         // many decades; normalize time by |m_1| so the Hankel system is
@@ -99,15 +102,17 @@ impl ReducedOrderModel {
         for &p in &poles {
             let denom = dq.eval_complex(p);
             if denom.norm() < 1e-300 {
-                return Err(AweError::Numerical(
-                    rlc_numeric::NumericError::Degenerate {
-                        context: "repeated Padé pole (defective model)",
-                    },
-                ));
+                return Err(AweError::Numerical(rlc_numeric::NumericError::Degenerate {
+                    context: "repeated Padé pole (defective model)",
+                }));
             }
             residues.push(p_poly.eval_complex(p) / denom / scale);
         }
-        let poles = poles.into_iter().map(|p| p / scale).collect();
+        let poles: Vec<Complex64> = poles.into_iter().map(|p| p / scale).collect();
+        let unstable = poles.iter().filter(|p| p.re >= 0.0).count();
+        if unstable > 0 {
+            rlc_obs::counter!("awe.pade.unstable_poles", unstable as u64);
+        }
         Ok(Self { poles, residues })
     }
 
@@ -146,11 +151,9 @@ impl ReducedOrderModel {
         if b1.partial_cmp(&0.0) != Some(core::cmp::Ordering::Greater)
             || b2.partial_cmp(&0.0) != Some(core::cmp::Ordering::Greater)
         {
-            return Err(AweError::Numerical(
-                rlc_numeric::NumericError::Degenerate {
-                    context: "two-pole model requires b1 > 0 and b2 > 0",
-                },
-            ));
+            return Err(AweError::Numerical(rlc_numeric::NumericError::Degenerate {
+                context: "two-pole model requires b1 > 0 and b2 > 0",
+            }));
         }
         let [p1, p2] = poly::quadratic_roots(1.0, b1, b2);
         if (p1 - p2).norm() < 1e-12 * p1.norm() {
@@ -237,11 +240,7 @@ impl ReducedOrderModel {
             return None;
         }
         let target = level * self.dc_gain();
-        let fastest = self
-            .poles
-            .iter()
-            .map(|p| p.norm())
-            .fold(0.0f64, f64::max);
+        let fastest = self.poles.iter().map(|p| p.norm()).fold(0.0f64, f64::max);
         let slowest = self
             .poles
             .iter()
@@ -389,16 +388,12 @@ mod tests {
         assert!(awe.is_stable());
         assert!((awe.dc_gain() - 1.0).abs() < 1e-6);
         // Compare the 50% delay against the transient simulator.
-        let options = rlc_sim::SimOptions::new(
-            Time::from_picoseconds(1.0),
-            Time::from_nanoseconds(10.0),
-        );
-        let wave =
-            &rlc_sim::simulate(&line, &rlc_sim::Source::step(1.0), &options, &[sink])[0];
+        let options =
+            rlc_sim::SimOptions::new(Time::from_picoseconds(1.0), Time::from_nanoseconds(10.0));
+        let wave = &rlc_sim::simulate(&line, &rlc_sim::Source::step(1.0), &options, &[sink])[0];
         let sim_delay = wave.delay_50(1.0).unwrap();
         let awe_delay = awe.delay_50().unwrap();
-        let err = (awe_delay.as_seconds() - sim_delay.as_seconds()).abs()
-            / sim_delay.as_seconds();
+        let err = (awe_delay.as_seconds() - sim_delay.as_seconds()).abs() / sim_delay.as_seconds();
         assert!(err < 0.01, "AWE q=3 delay error {err}");
     }
 
@@ -406,17 +401,13 @@ mod tests {
     fn pade_on_rlc_tree_beats_two_pole_which_beats_wyatt() {
         // The expected accuracy ordering on a moderately inductive line.
         let (line, sink) = topology::single_line(6, s(20.0, 1.5e-9, 0.3e-12));
-        let options = rlc_sim::SimOptions::new(
-            Time::from_picoseconds(0.5),
-            Time::from_nanoseconds(20.0),
-        );
-        let wave =
-            &rlc_sim::simulate(&line, &rlc_sim::Source::step(1.0), &options, &[sink])[0];
+        let options =
+            rlc_sim::SimOptions::new(Time::from_picoseconds(0.5), Time::from_nanoseconds(20.0));
+        let wave = &rlc_sim::simulate(&line, &rlc_sim::Source::step(1.0), &options, &[sink])[0];
         let sim_delay = wave.delay_50(1.0).unwrap().as_seconds();
 
-        let err = |d: Option<Time>| {
-            (d.expect("crosses").as_seconds() - sim_delay).abs() / sim_delay
-        };
+        let err =
+            |d: Option<Time>| (d.expect("crosses").as_seconds() - sim_delay).abs() / sim_delay;
         let awe4 = err(awe_at_node(&line, sink, 4).unwrap().delay_50());
         let two = err(two_pole_at_node(&line, sink).unwrap().delay_50());
         let sums = rlc_moments::tree_sums(&line);

@@ -52,5 +52,10 @@ fn bench_exact_moments(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tree_sums, bench_full_analysis, bench_exact_moments);
+criterion_group!(
+    benches,
+    bench_tree_sums,
+    bench_full_analysis,
+    bench_exact_moments
+);
 criterion_main!(benches);

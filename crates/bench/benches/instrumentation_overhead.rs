@@ -1,0 +1,65 @@
+//! Overhead budget for the instrumentation layer (`rlc-obs`).
+//!
+//! Benchmarks the two hottest instrumented entry points — `simulate` and
+//! `tree_sums` on a 1000-node tree — in whatever feature configuration
+//! this bench was built with. Run it twice and compare:
+//!
+//! ```text
+//! cargo bench -p rlc-bench --bench instrumentation_overhead                  # no-op path
+//! cargo bench -p rlc-bench --bench instrumentation_overhead --features obs   # live registry
+//! ```
+//!
+//! Budget: with the feature off the no-op stubs compile away entirely, so
+//! the two runs' disabled numbers must be statistically indistinguishable
+//! from a build that predates `rlc-obs`; with the feature on the recorded
+//! counters are batched (once per call, not per step/node), so the
+//! overhead must stay below ~5% even on these short calls.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rlc_bench::section;
+use rlc_sim::{simulate, SimOptions, Source};
+use rlc_tree::topology;
+use rlc_units::Time;
+
+const N_SECTIONS: usize = 1000;
+
+fn mode() -> &'static str {
+    if rlc_obs::enabled() {
+        "obs-on"
+    } else {
+        "obs-off"
+    }
+}
+
+fn bench_tree_sums_overhead(c: &mut Criterion) {
+    let (line, _) = topology::single_line(N_SECTIONS, section(20.0, 2.0, 0.3));
+    let mut group = c.benchmark_group(&format!("overhead/{}", mode()));
+    group.throughput(Throughput::Elements(N_SECTIONS as u64));
+    group.bench_function("tree_sums_1000", |b| {
+        b.iter(|| rlc_moments::tree_sums(std::hint::black_box(&line)))
+    });
+    group.finish();
+}
+
+fn bench_simulate_overhead(c: &mut Criterion) {
+    let (line, sink) = topology::single_line(N_SECTIONS, section(20.0, 2.0, 0.3));
+    // A short, fixed-size run: per-call span/counter cost is most visible
+    // when the simulation itself is cheap.
+    let options = SimOptions::new(Time::from_picoseconds(2.0), Time::from_picoseconds(400.0));
+    let source = Source::step(1.0);
+    let mut group = c.benchmark_group(&format!("overhead/{}", mode()));
+    group.bench_function("simulate_1000x200", |b| {
+        b.iter(|| {
+            simulate(
+                std::hint::black_box(&line),
+                &source,
+                &options,
+                &[std::hint::black_box(sink)],
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_sums_overhead, bench_simulate_overhead);
+criterion_main!(benches);

@@ -16,7 +16,9 @@ fn bench_model_construction(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("model_at_node_64section_line");
     group.bench_function("eed_from_sums", |b| {
-        b.iter(|| SecondOrderModel::from_sums(std::hint::black_box(t_rc), std::hint::black_box(t_lc)))
+        b.iter(|| {
+            SecondOrderModel::from_sums(std::hint::black_box(t_rc), std::hint::black_box(t_lc))
+        })
     });
     group.bench_function("eed_including_tree_sums", |b| {
         b.iter(|| SecondOrderModel::at_node(std::hint::black_box(&line), sink))

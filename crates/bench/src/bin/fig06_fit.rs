@@ -9,9 +9,9 @@
 
 use eed::fitted;
 use eed::step::time_to_reach_scaled;
-use rlc_bench::{shape_check, FigureCsv};
+use rlc_bench::{conclude, BenchError, FigureCsv, ShapeChecks};
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let grid = fitted::standard_zeta_grid();
     let refit_d = fitted::refit_delay(&grid);
     let refit_r = fitted::refit_rise(&grid);
@@ -19,7 +19,7 @@ fn main() {
     let mut csv = FigureCsv::create(
         "fig06_fit",
         "zeta,delay_exact,delay_eq33,delay_refit,rise_exact,rise_eq34form,rise_refit",
-    );
+    )?;
     println!("zeta   t'pd exact  eq.33   refit   |  t'r exact  pinned  refit");
     let mut max_delay_err = 0.0f64;
     let mut max_rise_err = 0.0f64;
@@ -39,7 +39,7 @@ fn main() {
             );
         }
     }
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
     println!(
         "max relative fit error: delay {:.2}%, rise {:.2}%",
         max_delay_err * 100.0,
@@ -47,11 +47,12 @@ fn main() {
     );
 
     // Shape claims of Fig. 6 / eqs. 33–34.
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "eq. 33 delay fit stays within a few percent of the exact curve",
         max_delay_err < 0.04,
     );
-    shape_check(
+    checks.check(
         "rise-time fit stays within 5% of the exact curve",
         max_rise_err < 0.05,
     );
@@ -59,18 +60,20 @@ fn main() {
     let z = 50.0;
     let elmore_d = 2.0 * z * core::f64::consts::LN_2;
     let elmore_r = 2.0 * z * 9.0f64.ln();
-    shape_check(
+    checks.check(
         "delay fit approaches 2ζ·ln2 for large ζ",
         ((fitted::delay_50_scaled(z) - elmore_d) / elmore_d).abs() < 0.01,
     );
-    shape_check(
+    checks.check(
         "rise fit approaches 2ζ·ln9 for large ζ",
         ((fitted::rise_time_scaled(z) - elmore_r) / elmore_r).abs() < 0.01,
     );
     // Small-ζ limit: the scaled delay approaches arccos(1/2) = π/3.
     let d_small = time_to_reach_scaled(0.05, 0.5);
-    shape_check(
+    checks.check(
         "exact scaled delay approaches π/3 as ζ → 0",
         (d_small - core::f64::consts::FRAC_PI_3).abs() < 0.1,
     );
+
+    conclude("fig06_fit", checks)
 }

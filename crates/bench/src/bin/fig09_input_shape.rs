@@ -8,12 +8,12 @@
 //! Run with: `cargo run -p rlc-bench --bin fig09_input_shape --release`
 
 use eed::TreeAnalysis;
-use rlc_bench::{shape_check, FigureCsv};
+use rlc_bench::{conclude, BenchError, FigureCsv, ShapeChecks};
 use rlc_sim::{simulate, SimOptions, Source};
 use rlc_tree::topology;
 use rlc_units::Time;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let (tree, _o1, o2) = topology::fig8();
     let timing = TreeAnalysis::new(&tree);
     let model = timing.model(o2);
@@ -34,7 +34,7 @@ fn main() {
     let mut csv = FigureCsv::create(
         "fig09_input_shape",
         "tau_over_delay,input_rise_ps,max_waveform_error,delay_error",
-    );
+    )?;
     println!("\nτ_in/delay  input 90% rise   max |model−sim|   50% delay err");
     let mut max_errors = Vec::new();
     for &f in &factors {
@@ -66,22 +66,25 @@ fn main() {
             d_err * 100.0
         );
     }
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
 
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "waveform error decreases monotonically as the input slows",
         max_errors.windows(2).all(|w| w[1] <= w[0] + 1e-12),
     );
-    shape_check(
+    checks.check(
         "the fastest (near-step) input is the worst case",
         max_errors[0] == max_errors.iter().cloned().fold(0.0, f64::max),
     );
-    shape_check(
+    checks.check(
         "slow inputs are tracked to within 2% of the supply",
         *max_errors.last().expect("non-empty") < 0.02,
     );
-    shape_check(
+    checks.check(
         "slowing the input by 500x cuts the error by more than 10x",
         max_errors[0] / max_errors.last().expect("non-empty") > 10.0,
     );
+
+    conclude("fig09_input_shape", checks)
 }

@@ -11,13 +11,13 @@
 //! Run with: `cargo run -p rlc-bench --bin fig10_ladder --release`
 
 use eed::TreeAnalysis;
-use rlc_bench::{section, shape_check, FigureCsv};
+use rlc_bench::{conclude, section, BenchError, FigureCsv, ShapeChecks};
 use rlc_moments::transfer_moments;
 use rlc_sim::{simulate, SimOptions, Source};
 use rlc_tree::topology;
 use rlc_units::Time;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let tree = topology::balanced_tree(4, 2, section(20.0, 3.0, 0.3));
     let ladder = topology::equivalent_ladder(&tree).expect("balanced tree");
     let tree_sink = tree.leaves().next().expect("sink");
@@ -53,7 +53,7 @@ fn main() {
     let wave_diff = w_tree.max_abs_difference(w_ladder);
     println!("\nmax |tree − ladder| waveform difference: {wave_diff:.3e}");
 
-    let mut csv = FigureCsv::create("fig10_ladder", "t_ps,tree,ladder");
+    let mut csv = FigureCsv::create("fig10_ladder", "t_ps,tree,ladder")?;
     for (k, &t) in w_tree.times().iter().enumerate() {
         if k % 10 == 0 {
             csv.row(&[t.as_picoseconds(), w_tree.values()[k], w_ladder.values()[k]]);
@@ -70,25 +70,27 @@ fn main() {
         ml.zeta(),
         ml.omega_n()
     );
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
 
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "exact moments of tree and ladder agree to 1e-9 through order 6",
         max_moment_err < 1e-9,
     );
-    shape_check(
+    checks.check(
         "transient waveforms agree to solver accuracy (< 1e-9)",
         wave_diff < 1e-9,
     );
-    shape_check(
+    checks.check(
         "second-order models are identical",
         (mt.zeta() - ml.zeta()).abs() < 1e-12
-            && (mt.omega_n().as_radians_per_second() - ml.omega_n().as_radians_per_second())
-                .abs()
+            && (mt.omega_n().as_radians_per_second() - ml.omega_n().as_radians_per_second()).abs()
                 < 1e-3 * ml.omega_n().as_radians_per_second(),
     );
-    shape_check(
+    checks.check(
         "the ladder is exponentially smaller (15 sections → 4)",
         tree.len() == 15 && ladder.len() == 4,
     );
+
+    conclude("fig10_ladder", checks)
 }

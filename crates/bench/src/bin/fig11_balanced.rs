@@ -9,22 +9,22 @@
 
 use eed::TreeAnalysis;
 use rlc_awe::ReducedOrderModel;
-use rlc_bench::{delay_error, retune_zeta, section, sim_step_waveform, shape_check, FigureCsv};
+use rlc_bench::{
+    conclude, delay_error, retune_zeta, section, sim_step_waveform, BenchError, FigureCsv,
+    ShapeChecks,
+};
 use rlc_tree::topology;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let (base_tree, nodes) = topology::fig5(section(25.0, 5.0, 0.5));
     let zetas = [0.4, 0.7, 1.0, 2.0];
 
-    let mut csv = FigureCsv::create(
-        "fig11_balanced",
-        "zeta,t_ps,simulated,model_eq31,wyatt",
-    );
+    let mut csv = FigureCsv::create("fig11_balanced", "zeta,t_ps,simulated,model_eq31,wyatt")?;
     println!("zeta   model 50% delay   sim 50% delay   err     wyatt err");
     let mut errors = Vec::new();
     let mut wyatt_errors = Vec::new();
     for &zeta in &zetas {
-        let tree = retune_zeta(&base_tree, nodes.n7, zeta);
+        let tree = retune_zeta(&base_tree, nodes.n7, zeta)?;
         let timing = TreeAnalysis::new(&tree);
         let model = timing.model(nodes.n7);
         let wyatt = ReducedOrderModel::wyatt(model.elmore_time_constant());
@@ -55,18 +55,21 @@ fn main() {
             wyatt_err * 100.0
         );
     }
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
 
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "balanced-tree delay errors stay in the single digits (paper: <~4%)",
         errors.iter().all(|&e| e < 0.07),
     );
-    shape_check(
+    checks.check(
         "Wyatt is far worse than the model for the underdamped cases",
         wyatt_errors[0] > 4.0 * errors[0] && wyatt_errors[1] > 2.0 * errors[1],
     );
-    shape_check(
+    checks.check(
         "Wyatt converges toward the model as damping grows",
         wyatt_errors[3] < wyatt_errors[0],
     );
+
+    conclude("fig11_balanced", checks)
 }

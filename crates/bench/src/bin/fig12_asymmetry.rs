@@ -10,18 +10,16 @@
 
 use eed::TreeAnalysis;
 use rlc_bench::{
-    delay_error, section, sim_step_waveform, shape_check, waveform_error, FigureCsv,
+    conclude, delay_error, section, sim_step_waveform, waveform_error, BenchError, FigureCsv,
+    ShapeChecks,
 };
 use rlc_tree::topology;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let base = section(25.0, 4.0, 0.4);
     let asyms = [1.0, 2.0, 4.0, 8.0];
 
-    let mut csv = FigureCsv::create(
-        "fig12_asymmetry",
-        "asym,sink,delay_error,waveform_error",
-    );
+    let mut csv = FigureCsv::create("fig12_asymmetry", "asym,sink,delay_error,waveform_error")?;
     println!("asym   sink   delay err   waveform err");
     let mut worst_delay = Vec::new();
     let mut worst_wave = Vec::new();
@@ -36,28 +34,32 @@ fn main() {
             let de = delay_error(model, &wave);
             let we = waveform_error(model, &wave);
             csv.row(&[asym, label, de, we]);
-            println!("{asym:<6} n{label:<5} {:<11.2}% {:.2}%", de * 100.0, we * 100.0);
+            println!(
+                "{asym:<6} n{label:<5} {:<11.2}% {:.2}%",
+                de * 100.0,
+                we * 100.0
+            );
             wd = wd.max(de);
             ww = ww.max(we);
         }
         worst_delay.push(wd);
         worst_wave.push(ww);
     }
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
 
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "delay error grows from balanced to highly asymmetric",
         worst_delay[3] > worst_delay[0] && worst_delay[3] > worst_delay[1],
     );
-    shape_check(
+    checks.check(
         "delay error stays within the paper's ~20% band (allowing slack)",
         worst_delay.iter().all(|&e| e < 0.25),
     );
-    shape_check(
+    checks.check(
         "waveform-shape error exceeds the delay error (paper Section V-B)",
-        worst_wave
-            .iter()
-            .zip(&worst_delay)
-            .all(|(&w, &d)| w > d),
+        worst_wave.iter().zip(&worst_delay).all(|(&w, &d)| w > d),
     );
+
+    conclude("fig12_asymmetry", checks)
 }

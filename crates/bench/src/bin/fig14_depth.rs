@@ -10,15 +10,16 @@
 
 use eed::TreeAnalysis;
 use rlc_bench::{
-    delay_error, section, sim_step_waveform, shape_check, waveform_error, FigureCsv,
+    conclude, delay_error, section, sim_step_waveform, waveform_error, BenchError, FigureCsv,
+    ShapeChecks,
 };
 use rlc_tree::topology;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     // Total line: 50 Ω, 10 nH, 2 pF — a long wide global wire.
     let depths = [1usize, 2, 4, 8, 16, 32];
 
-    let mut csv = FigureCsv::create("fig14_depth", "sections,zeta,delay_error,waveform_error");
+    let mut csv = FigureCsv::create("fig14_depth", "sections,zeta,delay_error,waveform_error")?;
     println!("sections  sink ζ   delay err   waveform err");
     let mut delay_errs = Vec::new();
     let mut wave_errs = Vec::new();
@@ -40,22 +41,25 @@ fn main() {
         delay_errs.push(de);
         wave_errs.push(we);
     }
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
 
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "a single section is reproduced exactly (the model IS the circuit)",
         delay_errs[0] < 1e-3 && wave_errs[0] < 1e-3,
     );
-    shape_check(
+    checks.check(
         "delay error grows monotonically with depth",
         delay_errs.windows(2).all(|w| w[1] >= w[0] - 1e-9),
     );
-    shape_check(
+    checks.check(
         "waveform error grows monotonically with depth",
         wave_errs.windows(2).all(|w| w[1] >= w[0] - 1e-9),
     );
-    shape_check(
+    checks.check(
         "delay error saturates (distributed-line limit), staying below ~20%",
         *delay_errs.last().expect("non-empty") < 0.20,
     );
+
+    conclude("fig14_depth", checks)
 }

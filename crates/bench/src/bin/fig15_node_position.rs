@@ -9,15 +9,17 @@
 //! Run with: `cargo run -p rlc-bench --bin fig15_node_position --release`
 
 use eed::TreeAnalysis;
-use rlc_bench::{retune_zeta, section, shape_check, waveform_error, FigureCsv};
+use rlc_bench::{
+    conclude, retune_zeta, section, waveform_error, BenchError, FigureCsv, ShapeChecks,
+};
 use rlc_sim::{simulate, SimOptions, Source};
 use rlc_tree::topology;
 use rlc_units::Time;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let tree = topology::balanced_tree(5, 2, section(25.0, 5.0, 0.5));
     let sink = tree.leaves().next().expect("has sinks");
-    let tree = retune_zeta(&tree, sink, 0.6);
+    let tree = retune_zeta(&tree, sink, 0.6)?;
     let timing = TreeAnalysis::new(&tree);
     let path = tree.path_from_root(sink);
 
@@ -29,7 +31,7 @@ fn main() {
     );
     let waves = simulate(&tree, &Source::step(1.0), &options, &path);
 
-    let mut csv = FigureCsv::create("fig15_node_position", "level,zeta,waveform_error");
+    let mut csv = FigureCsv::create("fig15_node_position", "level,zeta,waveform_error")?;
     println!("level  node  ζ        waveform err");
     let mut errors = Vec::new();
     for (level, (&node, wave)) in path.iter().zip(&waves).enumerate() {
@@ -44,18 +46,21 @@ fn main() {
         );
         errors.push(err);
     }
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
 
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "error is largest at the node nearest the source",
         errors[0] == errors.iter().cloned().fold(0.0, f64::max),
     );
-    shape_check(
+    checks.check(
         "the sink is modeled far better than the source (>4x)",
         errors[0] > 4.0 * errors.last().expect("non-empty"),
     );
-    shape_check(
+    checks.check(
         "error decreases steadily moving away from the source",
         errors.windows(2).take(3).all(|w| w[1] < w[0]),
     );
+
+    conclude("fig15_node_position", checks)
 }

@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use eed::TreeAnalysis;
-use rlc_bench::{section, shape_check, FigureCsv};
+use rlc_bench::{conclude, section, BenchError, FigureCsv, ShapeChecks};
 use rlc_tree::topology;
 
 fn time_analysis(tree: &rlc_tree::RlcTree, reps: usize) -> f64 {
@@ -25,12 +25,9 @@ fn time_analysis(tree: &rlc_tree::RlcTree, reps: usize) -> f64 {
     start.elapsed().as_secs_f64() / reps as f64
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let sec = section(20.0, 2.0, 0.3);
-    let mut csv = FigureCsv::create(
-        "fig_a1_scaling",
-        "sections,topology,seconds,ns_per_section",
-    );
+    let mut csv = FigureCsv::create("fig_a1_scaling", "sections,topology,seconds,ns_per_section")?;
     println!("sections   topology   total time     ns/section");
     let mut line_ns = Vec::new();
     let mut tree_ns = Vec::new();
@@ -54,7 +51,7 @@ fn main() {
         csv.row(&[tree.len() as f64, 1.0, t, ns]);
         println!("{:<10} tree       {t:<14.6e} {ns:.1}", tree.len());
     }
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
 
     // Linearity: ns/section may wobble with cache effects but must not
     // blow up — an O(n²) algorithm would grow it by ~2000x over this range.
@@ -63,16 +60,19 @@ fn main() {
         let hi = series.iter().cloned().fold(0.0f64, f64::max);
         hi / lo
     };
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "line analysis cost per section stays within 8x across 2000x sizes",
         flat(&line_ns) < 8.0,
     );
-    shape_check(
+    checks.check(
         "tree analysis cost per section stays within 8x across 2000x sizes",
         flat(&tree_ns) < 8.0,
     );
     // A 131k-section tree analyzes in well under a second on any laptop.
     let (big, _) = topology::single_line(1 << 17, sec);
     let t = time_analysis(&big, 3);
-    shape_check("131k sections analyze in < 0.5 s", t < 0.5);
+    checks.check("131k sections analyze in < 0.5 s", t < 0.5);
+
+    conclude("fig_a1_scaling", checks)
 }

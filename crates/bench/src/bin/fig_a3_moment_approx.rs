@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run -p rlc-bench --bin fig_a3_moment_approx --release`
 
-use rlc_bench::{section, shape_check, FigureCsv};
+use rlc_bench::{conclude, section, BenchError, FigureCsv, ShapeChecks};
 use rlc_moments::{transfer_moments, tree_sums};
 use rlc_tree::{topology, RlcTree};
 
@@ -16,14 +16,13 @@ use rlc_tree::{topology, RlcTree};
 fn m2_error(tree: &RlcTree, node: rlc_tree::NodeId) -> f64 {
     let sums = tree_sums(tree);
     let exact = transfer_moments(tree, 2).at(node)[2];
-    let approx =
-        sums.rc(node).as_seconds().powi(2) - sums.lc(node).as_seconds_squared();
+    let approx = sums.rc(node).as_seconds().powi(2) - sums.lc(node).as_seconds_squared();
     ((approx - exact) / exact).abs()
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let base = section(25.0, 4.0, 0.4);
-    let mut csv = FigureCsv::create("fig_a3_moment_approx", "case,param,m2_rel_error");
+    let mut csv = FigureCsv::create("fig_a3_moment_approx", "case,param,m2_rel_error")?;
     println!("case                 param   m̂₂ relative error");
 
     // Single section: exact.
@@ -51,22 +50,22 @@ fn main() {
         csv.row(&[2.0, asym, e]);
         println!("fig5 asym            a={asym:<4}  {:.4}", e);
     }
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
 
-    shape_check(
-        "eq. 28 is exact for a single section",
-        e_single < 1e-9,
-    );
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check("eq. 28 is exact for a single section", e_single < 1e-9);
+    checks.check(
         "eq. 28 error grows over the first depth doublings (n=2 → 8)",
         line_errs[0] < line_errs[1] && line_errs[1] < line_errs[2],
     );
-    shape_check(
+    checks.check(
         "eq. 28 error grows from balanced to highly asymmetric fig5",
         asym_errs[3] > asym_errs[0],
     );
-    shape_check(
+    checks.check(
         "the approximation stays within a factor-of-2 band everywhere tested",
         line_errs.iter().chain(&asym_errs).all(|&e| e < 1.0),
     );
+
+    conclude("fig_a3_moment_approx", checks)
 }

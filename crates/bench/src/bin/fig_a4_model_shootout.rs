@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use eed::TreeAnalysis;
 use rlc_awe::{awe_at_node, two_pole_at_node, ReducedOrderModel};
-use rlc_bench::{section, shape_check, sim_step_waveform, FigureCsv};
+use rlc_bench::{conclude, section, sim_step_waveform, BenchError, FigureCsv, ShapeChecks};
 use rlc_tree::{topology, NodeId, RlcTree};
 use rlc_units::Time;
 
@@ -26,26 +26,50 @@ struct Case {
 fn corpus() -> Vec<Case> {
     let mut cases = Vec::new();
     let (t, s) = topology::single_line(4, section(40.0, 2.0, 0.3));
-    cases.push(Case { name: "line-moderate", tree: t, sink: s });
+    cases.push(Case {
+        name: "line-moderate",
+        tree: t,
+        sink: s,
+    });
     let (t, s) = topology::single_line(6, section(12.0, 4.0, 0.35));
-    cases.push(Case { name: "line-inductive", tree: t, sink: s });
+    cases.push(Case {
+        name: "line-inductive",
+        tree: t,
+        sink: s,
+    });
     let (t, n) = topology::fig5(section(25.0, 5.0, 0.5));
-    cases.push(Case { name: "fig5-balanced", tree: t, sink: n.n7 });
+    cases.push(Case {
+        name: "fig5-balanced",
+        tree: t,
+        sink: n.n7,
+    });
     let (t, n) = topology::fig5_asymmetric(3.0, section(25.0, 3.0, 0.4));
-    cases.push(Case { name: "fig5-asym3", tree: t, sink: n.n4 });
+    cases.push(Case {
+        name: "fig5-asym3",
+        tree: t,
+        sink: n.n4,
+    });
     let t = topology::balanced_tree(4, 2, section(30.0, 3.0, 0.4));
     let s = t.leaves().next().expect("sinks");
-    cases.push(Case { name: "btree-4lvl", tree: t, sink: s });
+    cases.push(Case {
+        name: "btree-4lvl",
+        tree: t,
+        sink: s,
+    });
     let (t, s) = topology::single_line(8, section(80.0, 0.5, 0.4));
-    cases.push(Case { name: "line-resistive", tree: t, sink: s });
+    cases.push(Case {
+        name: "line-resistive",
+        tree: t,
+        sink: s,
+    });
     cases
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let mut csv = FigureCsv::create(
         "fig_a4_model_shootout",
         "case,zeta,err_wyatt,err_two_pole,err_eed_exact,err_eed_fit,err_awe4",
-    );
+    )?;
     println!(
         "{:<15} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "case", "ζ", "wyatt", "two-pole", "eed", "eed-fit", "awe4"
@@ -117,26 +141,29 @@ fn main() {
         eed_cost,
         awe_cost
     );
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
 
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "Wyatt is the worst model on average",
         acc[0] > acc[1] && acc[0] > acc[2] && acc[0] > acc[4],
     );
-    shape_check(
+    checks.check(
         "AWE(4) is the most accurate on average",
         acc[4] <= acc[1] && acc[4] <= acc[2],
     );
-    shape_check(
+    checks.check(
         "EED tracks the two-pole model (same order of accuracy)",
         acc[2] < 2.5 * acc[1] + 0.01,
     );
-    shape_check(
+    checks.check(
         "the eq. 33 fit costs at most ~3 extra points of mean error",
         (acc[3] - acc[2]).abs() < 0.03,
     );
-    shape_check(
+    checks.check(
         "EED analyzes 4095 nodes in the time AWE spends on a handful",
         eed_cost < awe_cost * 20,
     );
+
+    conclude("fig_a4_model_shootout", checks)
 }

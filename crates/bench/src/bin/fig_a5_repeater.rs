@@ -7,12 +7,12 @@
 //!
 //! Run with: `cargo run -p rlc-bench --bin fig_a5_repeater --release`
 
-use rlc_bench::{shape_check, FigureCsv};
+use rlc_bench::{conclude, BenchError, FigureCsv, ShapeChecks};
 use rlc_opt::repeater::{self, Repeater};
 use rlc_tree::wire::WireModel;
 use rlc_units::Inductance;
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let lib = Repeater::typical_cmos_250nm();
     let rlc_wire = WireModel::CLOCK_SPINE;
     let rc_wire = WireModel::new(
@@ -24,7 +24,7 @@ fn main() {
     let mut csv = FigureCsv::create(
         "fig_a5_repeater",
         "length_um,count_rlc,size_rlc,delay_rlc_ps,count_rc,size_rc,delay_rc_model_ps,delay_rc_plan_on_rlc_ps",
-    );
+    )?;
     println!("length    RLC plan (k, h, delay)        RC plan (k, h)   RC plan cost on RLC wire");
     let mut over_insertion = Vec::new();
     let mut penalty = Vec::new();
@@ -57,18 +57,21 @@ fn main() {
         over_insertion.push(plan_rc.count as i64 - plan_rlc.count as i64);
         penalty.push(rc_plan_cost.as_seconds() / plan_rlc.delay.as_seconds());
     }
-    println!("\nwrote {}", csv.path().display());
+    println!("\nwrote {}", csv.finish()?.display());
 
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "the RC model never calls for fewer repeaters than the RLC model",
         over_insertion.iter().all(|&d| d >= 0),
     );
-    shape_check(
+    checks.check(
         "the RC model over-inserts on at least the longer wires",
         over_insertion.iter().any(|&d| d > 0),
     );
-    shape_check(
+    checks.check(
         "applying the RC plan to the real wire costs delay (≥ the RLC plan)",
         penalty.iter().all(|&p| p >= 0.999),
     );
+
+    conclude("fig_a5_repeater", checks)
 }

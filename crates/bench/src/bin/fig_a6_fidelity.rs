@@ -12,7 +12,7 @@
 //!
 //! Run with: `cargo run -p rlc-bench --bin fig_a6_fidelity --release`
 
-use rlc_bench::{shape_check, FigureCsv};
+use rlc_bench::{conclude, BenchError, FigureCsv, ShapeChecks};
 use rlc_opt::buffering;
 use rlc_opt::repeater::Repeater;
 use rlc_tree::{topology, NodeId, RlcTree};
@@ -58,7 +58,7 @@ fn corpus() -> Vec<(String, RlcTree)> {
     cases
 }
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let lib = Repeater::typical_cmos_250nm();
     let size = 15.0;
     let driver = Resistance::from_ohms(400.0);
@@ -66,7 +66,7 @@ fn main() {
     let mut csv = FigureCsv::create(
         "fig_a6_fidelity",
         "case,elmore_choice_delay_ps,true_optimum_delay_ps,excess_percent,rank",
-    );
+    )?;
     println!("case        Elmore-chosen (RLC-timed)   true RLC optimum   excess   rank/128");
     let mut excesses = Vec::new();
     let mut ranks = Vec::new();
@@ -119,18 +119,18 @@ fn main() {
         mean_excess * 100.0,
         worst_excess * 100.0
     );
-    println!("wrote {}", csv.path().display());
+    println!("wrote {}", csv.finish()?.display());
 
-    shape_check(
+    let mut checks = ShapeChecks::new();
+    checks.check(
         "the Elmore-chosen placement is within 10% of the true RLC optimum on average",
         mean_excess < 0.10,
     );
-    shape_check(
-        "no case exceeds 30% excess",
-        worst_excess < 0.30,
-    );
-    shape_check(
+    checks.check("no case exceeds 30% excess", worst_excess < 0.30);
+    checks.check(
         "the Elmore choice ranks in the top 10% of all 128 placements in most cases",
         ranks.iter().filter(|&&r| r <= 13).count() * 2 > ranks.len(),
     );
+
+    conclude("fig_a6_fidelity", checks)
 }

@@ -1,0 +1,221 @@
+//! Aggregates the per-figure instrumentation reports
+//! (`target/figures/<fig>.metrics.json`, written by the figure binaries
+//! when built with `--features obs`) into a single pipeline-wide summary,
+//! `target/figures/pipeline_summary.json`, and prints the headline
+//! numbers: total simulator steps, tree-sum traversals, and where the
+//! wall-clock time went.
+//!
+//! Run with: `cargo run -p rlc-bench --features obs --bin metrics_summary --release`
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+
+use rlc_bench::{figures_dir, BenchError};
+use rlc_obs::json::{self, Value};
+
+#[derive(Default)]
+struct SpanTotals {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+struct ValueTotals {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for ValueTotals {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+fn io_err(context: &str) -> impl FnOnce(std::io::Error) -> BenchError + '_ {
+    move |source| BenchError::Io {
+        context: context.to_owned(),
+        source,
+    }
+}
+
+fn u64_field(obj: &BTreeMap<String, Value>, key: &str) -> u64 {
+    obj.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn main() -> Result<(), BenchError> {
+    let dir = figures_dir()?;
+    let mut figures = Vec::new();
+    for entry in fs::read_dir(&dir).map_err(io_err("read target/figures"))? {
+        let path = entry.map_err(io_err("read target/figures"))?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_owned(),
+            None => continue,
+        };
+        if let Some(fig) = name.strip_suffix(".metrics.json") {
+            if fig != "pipeline_summary" {
+                figures.push((fig.to_owned(), path));
+            }
+        }
+    }
+    figures.sort();
+    if figures.is_empty() {
+        println!(
+            "no *.metrics.json reports under {} — run the figure binaries \
+             with `--features obs` first (see EXPERIMENTS.md)",
+            dir.display()
+        );
+        return Ok(());
+    }
+
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut values: BTreeMap<String, ValueTotals> = BTreeMap::new();
+    let mut spans: BTreeMap<String, SpanTotals> = BTreeMap::new();
+    let mut parsed: Vec<&str> = Vec::new();
+    for (fig, path) in &figures {
+        let text = fs::read_to_string(path).map_err(io_err("read metrics report"))?;
+        let doc = match json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("skipping {fig}: malformed report ({e})");
+                continue;
+            }
+        };
+        parsed.push(fig);
+        if let Some(obj) = doc.get("counters").and_then(Value::as_object) {
+            for (name, v) in obj {
+                *counters.entry(name.clone()).or_default() += v.as_u64().unwrap_or(0);
+            }
+        }
+        if let Some(obj) = doc.get("values").and_then(Value::as_object) {
+            for (name, v) in obj {
+                if let Some(stat) = v.as_object() {
+                    let entry = values.entry(name.clone()).or_default();
+                    entry.count += u64_field(stat, "count");
+                    entry.sum += stat.get("sum").and_then(Value::as_f64).unwrap_or(0.0);
+                    entry.min = entry
+                        .min
+                        .min(stat.get("min").and_then(Value::as_f64).unwrap_or(f64::NAN));
+                    entry.max = entry
+                        .max
+                        .max(stat.get("max").and_then(Value::as_f64).unwrap_or(f64::NAN));
+                }
+            }
+        }
+        if let Some(obj) = doc.get("spans").and_then(Value::as_object) {
+            for (path, v) in obj {
+                if let Some(stat) = v.as_object() {
+                    let entry = spans.entry(path.clone()).or_default();
+                    entry.count += u64_field(stat, "count");
+                    entry.total_ns += u64_field(stat, "total_ns");
+                    entry.self_ns += u64_field(stat, "self_ns");
+                }
+            }
+        }
+    }
+
+    println!(
+        "pipeline summary over {} figure report(s): {}",
+        parsed.len(),
+        parsed.join(", ")
+    );
+    println!("\ncounters (summed across figures):");
+    for (name, total) in &counters {
+        println!("  {name:<42} {total}");
+    }
+    if !values.is_empty() {
+        println!("\nvalue stats (merged across figures):");
+        for (name, v) in &values {
+            println!(
+                "  {name:<42} count {:<7} mean {:<12.4e} min {:<12.4e} max {:.4e}",
+                v.count,
+                if v.count > 0 {
+                    v.sum / v.count as f64
+                } else {
+                    0.0
+                },
+                v.min,
+                v.max
+            );
+        }
+    }
+    println!("\nspans (wall time summed across figures):");
+    for (path, t) in &spans {
+        println!(
+            "  {path:<42} count {:<7} total {:<12} self {}",
+            t.count,
+            format_ns(t.total_ns),
+            format_ns(t.self_ns)
+        );
+    }
+
+    // Machine-readable aggregate, same shape as the per-figure reports
+    // plus a `figures` list.
+    let out_path = dir.join("pipeline_summary.json");
+    let mut out = String::from("{\n  \"schema\": \"rlc-obs/1\",\n  \"figures\": [");
+    for (k, fig) in parsed.iter().enumerate() {
+        if k > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json::quote(fig));
+    }
+    out.push_str("],\n  \"counters\": {");
+    for (k, (name, total)) in counters.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {total}", json::quote(name)));
+    }
+    out.push_str("\n  },\n  \"values\": {");
+    for (k, (name, v)) in values.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+            json::quote(name),
+            v.count,
+            json::number(v.sum),
+            json::number(v.min),
+            json::number(v.max)
+        ));
+    }
+    out.push_str("\n  },\n  \"spans\": {");
+    for (k, (path, t)) in spans.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {}: {{\"count\": {}, \"total_ns\": {}, \"self_ns\": {}}}",
+            json::quote(path),
+            t.count,
+            t.total_ns,
+            t.self_ns
+        ));
+    }
+    out.push_str("\n  }\n}\n");
+    let mut file = fs::File::create(&out_path).map_err(io_err("create pipeline_summary.json"))?;
+    file.write_all(out.as_bytes())
+        .map_err(io_err("write pipeline_summary.json"))?;
+    println!("\nwrote {}", out_path.display());
+    Ok(())
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}

@@ -62,8 +62,10 @@ impl TreeAnalysis {
     /// requires zero-impedance paths or a capacitance-free subtree) get no
     /// model; query them with [`try_model`](Self::try_model).
     pub fn new(tree: &RlcTree) -> Self {
+        let _span = rlc_obs::span!("eed.analysis");
+        rlc_obs::counter!("eed.analysis.calls");
         let sums = rlc_moments::tree_sums(tree);
-        let models = tree
+        let models: Vec<Option<SecondOrderModel>> = tree
             .node_ids()
             .map(|id| {
                 let rc = sums.rc(id);
@@ -75,6 +77,10 @@ impl TreeAnalysis {
                 }
             })
             .collect();
+        rlc_obs::counter!(
+            "eed.analysis.models_built",
+            models.iter().flatten().count() as u64
+        );
         Self {
             sums,
             models,
@@ -299,9 +305,7 @@ mod tests {
         assert_eq!(timings.len(), 8);
         // Balanced: all sink delays identical.
         for pair in timings.windows(2) {
-            assert!(
-                (pair[0].delay_50.as_seconds() - pair[1].delay_50.as_seconds()).abs() < 1e-20
-            );
+            assert!((pair[0].delay_50.as_seconds() - pair[1].delay_50.as_seconds()).abs() < 1e-20);
         }
         for t in &timings {
             assert!(t.rise_time > t.delay_50);

@@ -77,18 +77,14 @@ impl SecondOrderModel {
     /// models.
     pub fn bandwidth_3db(&self) -> AngularFrequency {
         match self.damping() {
-            Damping::FirstOrder => {
-                AngularFrequency::from_radians_per_second(
-                    1.0 / self.elmore_time_constant().as_seconds(),
-                )
-            }
+            Damping::FirstOrder => AngularFrequency::from_radians_per_second(
+                1.0 / self.elmore_time_constant().as_seconds(),
+            ),
             _ => {
                 let zeta = self.zeta();
                 let a = 1.0 - 2.0 * zeta * zeta;
                 let wn = self.omega_n().as_radians_per_second();
-                AngularFrequency::from_radians_per_second(
-                    wn * (a + (a * a + 1.0).sqrt()).sqrt(),
-                )
+                AngularFrequency::from_radians_per_second(wn * (a + (a * a + 1.0).sqrt()).sqrt())
             }
         }
     }
@@ -182,9 +178,7 @@ mod tests {
             );
         }
         let fo = first_order(2.0);
-        assert!(
-            (fo.magnitude(fo.bandwidth_3db()) - core::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9
-        );
+        assert!((fo.magnitude(fo.bandwidth_3db()) - core::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
     }
 
     #[test]

@@ -28,6 +28,7 @@ impl SecondOrderModel {
     /// assert!((fitted.as_seconds() - exact.as_seconds()).abs() / exact.as_seconds() < 0.04);
     /// ```
     pub fn delay_50(&self) -> Time {
+        rlc_obs::counter!("eed.metrics.delay_50.evals");
         match self.damping() {
             Damping::FirstOrder => self.wyatt_delay_50(),
             _ => self.unscale_time(fitted::delay_50_scaled(self.zeta())),
@@ -43,6 +44,7 @@ impl SecondOrderModel {
     /// The 10–90% rise time via the continuous fitted formula
     /// (paper eqs. 34 and 36).
     pub fn rise_time(&self) -> Time {
+        rlc_obs::counter!("eed.metrics.rise_time.evals");
         match self.damping() {
             Damping::FirstOrder => self.wyatt_rise_time(),
             _ => self.unscale_time(fitted::rise_time_scaled(self.zeta())),
@@ -112,9 +114,7 @@ impl SecondOrderModel {
     pub fn overshoot_time(&self, n: u32) -> Option<Time> {
         assert!(n >= 1, "extrema are numbered from 1");
         let omega_d = self.omega_d()?;
-        Some(
-            omega_d.period_time() * (n as f64 * core::f64::consts::PI),
-        )
+        Some(omega_d.period_time() * (n as f64 * core::f64::consts::PI))
     }
 
     /// The maximum overshoot as a fraction of the final value —
@@ -241,9 +241,7 @@ mod tests {
             let os = m.overshoot(n).unwrap();
             let t_n = m.overshoot_time(n).unwrap();
             // eq. 40: t_n = nπ/ωd (ω_n = 1 here).
-            assert!(
-                (t_n.as_seconds() - n as f64 * core::f64::consts::PI / wd).abs() < 1e-12
-            );
+            assert!((t_n.as_seconds() - n as f64 * core::f64::consts::PI / wd).abs() < 1e-12);
             // The response at t_n deviates from 1 by exactly the overshoot.
             let y = unit_step_scaled(zeta, t_n.as_seconds());
             assert!(

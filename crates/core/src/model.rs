@@ -375,15 +375,11 @@ mod tests {
 
     #[test]
     fn critical_band_is_tight() {
-        let just_under = SecondOrderModel::new(
-            1.0 - 1e-3,
-            AngularFrequency::from_radians_per_second(1.0),
-        );
+        let just_under =
+            SecondOrderModel::new(1.0 - 1e-3, AngularFrequency::from_radians_per_second(1.0));
         assert_eq!(just_under.damping(), Damping::Underdamped);
-        let just_over = SecondOrderModel::new(
-            1.0 + 1e-3,
-            AngularFrequency::from_radians_per_second(1.0),
-        );
+        let just_over =
+            SecondOrderModel::new(1.0 + 1e-3, AngularFrequency::from_radians_per_second(1.0));
         assert_eq!(just_over.damping(), Damping::Overdamped);
         let exactly = SecondOrderModel::new(1.0, AngularFrequency::from_radians_per_second(1.0));
         assert_eq!(exactly.damping(), Damping::CriticallyDamped);

@@ -306,7 +306,9 @@ mod tests {
         for &zeta in &[0.3, 1.0, 1.7] {
             let m = model(zeta);
             let tau = Time::from_seconds(2.0);
-            let times: Vec<Time> = (1..=40).map(|k| Time::from_seconds(k as f64 * 0.25)).collect();
+            let times: Vec<Time> = (1..=40)
+                .map(|k| Time::from_seconds(k as f64 * 0.25))
+                .collect();
             let sim = m.simulate_input(
                 |t| 1.0 - (-t.as_seconds() / 2.0).exp(),
                 &times,
@@ -329,8 +331,8 @@ mod tests {
         let m = first_order(3.0);
         let tau_in = 1.5;
         for &t in &[0.5, 2.0, 6.0] {
-            let expect = 1.0
-                - (3.0 * (-t / 3.0f64).exp() - tau_in * (-t / tau_in).exp()) / (3.0 - tau_in);
+            let expect =
+                1.0 - (3.0 * (-t / 3.0f64).exp() - tau_in * (-t / tau_in).exp()) / (3.0 - tau_in);
             let got = m.exp_input_response(Time::from_seconds(tau_in), Time::from_seconds(t));
             assert!((got - expect).abs() < 1e-9, "t={t}: {got} vs {expect}");
         }
@@ -359,7 +361,10 @@ mod tests {
         let yc = model(1.0).exp_input_response(tau, t);
         let yu = model(0.999).exp_input_response(tau, t);
         let yo = model(1.001).exp_input_response(tau, t);
-        assert!((yc - yu).abs() < 1e-3 && (yc - yo).abs() < 1e-3, "{yu} {yc} {yo}");
+        assert!(
+            (yc - yu).abs() < 1e-3 && (yc - yo).abs() < 1e-3,
+            "{yu} {yc} {yo}"
+        );
     }
 
     #[test]
@@ -390,7 +395,9 @@ mod tests {
     fn ramp_response_matches_rk4() {
         let m = model(0.6);
         let t_rise = Time::from_seconds(3.0);
-        let times: Vec<Time> = (1..=40).map(|k| Time::from_seconds(k as f64 * 0.3)).collect();
+        let times: Vec<Time> = (1..=40)
+            .map(|k| Time::from_seconds(k as f64 * 0.3))
+            .collect();
         let sim = m.simulate_input(
             |t| (t.as_seconds() / 3.0).min(1.0),
             &times,
@@ -416,13 +423,12 @@ mod tests {
     fn rk4_reproduces_closed_form_step() {
         for &zeta in &[0.25, 1.0, 3.0] {
             let m = model(zeta);
-            let times: Vec<Time> = (1..=30).map(|k| Time::from_seconds(k as f64 * 0.4)).collect();
+            let times: Vec<Time> = (1..=30)
+                .map(|k| Time::from_seconds(k as f64 * 0.4))
+                .collect();
             let sim = m.simulate_input(|_| 1.0, &times, Time::from_seconds(0.002));
             for (t, y) in times.iter().zip(&sim) {
-                assert!(
-                    (y - m.unit_step(*t)).abs() < 1e-6,
-                    "ζ={zeta} t={t}"
-                );
+                assert!((y - m.unit_step(*t)).abs() < 1e-6, "ζ={zeta} t={t}");
             }
         }
     }

@@ -84,7 +84,9 @@ mod tests {
         assert!(NumericError::DimensionMismatch { context: "x" }
             .to_string()
             .contains("x"));
-        assert!(NumericError::Degenerate { context: "y" }.to_string().contains("y"));
+        assert!(NumericError::Degenerate { context: "y" }
+            .to_string()
+            .contains("y"));
     }
 
     #[test]

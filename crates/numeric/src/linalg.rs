@@ -93,11 +93,7 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length must match columns");
         (0..self.rows)
-            .map(|i| {
-                (0..self.cols)
-                    .map(|j| self[(i, j)] * x[j])
-                    .sum()
-            })
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum())
             .collect()
     }
 
@@ -484,8 +480,8 @@ mod tests {
 
     #[test]
     fn solve_3x3_known_solution() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12);
         assert!((x[1] - 3.0).abs() < 1e-12);
@@ -539,7 +535,9 @@ mod tests {
         // Deterministic pseudo-random matrix (LCG) — no rand dependency here.
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let n = 8;
@@ -610,8 +608,8 @@ mod tests {
 
     #[test]
     fn lu_factor_once_solve_many() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let lu = a.lu().unwrap();
         assert_eq!(lu.order(), 3);
         // Two different right-hand sides against the one-shot solver.

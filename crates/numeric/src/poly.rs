@@ -301,7 +301,11 @@ mod tests {
     fn quadratic_avoids_cancellation() {
         // x² − 1e8 x + 1: roots ~1e8 and ~1e-8.
         let [r1, r2] = quadratic_roots(1.0, -1e8, 1.0);
-        let (small, big) = if r1.re < r2.re { (r1.re, r2.re) } else { (r2.re, r1.re) };
+        let (small, big) = if r1.re < r2.re {
+            (r1.re, r2.re)
+        } else {
+            (r2.re, r1.re)
+        };
         assert!((big - 1e8).abs() / 1e8 < 1e-12);
         assert!((small - 1e-8).abs() / 1e-8 < 1e-6);
     }

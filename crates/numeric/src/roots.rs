@@ -97,6 +97,7 @@ pub fn brent<F: FnMut(f64) -> f64>(
     if fa.signum() == fb.signum() {
         return Err(NumericError::NoSignChange { a, b });
     }
+    rlc_obs::counter!("numeric.brent.calls");
     if fa.abs() < fb.abs() {
         core::mem::swap(&mut a, &mut b);
         core::mem::swap(&mut fa, &mut fb);
@@ -106,8 +107,9 @@ pub fn brent<F: FnMut(f64) -> f64>(
     let mut d = b - a;
     let mut mflag = true;
 
-    for _ in 0..max_iter {
+    for iter in 0..max_iter {
         if fb == 0.0 || (b - a).abs() < tol {
+            rlc_obs::counter!("numeric.brent.iterations", iter as u64);
             return Ok(b);
         }
         let mut s = if fa != fc && fb != fc {
@@ -156,6 +158,7 @@ pub fn brent<F: FnMut(f64) -> f64>(
             core::mem::swap(&mut fa, &mut fb);
         }
     }
+    rlc_obs::counter!("numeric.brent.iterations", max_iter as u64);
     Err(NumericError::NoConvergence {
         iterations: max_iter,
     })
@@ -209,10 +212,12 @@ where
     if flo.signum() == fhi.signum() {
         return Err(NumericError::NoSignChange { a, b });
     }
+    rlc_obs::counter!("numeric.newton.calls");
     let mut x = x0.clamp(lo.min(hi), lo.max(hi));
-    for _ in 0..max_iter {
+    for iter in 0..max_iter {
         let fx = f(x);
         if fx == 0.0 {
+            rlc_obs::counter!("numeric.newton.iterations", iter as u64);
             return Ok(x);
         }
         // Maintain the bracket.
@@ -222,6 +227,7 @@ where
             hi = x;
         }
         if (hi - lo).abs() < tol {
+            rlc_obs::counter!("numeric.newton.iterations", iter as u64);
             return Ok(0.5 * (lo + hi));
         }
         let dfx = df(x);
@@ -233,6 +239,7 @@ where
             0.5 * (lo + hi)
         };
     }
+    rlc_obs::counter!("numeric.newton.iterations", max_iter as u64);
     Err(NumericError::NoConvergence {
         iterations: max_iter,
     })
@@ -348,14 +355,25 @@ mod tests {
         )
         .unwrap();
         assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
-        assert!(evals < 12, "expected Newton-rate convergence, used {evals} evals");
+        assert!(
+            evals < 12,
+            "expected Newton-rate convergence, used {evals} evals"
+        );
     }
 
     #[test]
     fn newton_survives_zero_derivative() {
         // df is zero at the starting point; must fall back to bisection.
-        let r = newton_bracketed(|x| x * x * x - 1.0, |x| 3.0 * x * x, 0.0, -1.0, 2.0, 1e-13, 200)
-            .unwrap();
+        let r = newton_bracketed(
+            |x| x * x * x - 1.0,
+            |x| 3.0 * x * x,
+            0.0,
+            -1.0,
+            2.0,
+            1e-13,
+            200,
+        )
+        .unwrap();
         assert!((r - 1.0).abs() < 1e-10);
     }
 

@@ -1,0 +1,162 @@
+//! Behavioral tests for the instrumentation layer under both feature
+//! configurations. Run as `cargo test -p rlc-obs` (no-op path) and
+//! `cargo test -p rlc-obs --features obs` (recording path).
+//!
+//! Tests share the process-global registry and run concurrently, so each
+//! test uses metric names unique to itself and never calls `reset`.
+
+#[cfg(feature = "obs")]
+use std::time::Duration;
+
+#[cfg(feature = "obs")]
+#[test]
+fn counters_are_exact() {
+    rlc_obs::counter!("test.exact.a");
+    rlc_obs::counter!("test.exact.a", 9);
+    rlc_obs::counter!("test.exact.b", 3u32);
+    let snap = rlc_obs::snapshot();
+    assert_eq!(snap.counter("test.exact.a"), Some(10));
+    assert_eq!(snap.counter("test.exact.b"), Some(3));
+    assert_eq!(snap.counter("test.exact.absent"), None);
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn values_aggregate_count_sum_min_max() {
+    for v in [2.0, -1.0, 5.0, 2.0] {
+        rlc_obs::value!("test.values.residual", v);
+    }
+    let snap = rlc_obs::snapshot();
+    let stat = snap.value("test.values.residual").expect("recorded");
+    assert_eq!(stat.count, 4);
+    assert_eq!(stat.sum, 8.0);
+    assert_eq!(stat.min, -1.0);
+    assert_eq!(stat.max, 5.0);
+    assert_eq!(stat.mean(), 2.0);
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn span_nesting_builds_paths_and_attributes_self_time() {
+    {
+        let _outer = rlc_obs::span!("test.nest.outer");
+        std::thread::sleep(Duration::from_millis(5));
+        {
+            let _inner = rlc_obs::span!("test.nest.inner");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        {
+            let _inner = rlc_obs::span!("test.nest.inner");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let snap = rlc_obs::snapshot();
+
+    let outer = snap.span("test.nest.outer").expect("outer span recorded");
+    let inner = snap
+        .span("test.nest.outer/test.nest.inner")
+        .expect("child recorded under parent path");
+    assert!(
+        snap.span("test.nest.inner").is_none(),
+        "child must not appear as a root span"
+    );
+
+    assert_eq!(outer.count, 1);
+    assert_eq!(inner.count, 2);
+    // Parent wall time covers both child entries plus its own ~5 ms.
+    assert!(outer.total_ns >= inner.total_ns);
+    assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+    assert!(
+        outer.self_ns >= 4_000_000,
+        "self time should retain the parent's own sleep, got {} ns",
+        outer.self_ns
+    );
+    // Leaf spans keep all their time.
+    assert_eq!(inner.self_ns, inner.total_ns);
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn sibling_threads_do_not_nest_into_each_other() {
+    let _outer = rlc_obs::span!("test.threads.outer");
+    std::thread::spawn(|| {
+        let _inner = rlc_obs::span!("test.threads.worker");
+        std::thread::sleep(Duration::from_millis(1));
+    })
+    .join()
+    .unwrap();
+    drop(_outer);
+
+    let snap = rlc_obs::snapshot();
+    assert!(
+        snap.span("test.threads.worker").is_some(),
+        "a span opened on another thread is a root span there"
+    );
+    assert!(snap
+        .span("test.threads.outer/test.threads.worker")
+        .is_none());
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn report_json_is_parseable_and_contains_recorded_names() {
+    rlc_obs::counter!("test.report.widgets", 2);
+    let _s = rlc_obs::span!("test.report.span");
+    drop(_s);
+    let snap = rlc_obs::snapshot();
+    let doc = rlc_obs::json::parse(&snap.to_json()).expect("snapshot JSON must parse");
+    assert_eq!(
+        doc.get("schema").and_then(rlc_obs::json::Value::as_str),
+        Some("rlc-obs/1")
+    );
+    let counters = doc.get("counters").expect("counters object");
+    assert_eq!(
+        counters
+            .get("test.report.widgets")
+            .and_then(rlc_obs::json::Value::as_u64),
+        Some(2)
+    );
+    let spans = doc.get("spans").expect("spans object");
+    assert!(spans.get("test.report.span").is_some());
+}
+
+#[cfg(not(feature = "obs"))]
+#[test]
+fn macros_are_noops_with_feature_off() {
+    // All three macros must compile and evaluate their arguments without
+    // creating any registry entries.
+    let mut evaluated = 0u64;
+    rlc_obs::counter!("test.noop.counter");
+    rlc_obs::counter!("test.noop.counter", {
+        evaluated += 1;
+        42
+    });
+    rlc_obs::value!("test.noop.value", {
+        evaluated += 1;
+        1.5
+    });
+    {
+        let _span = rlc_obs::span!("test.noop.span");
+        let _nested = rlc_obs::span!("test.noop.nested");
+    }
+    assert_eq!(evaluated, 2, "macro arguments are still evaluated");
+
+    assert!(!rlc_obs::enabled());
+    let snap = rlc_obs::snapshot();
+    assert!(snap.is_empty(), "registry must stay empty: {snap:?}");
+    assert_eq!(
+        std::mem::size_of::<rlc_obs::Span>(),
+        0,
+        "no-op guard is zero-sized"
+    );
+}
+
+#[test]
+fn snapshot_is_consistent_with_enabled() {
+    rlc_obs::counter!("test.consistency.marker");
+    let snap = rlc_obs::snapshot();
+    assert_eq!(
+        snap.counter("test.consistency.marker").is_some(),
+        rlc_obs::enabled()
+    );
+}

@@ -310,8 +310,7 @@ pub fn evaluate(
         // expansion; buffered attachment points become c_in loads and
         // spawn follow-up stages.
         let mut stage = RlcTree::new();
-        let expand_root =
-            |r: &NodeId| job.driver_is_roots_buffer || !is_buf[r.index()];
+        let expand_root = |r: &NodeId| job.driver_is_roots_buffer || !is_buf[r.index()];
         let buffered_at_driver: Vec<NodeId> = job
             .roots
             .iter()
@@ -387,10 +386,7 @@ pub fn evaluate(
 fn buffer_flags(tree: &RlcTree, buffers: &[NodeId]) -> Vec<bool> {
     let mut flags = vec![false; tree.len()];
     for &b in buffers {
-        assert!(
-            b.index() < tree.len(),
-            "buffer node {b} is not in the tree"
-        );
+        assert!(b.index() < tree.len(), "buffer node {b} is not in the tree");
         flags[b.index()] = true;
     }
     flags
@@ -454,8 +450,7 @@ mod tests {
             best = best.min(d);
         }
         assert!(
-            (sol.elmore_delay.as_seconds() - best.as_seconds()).abs()
-                <= 1e-9 * best.as_seconds(),
+            (sol.elmore_delay.as_seconds() - best.as_seconds()).abs() <= 1e-9 * best.as_seconds(),
             "DP {} vs exhaustive {}",
             sol.elmore_delay,
             best
@@ -480,8 +475,7 @@ mod tests {
             best = best.min(elmore_delay_of(&tree, &set, driver, &lib(), size));
         }
         assert!(
-            (sol.elmore_delay.as_seconds() - best.as_seconds()).abs()
-                <= 1e-9 * best.as_seconds(),
+            (sol.elmore_delay.as_seconds() - best.as_seconds()).abs() <= 1e-9 * best.as_seconds(),
             "DP {} vs exhaustive {}",
             sol.elmore_delay,
             best

@@ -92,9 +92,8 @@ mod tests {
 
     #[test]
     fn clock_spine_has_wide_window_for_fast_edges() {
-        let (lo, hi) =
-            inductance_window(&WireModel::CLOCK_SPINE, Time::from_picoseconds(30.0))
-                .expect("window exists");
+        let (lo, hi) = inductance_window(&WireModel::CLOCK_SPINE, Time::from_picoseconds(30.0))
+            .expect("window exists");
         assert!(lo < hi);
         // Millimetre-scale clock routes land inside the window.
         assert!(is_inductance_significant(
@@ -124,7 +123,10 @@ mod tests {
         let (lo_slow, hi_slow) =
             inductance_window(&wire, Time::from_picoseconds(50.0)).expect("window");
         assert!(lo_fast < lo_slow, "faster edge lowers the minimum length");
-        assert!((hi_fast - hi_slow).abs() < 1e-9, "upper limit is rise-time independent");
+        assert!(
+            (hi_fast - hi_slow).abs() < 1e-9,
+            "upper limit is rise-time independent"
+        );
         // Slow enough edges close the window entirely.
         assert!(inductance_window(&wire, Time::from_picoseconds(200.0)).is_none());
     }
@@ -152,7 +154,10 @@ mod tests {
             let sink = wire.route(&mut tree, None, len, 8);
             TreeAnalysis::new(&tree).model(sink).zeta()
         };
-        assert!(zeta_at((lo * hi).sqrt()) < 1.0, "inside the window: ringing");
+        assert!(
+            zeta_at((lo * hi).sqrt()) < 1.0,
+            "inside the window: ringing"
+        );
         assert!(zeta_at(hi * 4.0) > 1.0, "far beyond: overdamped");
     }
 

@@ -110,7 +110,12 @@ pub fn stage_delay(wire: &WireModel, stage_len_um: f64, h: f64, lib: &Repeater) 
     // node (inductance of the device itself is negligible).
     let driver = rlc_tree::RlcSection::rc(lib.resistance / h, lib.output_capacitance * h);
     let driver_node = tree.add_root_section(driver);
-    let far = wire.route(&mut tree, Some(driver_node), stage_len_um, SEGMENTS_PER_STAGE);
+    let far = wire.route(
+        &mut tree,
+        Some(driver_node),
+        stage_len_um,
+        SEGMENTS_PER_STAGE,
+    );
     let sec = tree.section_mut(far);
     *sec = sec.with_added_capacitance(lib.input_capacitance * h);
     TreeAnalysis::new(&tree).delay_50(far)
@@ -121,13 +126,7 @@ pub fn stage_delay(wire: &WireModel, stage_len_um: f64, h: f64, lib: &Repeater) 
 /// # Panics
 ///
 /// Same conditions as [`stage_delay`]; additionally `count ≥ 1`.
-pub fn total_delay(
-    wire: &WireModel,
-    length_um: f64,
-    count: usize,
-    h: f64,
-    lib: &Repeater,
-) -> Time {
+pub fn total_delay(wire: &WireModel, length_um: f64, count: usize, h: f64, lib: &Repeater) -> Time {
     assert!(count >= 1, "at least one driving stage is required");
     stage_delay(wire, length_um / count as f64, h, lib) * count as f64
 }
@@ -328,8 +327,7 @@ mod tests {
             rlc_units::Time::from_seconds(model_delay.as_seconds() / 300.0),
             rlc_units::Time::from_seconds(model_delay.as_seconds() * 40.0),
         );
-        let wave =
-            &rlc_sim::simulate(&tree, &rlc_sim::Source::step(1.0), &options, &[far])[0];
+        let wave = &rlc_sim::simulate(&tree, &rlc_sim::Source::step(1.0), &options, &[far])[0];
         let sim = wave.delay_50(1.0).expect("crosses 50%");
         let err = ((model_delay - sim).as_seconds() / sim.as_seconds()).abs();
         assert!(err < 0.15, "stage delay error {err}");

@@ -98,7 +98,11 @@ mod tests {
         let wire = WireModel::MINIMUM_WIDTH_SIGNAL;
         let load = Capacitance::from_femtofarads(LOAD);
         let best = optimal_width(&wire, 3000.0, load, 1.0, 64.0);
-        assert!(best.width > 1.5 && best.width < 60.0, "width {}", best.width);
+        assert!(
+            best.width > 1.5 && best.width < 60.0,
+            "width {}",
+            best.width
+        );
         // The optimum beats both extremes.
         let narrow = sized_delay(&wire, 1.0, 3000.0, load, 8);
         let wide = sized_delay(&wire, 64.0, 3000.0, load, 8);

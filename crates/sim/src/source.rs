@@ -200,10 +200,7 @@ mod tests {
 
     #[test]
     fn pwl_with_zero_time_first_point() {
-        let s = Source::piecewise_linear(vec![
-            (Time::ZERO, 1.0),
-            (Time::from_seconds(1.0), 2.0),
-        ]);
+        let s = Source::piecewise_linear(vec![(Time::ZERO, 1.0), (Time::from_seconds(1.0), 2.0)]);
         assert_eq!(s.value_at(Time::ZERO), 1.0);
     }
 

@@ -230,6 +230,10 @@ pub fn simulate(
             "observed node {id} is not in the tree"
         );
     }
+    let _span = rlc_obs::span!("sim.simulate");
+    rlc_obs::counter!("sim.calls");
+    rlc_obs::counter!("sim.sections", tree.len() as u64);
+    let setup_span = rlc_obs::span!("setup");
     let n = tree.len();
     let h = options.dt.as_seconds();
     let trapezoidal = options.integration == Integration::Trapezoidal;
@@ -262,8 +266,8 @@ pub fn simulate(
     let init = consistent_initial_state(tree, input_at_zero_plus(source));
     let mut v = init.v; // node voltages
     let mut i_br = init.i_br; // branch currents
-    // Inductor-voltage and capacitor-current histories are trapezoidal
-    // companion state; backward Euler's companions use only (v, i).
+                              // Inductor-voltage and capacitor-current histories are trapezoidal
+                              // companion state; backward Euler's companions use only (v, i).
     let mut v_l = if trapezoidal { init.v_l } else { vec![0.0; n] };
     let mut i_c = if trapezoidal { init.i_c } else { vec![0.0; n] };
 
@@ -282,7 +286,9 @@ pub fn simulate(
     for (slot, &id) in observe.iter().enumerate() {
         recorded[slot].push(v[id.index()]);
     }
+    drop(setup_span);
 
+    let stepping_span = rlc_obs::span!("stepping");
     for step in 1..=steps {
         let t_next = Time::from_seconds(step as f64 * h);
         let u = source.value_at(t_next);
@@ -330,6 +336,8 @@ pub fn simulate(
             recorded[slot].push(v[id.index()]);
         }
     }
+    drop(stepping_span);
+    rlc_obs::counter!("sim.steps", steps as u64);
 
     recorded
         .into_iter()
@@ -392,10 +400,7 @@ mod tests {
             for &t in &[0.5, 1.5, 3.0, 8.0, 20.0] {
                 let exact = exact_single_section(r, l, c, t);
                 let got = w.sample_at(Time::from_seconds(t));
-                assert!(
-                    (got - exact).abs() < 5e-5,
-                    "R={r}: t={t}: {got} vs {exact}"
-                );
+                assert!((got - exact).abs() < 5e-5, "R={r}: t={t}: {got} vs {exact}");
             }
         }
     }
@@ -432,8 +437,8 @@ mod tests {
         let (tree, sink) = topology::single_line(3, s(20.0, 1e-9, 0.3e-12));
         let fine = Time::from_femtoseconds(50.0);
         let opts_tr = SimOptions::new(fine, Time::from_nanoseconds(3.0));
-        let opts_be =
-            SimOptions::new(fine, Time::from_nanoseconds(3.0)).with_integration(Integration::BackwardEuler);
+        let opts_be = SimOptions::new(fine, Time::from_nanoseconds(3.0))
+            .with_integration(Integration::BackwardEuler);
         let w_tr = &simulate(&tree, &Source::step(1.0), &opts_tr, &[sink])[0];
         let w_be = &simulate(&tree, &Source::step(1.0), &opts_be, &[sink])[0];
         assert!(w_tr.max_abs_difference(w_be) < 5e-3);

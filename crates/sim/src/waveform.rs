@@ -94,9 +94,7 @@ impl Waveform {
             return self.last_value();
         }
         // Binary search for the bracketing interval.
-        let idx = self
-            .times
-            .partition_point(|&sample_t| sample_t <= t);
+        let idx = self.times.partition_point(|&sample_t| sample_t <= t);
         let (t0, t1) = (self.times[idx - 1], self.times[idx]);
         let (v0, v1) = (self.values[idx - 1], self.values[idx]);
         let frac = (t - t0).as_seconds() / (t1 - t0).as_seconds();
@@ -277,10 +275,7 @@ mod tests {
         let t = w.first_rising_crossing(0.55).unwrap();
         assert!((t.as_seconds() - 5.5).abs() < 1e-12);
         assert_eq!(w.delay_50(1.0).unwrap(), Time::from_seconds(5.0));
-        assert_eq!(
-            w.rise_time_10_90(1.0).unwrap(),
-            Time::from_seconds(8.0)
-        );
+        assert_eq!(w.rise_time_10_90(1.0).unwrap(), Time::from_seconds(8.0));
     }
 
     #[test]
@@ -295,7 +290,10 @@ mod tests {
             vec![Time::from_seconds(1.0), Time::from_seconds(2.0)],
             vec![0.8, 0.9],
         );
-        assert_eq!(w.first_rising_crossing(0.5).unwrap(), Time::from_seconds(1.0));
+        assert_eq!(
+            w.first_rising_crossing(0.5).unwrap(),
+            Time::from_seconds(1.0)
+        );
     }
 
     #[test]
@@ -326,7 +324,10 @@ mod tests {
         let times: Vec<Time> = (0..7).map(|k| Time::from_seconds(k as f64)).collect();
         let w = Waveform::new(times, vec![0.0, 0.9, 1.3, 0.85, 1.05, 0.98, 1.0]);
         let ts = w.settling_time(1.0, 0.1).unwrap();
-        assert!(ts > Time::from_seconds(3.0) && ts <= Time::from_seconds(4.0), "{ts}");
+        assert!(
+            ts > Time::from_seconds(3.0) && ts <= Time::from_seconds(4.0),
+            "{ts}"
+        );
     }
 
     #[test]
@@ -354,10 +355,7 @@ mod tests {
         let d = output.delay_50_from(&input, 1.0).unwrap();
         assert!((d.as_seconds() - 3.0).abs() < 1e-9);
         // Missing crossings yield None.
-        let flat = Waveform::new(
-            vec![Time::ZERO, Time::from_seconds(1.0)],
-            vec![0.0, 0.1],
-        );
+        let flat = Waveform::new(vec![Time::ZERO, Time::from_seconds(1.0)], vec![0.0, 0.1]);
         assert_eq!(flat.delay_50_from(&input, 1.0), None);
     }
 
@@ -375,7 +373,9 @@ mod tests {
     fn max_abs_difference_of_shifted_waves() {
         let w = ramp_wave();
         let times: Vec<Time> = (0..=20).map(|k| Time::from_seconds(k as f64)).collect();
-        let values: Vec<f64> = (0..=20).map(|k| (k as f64 / 10.0).min(1.0) + 0.05).collect();
+        let values: Vec<f64> = (0..=20)
+            .map(|k| (k as f64 / 10.0).min(1.0) + 0.05)
+            .collect();
         let shifted = Waveform::new(times, values);
         assert!((w.max_abs_difference(&shifted) - 0.05).abs() < 1e-12);
         assert_eq!(w.max_abs_difference(&w.clone()), 0.0);

@@ -31,16 +31,30 @@ fn trapezoidal_is_second_order_accurate() {
     let (tree, sink) = topology::single_line(3, section(30.0, 2.0, 0.3));
     let probe = Time::from_picoseconds(200.0);
     let exact = reference(&tree, sink, probe);
-    let e1 = (value_at(&tree, sink, probe, Time::from_picoseconds(2.0), Integration::Trapezoidal)
-        - exact)
+    let e1 = (value_at(
+        &tree,
+        sink,
+        probe,
+        Time::from_picoseconds(2.0),
+        Integration::Trapezoidal,
+    ) - exact)
         .abs();
-    let e2 = (value_at(&tree, sink, probe, Time::from_picoseconds(1.0), Integration::Trapezoidal)
-        - exact)
+    let e2 = (value_at(
+        &tree,
+        sink,
+        probe,
+        Time::from_picoseconds(1.0),
+        Integration::Trapezoidal,
+    ) - exact)
         .abs();
-    let e4 =
-        (value_at(&tree, sink, probe, Time::from_picoseconds(0.5), Integration::Trapezoidal)
-            - exact)
-            .abs();
+    let e4 = (value_at(
+        &tree,
+        sink,
+        probe,
+        Time::from_picoseconds(0.5),
+        Integration::Trapezoidal,
+    ) - exact)
+        .abs();
     let r12 = e1 / e2;
     let r24 = e2 / e4;
     assert!(
@@ -54,11 +68,21 @@ fn backward_euler_is_first_order_accurate() {
     let (tree, sink) = topology::single_line(3, section(30.0, 2.0, 0.3));
     let probe = Time::from_picoseconds(200.0);
     let exact = reference(&tree, sink, probe);
-    let e1 = (value_at(&tree, sink, probe, Time::from_picoseconds(2.0), Integration::BackwardEuler)
-        - exact)
+    let e1 = (value_at(
+        &tree,
+        sink,
+        probe,
+        Time::from_picoseconds(2.0),
+        Integration::BackwardEuler,
+    ) - exact)
         .abs();
-    let e2 = (value_at(&tree, sink, probe, Time::from_picoseconds(1.0), Integration::BackwardEuler)
-        - exact)
+    let e2 = (value_at(
+        &tree,
+        sink,
+        probe,
+        Time::from_picoseconds(1.0),
+        Integration::BackwardEuler,
+    ) - exact)
         .abs();
     let ratio = e1 / e2;
     assert!(
@@ -122,9 +146,7 @@ fn backward_euler_damps_trapezoidal_ringing_artifacts() {
     let (tree, sink) = topology::single_line(2, section(1.0, 10.0, 0.5));
     let dt = Time::from_picoseconds(300.0);
     let t_stop = Time::from_nanoseconds(60.0);
-    let tv = |w: &Waveform| -> f64 {
-        w.values().windows(2).map(|p| (p[1] - p[0]).abs()).sum()
-    };
+    let tv = |w: &Waveform| -> f64 { w.values().windows(2).map(|p| (p[1] - p[0]).abs()).sum() };
     let w_tr = &simulate(
         &tree,
         &Source::step(1.0),
@@ -170,10 +192,7 @@ fn energy_conservation_in_lossless_limit() {
     let options = SimOptions::new(Time::from_picoseconds(1.0), Time::from_nanoseconds(200.0));
     let w = &simulate(&tree, &Source::step(1.0), &options, &[sink])[0];
     let n = w.len();
-    let early_peak = w.values()[..n / 4]
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let early_peak = w.values()[..n / 4].iter().cloned().fold(0.0f64, f64::max);
     let late_peak = w.values()[3 * n / 4..]
         .iter()
         .cloned()

@@ -128,9 +128,7 @@ impl Netlist {
                         _ => {
                             return Err(TreeError::ParseNetlist {
                                 line: lineno,
-                                message: format!(
-                                    "capacitor {card} must connect a node to ground"
-                                ),
+                                message: format!("capacitor {card} must connect a node to ground"),
                             })
                         }
                     };
@@ -298,8 +296,22 @@ pub fn write(tree: &RlcTree) -> String {
         match (r.as_ohms() > 0.0, l.as_henries() > 0.0) {
             (true, true) => {
                 let mid = format!("{node_name}x");
-                let _ = writeln!(out, "R{} {} {} {:e}", id.index(), parent_name, mid, r.as_ohms());
-                let _ = writeln!(out, "L{} {} {} {:e}", id.index(), mid, node_name, l.as_henries());
+                let _ = writeln!(
+                    out,
+                    "R{} {} {} {:e}",
+                    id.index(),
+                    parent_name,
+                    mid,
+                    r.as_ohms()
+                );
+                let _ = writeln!(
+                    out,
+                    "L{} {} {} {:e}",
+                    id.index(),
+                    mid,
+                    node_name,
+                    l.as_henries()
+                );
             }
             (true, false) => {
                 let _ = writeln!(
@@ -536,9 +548,7 @@ C3 0 a 3p
 ";
         let parsed = Netlist::parse(deck).unwrap();
         let a = parsed.node("a").unwrap();
-        assert!(
-            (parsed.tree().section(a).capacitance().as_picofarads() - 6.0).abs() < 1e-9
-        );
+        assert!((parsed.tree().section(a).capacitance().as_picofarads() - 6.0).abs() < 1e-9);
     }
 
     #[test]

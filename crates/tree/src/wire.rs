@@ -237,7 +237,10 @@ mod tests {
         );
         assert!(
             (w.capacitance_per_um().as_farads()
-                - WireModel::IBM_COPPER_GLOBAL.capacitance_per_um().as_farads() * 2.0)
+                - WireModel::IBM_COPPER_GLOBAL
+                    .capacitance_per_um()
+                    .as_farads()
+                    * 2.0)
                 .abs()
                 < 1e-27
         );

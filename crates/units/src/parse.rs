@@ -125,7 +125,8 @@ pub(crate) fn parse_engineering(s: &str, unit: &str) -> Result<f64, ParseQuantit
         .or_else(|| {
             // Accept the plain-ASCII fallback "ohm"/"Ohm" for Ω.
             if unit == "Ω" {
-                tail.strip_suffix("ohm").or_else(|| tail.strip_suffix("Ohm"))
+                tail.strip_suffix("ohm")
+                    .or_else(|| tail.strip_suffix("Ohm"))
             } else {
                 None
             }
@@ -215,10 +216,7 @@ mod tests {
         for &v in &[1.0, 2.5e-12, 4.7e3, 0.25, 9.9e-9] {
             let s = format_engineering(v, "F");
             let back = parse_engineering(&s, "F").unwrap();
-            assert!(
-                (back - v).abs() <= v.abs() * 1e-4,
-                "{v} -> {s} -> {back}"
-            );
+            assert!((back - v).abs() <= v.abs() * 1e-4, "{v} -> {s} -> {back}");
         }
     }
 }

@@ -586,7 +586,10 @@ mod tests {
 
     #[test]
     fn negative_time_squared_sqrt_is_nan() {
-        assert!(TimeSquared::from_seconds_squared(-1.0).sqrt().as_seconds().is_nan());
+        assert!(TimeSquared::from_seconds_squared(-1.0)
+            .sqrt()
+            .as_seconds()
+            .is_nan());
     }
 
     #[test]

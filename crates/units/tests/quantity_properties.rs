@@ -6,11 +6,7 @@ use rlc_units::{Capacitance, Inductance, Resistance, Time};
 
 fn finite() -> impl Strategy<Value = f64> {
     // Engineering-plausible magnitudes, both signs.
-    prop_oneof![
-        -1e12f64..1e12,
-        -1e-3f64..1e-3,
-        Just(0.0),
-    ]
+    prop_oneof![-1e12f64..1e12, -1e-3f64..1e-3, Just(0.0),]
 }
 
 fn positive() -> impl Strategy<Value = f64> {

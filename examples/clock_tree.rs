@@ -82,8 +82,8 @@ fn main() {
     let options = SimOptions::new(dt, t_stop);
     let wave = &simulate(&net, &Source::step(1.0), &options, &[pin])[0];
     let sim_delay = wave.delay_50(1.0).expect("clock arrives");
-    let model_err = (model.delay_50().as_seconds() - sim_delay.as_seconds()).abs()
-        / sim_delay.as_seconds();
+    let model_err =
+        (model.delay_50().as_seconds() - sim_delay.as_seconds()).abs() / sim_delay.as_seconds();
     let wyatt_err = (model.wyatt_delay_50().as_seconds() - sim_delay.as_seconds()).abs()
         / sim_delay.as_seconds();
     println!("\nsimulated arrival    : {sim_delay}");

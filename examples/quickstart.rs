@@ -41,10 +41,12 @@ fn main() {
     println!("\nmodel vs simulation (50% delay):");
     for (t, wave) in timing.sink_timings().iter().zip(&waves) {
         let sim_delay = wave.delay_50(1.0).expect("signal crosses 50%");
-        let err = (t.delay_50.as_seconds() - sim_delay.as_seconds()).abs()
-            / sim_delay.as_seconds()
+        let err = (t.delay_50.as_seconds() - sim_delay.as_seconds()).abs() / sim_delay.as_seconds()
             * 100.0;
-        println!("  {}: model {} vs sim {} ({err:.1}% error)", t.node, t.delay_50, sim_delay);
+        println!(
+            "  {}: model {} vs sim {} ({err:.1}% error)",
+            t.node, t.delay_50, sim_delay
+        );
     }
 
     let (critical, delay) = timing.critical_sink().expect("tree has sinks");

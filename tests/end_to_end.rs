@@ -110,7 +110,10 @@ fn error_grows_with_tree_depth() {
         deep > shallow,
         "deep-line error {deep} should exceed shallow-line error {shallow}"
     );
-    assert!(shallow < 0.15 && deep < 0.25, "errors stay bounded: {shallow}, {deep}");
+    assert!(
+        shallow < 0.15 && deep < 0.25,
+        "errors stay bounded: {shallow}, {deep}"
+    );
 }
 
 #[test]
@@ -205,7 +208,9 @@ fn netlist_roundtrip_preserves_timing() {
     let parsed = netlist::Netlist::parse(&deck).expect("own output parses");
     // The round-tripped tree has split R/L sections, but the sums — and
     // therefore the model at the corresponding nodes — are identical.
-    let rt_node = parsed.node(&format!("n{}", nodes.n7.index())).expect("named node");
+    let rt_node = parsed
+        .node(&format!("n{}", nodes.n7.index()))
+        .expect("named node");
     let rt_timing = TreeAnalysis::new(parsed.tree());
     let a = timing.model(nodes.n7);
     let b = rt_timing.model(rt_node);

@@ -9,15 +9,18 @@ fn arb_tree() -> impl Strategy<Value = RlcTree> {
     (
         any::<u64>(),
         2usize..40,
-        1.0f64..100.0,   // R upper bound, Ω
-        0.01f64..10.0,   // L upper bound, nH
-        0.01f64..1.0,    // C upper bound, pF
+        1.0f64..100.0, // R upper bound, Ω
+        0.01f64..10.0, // L upper bound, nH
+        0.01f64..1.0,  // C upper bound, pF
     )
         .prop_map(|(seed, n, r_hi, l_hi, c_hi)| {
             topology::random_tree(
                 seed,
                 n,
-                (Resistance::from_ohms(r_hi * 0.01), Resistance::from_ohms(r_hi)),
+                (
+                    Resistance::from_ohms(r_hi * 0.01),
+                    Resistance::from_ohms(r_hi),
+                ),
                 (
                     Inductance::from_nanohenries(l_hi * 0.01),
                     Inductance::from_nanohenries(l_hi),

@@ -1,0 +1,285 @@
+//! Offline-compatible subset of the [criterion](https://docs.rs/criterion)
+//! benchmarking API.
+//!
+//! The workspace builds in hermetic environments with no crates registry, so
+//! the real `criterion` cannot be fetched. This vendored stub keeps the same
+//! bench-definition API (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! `black_box`) and implements a simple but honest wall-clock harness:
+//! per-benchmark warm-up, a fixed measurement budget, and a median-of-batches
+//! ns/iter estimate printed to stdout.
+//!
+//! No statistical analysis, HTML reports, or baseline comparison — the
+//! printed `ns/iter` (and derived element throughput) is the deliverable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported for API compatibility.
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(30);
+const MEASURE: Duration = Duration::from_millis(150);
+const BATCHES: usize = 7;
+
+/// Runs closures and reports timing. Construct via `criterion_main!`.
+pub struct Criterion {
+    /// `--test` mode (used by `cargo test --benches`): run once, skip timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, None, self.test_mode, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of related benchmarks, with optional shared throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's measurement budget is
+    /// fixed, so the requested sample count is ignored.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.throughput, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(
+            &label,
+            self.throughput,
+            self.criterion.test_mode,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units used to derive a throughput figure from the time per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the bench closure; call [`iter`](Bencher::iter) with the
+/// routine to measure.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: f64,
+}
+
+enum BenchMode {
+    /// Run the routine once (`--test`).
+    Once,
+    Measure,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::Once => {
+                black_box(routine());
+                self.ns_per_iter = f64::NAN;
+            }
+            BenchMode::Measure => {
+                // Warm-up while estimating a batch size that lasts ~1 ms.
+                let warm_start = Instant::now();
+                let mut warm_iters = 0u64;
+                while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+                let batch = ((1.0e6 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+                let budget_per_batch = MEASURE / BATCHES as u32;
+                let mut batch_estimates = Vec::with_capacity(BATCHES);
+                for _ in 0..BATCHES {
+                    let start = Instant::now();
+                    let mut iters = 0u64;
+                    while iters == 0 || (start.elapsed() < budget_per_batch && iters < batch * 64) {
+                        for _ in 0..batch {
+                            black_box(routine());
+                        }
+                        iters += batch;
+                    }
+                    batch_estimates.push(start.elapsed().as_nanos() as f64 / iters as f64);
+                }
+                batch_estimates.sort_by(f64::total_cmp);
+                self.ns_per_iter = batch_estimates[BATCHES / 2];
+            }
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        mode: if test_mode {
+            BenchMode::Once
+        } else {
+            BenchMode::Measure
+        },
+        ns_per_iter: f64::NAN,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{label}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let ns = bencher.ns_per_iter;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 / (ns * 1e-9)),
+        Throughput::Bytes(n) => format!(" ({:.3e} B/s)", n as f64 / (ns * 1e-9)),
+    });
+    println!(
+        "{label}: {} ns/iter{}",
+        format_ns(ns),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.0}", ns)
+    } else if ns >= 1e3 {
+        format!("{:.1}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// Groups benchmark functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_labels() {
+        assert_eq!(BenchmarkId::new("line", 64).into_benchmark_id(), "line/64");
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+    }
+
+    #[test]
+    fn measure_reports_sane_time() {
+        let mut b = Bencher {
+            mode: BenchMode::Measure,
+            ns_per_iter: f64::NAN,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert!(b.ns_per_iter.is_finite() && b.ns_per_iter >= 0.0);
+    }
+}

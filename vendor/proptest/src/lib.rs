@@ -1,0 +1,689 @@
+//! Offline-compatible subset of the [proptest](https://docs.rs/proptest)
+//! property-testing API.
+//!
+//! This workspace builds in hermetic environments with no access to a crates
+//! registry, so the real `proptest` cannot be fetched. This vendored stub
+//! implements the exact API surface the workspace's property tests use —
+//! the `proptest!` macro, `prop_assert*`/`prop_assume`, range/tuple/`Just`/
+//! `prop_oneof!` strategies, `prop_map`, `collection::vec`, `sample::select`,
+//! simple regex-pattern string strategies, and `any::<T>()` — with real
+//! randomized case generation behind a deterministic PRNG.
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * no shrinking: a failing case panics with the generated inputs instead
+//!   of a minimized counterexample;
+//! * numeric range strategies sample uniformly (upstream biases toward
+//!   boundary/special values);
+//! * no persistence of failing seeds. Set `PROPTEST_STUB_SEED` to vary the
+//!   base seed.
+
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!`; it is re-drawn, not failed.
+        Reject(String),
+        /// The case failed an assertion; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+    }
+
+    /// Mirror of `proptest::test_runner::Config`, reduced to the knobs the
+    /// workspace uses.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        /// Give up if more than `max_global_rejects` cases are rejected.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Deterministic splitmix64-based PRNG used for all case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seeded(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            // splitmix64 (public-domain reference constants).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+
+    fn base_seed(test_name: &str) -> u64 {
+        let env = std::env::var("PROPTEST_STUB_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        // Stable per-test stream: FNV-1a over the test name, mixed with the
+        // optional environment seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^ env
+    }
+
+    /// Drives one `proptest!`-defined test: draws inputs until `cases`
+    /// successful executions, re-drawing on `prop_assume` rejections.
+    pub fn run_cases(
+        name: &str,
+        config: &ProptestConfig,
+        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let mut rng = TestRng::seeded(base_seed(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "proptest stub: too many prop_assume rejections in '{name}' \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest case failed (case {passed}, no shrinking): {msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values. The stub keeps upstream's associated
+    /// `Value` type and combinator names so test code compiles unchanged.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternatives (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end - self.start) as u64;
+                    assert!(span > 0, "empty integer range strategy");
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, i64, i32);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// `&str` patterns act as string strategies. Supports the small regex
+    /// subset the workspace uses: `.`, `[...]` character classes with
+    /// literals and `a-z` ranges, literal characters, and `{n}` / `{n,m}` /
+    /// `*` / `+` / `?` quantifiers.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Any,
+        Class(Vec<(char, char)>),
+        Literal(char),
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<(Atom, u32, u32)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    let mut ranges = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated character class in {pattern:?}"
+                    );
+                    i += 1; // consume ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    assert!(i < chars.len(), "trailing backslash in {pattern:?}");
+                    let c = chars[i];
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("quantifier lower bound"),
+                        b.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+                let q = chars[i];
+                i += 1;
+                match q {
+                    '*' => (0, 8),
+                    '+' => (1, 8),
+                    _ => (0, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            out.push((atom, lo, hi));
+        }
+        out
+    }
+
+    fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse_pattern(pattern) {
+            let count = lo + rng.below(u64::from(hi - lo + 1)) as u32;
+            for _ in 0..count {
+                match &atom {
+                    Atom::Any => {
+                        // Mostly printable ASCII; occasionally whitespace and
+                        // non-ASCII to exercise robustness paths.
+                        let c = match rng.below(20) {
+                            0 => '\t',
+                            1 => 'µ',
+                            2 => '→',
+                            _ => char::from(32 + rng.below(95) as u8),
+                        };
+                        out.push(c);
+                    }
+                    Atom::Class(ranges) => {
+                        let (lo_c, hi_c) = ranges[rng.below(ranges.len() as u64) as usize];
+                        let span = hi_c as u32 - lo_c as u32 + 1;
+                        let c = char::from_u32(lo_c as u32 + rng.below(u64::from(span)) as u32)
+                            .unwrap_or(lo_c);
+                        out.push(c);
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+
+    /// Types with a canonical `any::<T>()` strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Wide-magnitude finite doubles, both signs.
+            let mag = (rng.next_f64() * 600.0 - 300.0).exp2();
+            if rng.next_u64() & 1 == 1 {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Mirror of `proptest::collection::SizeRange`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Uniformly selects one of the given options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select needs options");
+        Select { options }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run_cases(stringify!($name), &config, |__stub_rng| {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), __stub_rng);)+
+                let mut __stub_case = move ||
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                __stub_case()
+            });
+        }
+    )*};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        let cond: bool = $cond;
+        if !cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let cond: bool = $cond;
+        if !cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: rejects (re-draws) the current case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        let cond: bool = $cond;
+        if !cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::seeded(7);
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(1.5f64..2.5), &mut rng);
+            assert!((1.5..2.5).contains(&x));
+            let n = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = TestRng::seeded(11);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z0-9 ]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+        let free = Strategy::generate(&".{0,400}", &mut rng);
+        assert!(free.chars().count() <= 400);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_rejects(x in 0.0f64..1.0, k in 1usize..5) {
+            prop_assume!(x > 0.05);
+            prop_assert!(x < 1.0, "x = {x}");
+            prop_assert_eq!(k * 2 / 2, k);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![0.0f64..1.0, Just(5.0)]
+            .prop_map(|x| x * 2.0))
+        {
+            prop_assert!((0.0..2.0).contains(&v) || v == 10.0);
+        }
+    }
+}
