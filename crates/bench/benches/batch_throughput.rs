@@ -1,0 +1,48 @@
+//! Criterion benchmark for the batch-engine pillar of `rlc-engine`:
+//! nets/second over a fixed in-memory corpus at 1, 2, 4, and 8 workers.
+//!
+//! The corpus mixes topologies and sizes so jobs are unevenly sized — the
+//! shared-cursor scheduler should still keep workers busy. Results (and
+//! the JSON report) are identical at every worker count; only wall-clock
+//! changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rlc_bench::section;
+use rlc_engine::{Batch, Engine};
+use rlc_tree::topology;
+
+const NETS: usize = 64;
+
+fn corpus() -> Batch {
+    let mut batch = Batch::new();
+    for i in 0..NETS {
+        let s = section(15.0 + i as f64, 1.5 + 0.01 * i as f64, 0.25);
+        let tree = match i % 3 {
+            0 => topology::balanced_tree(8, 2, s), // 255 nodes
+            1 => topology::single_line(192, s).0,
+            _ => topology::balanced_tree(5, 3, s), // 121 nodes
+        };
+        batch.push_tree(format!("net{i:02}"), tree);
+    }
+    batch
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let batch = corpus();
+    let mut group = c.benchmark_group("batch_throughput");
+    group.throughput(Throughput::Elements(NETS as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                let engine = Engine::with_workers(workers);
+                b.iter(|| std::hint::black_box(engine.run(&batch)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion benchmark for the incremental-analysis pillar of
+//! `rlc-engine`: a single-section edit plus delay query through
+//! `IncrementalAnalysis` versus a from-scratch `tree_sums` pass, on a
+//! ~1024-node balanced tree.
+//!
+//! Acceptance target (ISSUE 2): the incremental path must be ≥5× faster
+//! for single-section edits. The asymptotics say ~100×: an edit walks the
+//! O(depth = 10) root path where the full pass touches all 1023 sections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlc_bench::section;
+use rlc_engine::IncrementalAnalysis;
+use rlc_tree::topology;
+
+fn bench_single_edit(c: &mut Criterion) {
+    // 2^10 − 1 = 1023 nodes ≈ the 1024-node target.
+    let tree = topology::balanced_tree(10, 2, section(20.0, 2.0, 0.3));
+    let sink = tree.leaves().next().expect("balanced tree has leaves");
+    let base = section(20.0, 2.0, 0.3);
+    let alt = section(31.0, 2.6, 0.47);
+
+    let mut group = c.benchmark_group("incremental_vs_full");
+
+    // Baseline: mutate one section, re-run the O(n) pass, read the sink.
+    group.bench_with_input(
+        BenchmarkId::new("full_reanalysis", tree.len()),
+        &tree,
+        |b, tree| {
+            let mut tree = tree.clone();
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                *tree.section_mut(sink) = if flip { alt } else { base };
+                let sums = rlc_moments::tree_sums(std::hint::black_box(&tree));
+                std::hint::black_box(sums.rc(sink))
+            })
+        },
+    );
+
+    // Incremental: same edit and query through the factored sums.
+    group.bench_with_input(
+        BenchmarkId::new("incremental_edit", tree.len()),
+        &tree,
+        |b, tree| {
+            let mut probe = IncrementalAnalysis::from_tree(tree);
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                probe.set_section(sink, if flip { alt } else { base });
+                probe.commit();
+                std::hint::black_box(probe.rc(sink))
+            })
+        },
+    );
+
+    // The optimizer-shaped variant: probe a candidate, read the delay,
+    // roll the edit back.
+    group.bench_with_input(
+        BenchmarkId::new("scoped_probe", tree.len()),
+        &tree,
+        |b, tree| {
+            let mut probe = IncrementalAnalysis::from_tree(tree);
+            b.iter(|| {
+                probe.scoped_edit(|p| {
+                    p.set_section(sink, alt);
+                    std::hint::black_box(p.delay_50(sink))
+                })
+            })
+        },
+    );
+
+    group.finish();
+}
+
+fn bench_rl_only_edit(c: &mut Criterion) {
+    // An R/L-only edit leaves every subtree capacitance unchanged, so the
+    // update early-exits after one node — O(1) rather than O(depth).
+    let tree = topology::balanced_tree(10, 2, section(20.0, 2.0, 0.3));
+    let sink = tree.leaves().next().expect("leaves");
+    let a = section(20.0, 2.0, 0.3);
+    let b_sec = section(33.0, 2.9, 0.3); // same C as `a`
+    c.bench_function("incremental_rl_only_edit_1023", |b| {
+        let mut probe = IncrementalAnalysis::from_tree(&tree);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            probe.set_section(sink, if flip { b_sec } else { a });
+            probe.commit();
+            std::hint::black_box(probe.rc(sink))
+        })
+    });
+}
+
+criterion_group!(benches, bench_single_edit, bench_rl_only_edit);
+criterion_main!(benches);

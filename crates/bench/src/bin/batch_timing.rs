@@ -1,0 +1,135 @@
+//! Batch timing driver: run a corpus of `.sp` netlists through the
+//! `rlc-engine` worker pool and emit the `rlc-engine/1` JSON report.
+//!
+//! ```text
+//! batch_timing [DIR] [--workers N] [--out FILE]
+//! ```
+//!
+//! * `DIR` — a directory of `.sp` netlists (picked up sorted by file
+//!   name). Without it, a built-in demonstration corpus is used.
+//! * `--workers N` — worker-pool size (default: machine parallelism).
+//!   The report is byte-identical for every choice.
+//! * `--out FILE` — write the JSON there instead of stdout.
+//!
+//! A per-net summary table goes to stderr either way.
+
+use std::process::ExitCode;
+
+use rlc_bench::section;
+use rlc_engine::{Batch, Engine};
+use rlc_tree::topology;
+
+fn demo_corpus() -> Batch {
+    let mut batch = Batch::new();
+    batch.push_tree(
+        "clock-spine",
+        topology::balanced_tree(6, 2, section(5.0, 1.5, 0.4)),
+    );
+    batch.push_tree(
+        "signal-line",
+        topology::single_line(48, section(45.0, 0.6, 0.15)).0,
+    );
+    let (fig5, _) = topology::fig5(section(25.0, 5.0, 0.5));
+    batch.push_tree("paper-fig5", fig5);
+    batch.push_deck(
+        "two-section",
+        "* inline deck\n.input in\nR1 in n1 25\nC1 n1 0 0.5p\nR2 n1 n2 25\nC2 n2 0 0.5p\n",
+    );
+    batch
+}
+
+fn main() -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut workers = 0usize;
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => workers = n,
+                _ => {
+                    eprintln!("--workers needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: batch_timing [DIR] [--workers N] [--out FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_owned()),
+            other => {
+                eprintln!("unrecognized argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let batch = match &dir {
+        Some(path) => match Batch::from_dir(path) {
+            Ok(b) if !b.is_empty() => b,
+            Ok(_) => {
+                eprintln!("no .sp files in {path}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("cannot list {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => demo_corpus(),
+    };
+
+    let engine = if workers > 0 {
+        Engine::with_workers(workers)
+    } else {
+        Engine::new()
+    };
+    eprintln!(
+        "timing {} nets on {} workers",
+        batch.len(),
+        engine.effective_workers(batch.len())
+    );
+    let report = engine.run(&batch);
+
+    for slot in &report.nets {
+        match slot {
+            Ok(t) => match t.critical() {
+                Some(c) => eprintln!(
+                    "  {:<24} {:>5} sections  critical sink {} at {}",
+                    t.name, t.sections, c.node, c.delay_50
+                ),
+                None => eprintln!(
+                    "  {:<24} {:>5} sections  (no dynamic sinks)",
+                    t.name, t.sections
+                ),
+            },
+            Err(e) => eprintln!("  FAILED: {e}"),
+        }
+    }
+
+    let json = report.to_json();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    if report.failures().count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

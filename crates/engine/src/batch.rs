@@ -1,0 +1,538 @@
+//! The concurrent batch engine: fan a corpus of nets over a worker pool.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use eed::{Damping, TreeAnalysis};
+use rlc_tree::netlist::Netlist;
+use rlc_tree::{NodeId, RlcTree};
+use rlc_units::Time;
+
+use crate::EngineError;
+
+/// One net awaiting analysis: an in-memory tree, a netlist deck, or a
+/// netlist file to be read by the worker that picks the job up.
+#[derive(Debug, Clone)]
+enum NetSource {
+    Tree(RlcTree),
+    Deck(String),
+    File(PathBuf),
+}
+
+/// An ordered corpus of nets to analyze.
+///
+/// Jobs keep their submission order: slot `k` of the resulting
+/// [`BatchReport`] always describes the `k`-th pushed net, whatever the
+/// worker count or scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_engine::{Batch, Engine};
+/// use rlc_tree::{topology, RlcSection};
+/// use rlc_units::{Capacitance, Inductance, Resistance};
+///
+/// let s = RlcSection::new(
+///     Resistance::from_ohms(20.0),
+///     Inductance::from_nanohenries(2.0),
+///     Capacitance::from_picofarads(0.3),
+/// );
+/// let mut batch = Batch::new();
+/// batch.push_tree("clock", topology::balanced_tree(4, 2, s));
+/// batch.push_deck("line", "R1 in n1 25\nC1 n1 0 0.5p\n");
+/// let report = Engine::new().run(&batch);
+/// assert_eq!(report.nets.len(), 2);
+/// assert!(report.nets.iter().all(|r| r.is_ok()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    jobs: Vec<(String, NetSource)>,
+}
+
+impl Batch {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued nets.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Returns `true` if no nets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Queues an in-memory tree under `name`.
+    pub fn push_tree(&mut self, name: impl Into<String>, tree: RlcTree) {
+        self.jobs.push((name.into(), NetSource::Tree(tree)));
+    }
+
+    /// Queues a netlist deck (see [`rlc_tree::netlist`]) under `name`;
+    /// parsing happens on the worker, and parse failures are isolated into
+    /// that net's report slot.
+    pub fn push_deck(&mut self, name: impl Into<String>, deck: impl Into<String>) {
+        self.jobs.push((name.into(), NetSource::Deck(deck.into())));
+    }
+
+    /// Queues a `.sp` netlist file path; reading and parsing happen on the
+    /// worker.
+    pub fn push_file(&mut self, path: impl Into<PathBuf>) {
+        let path = path.into();
+        self.jobs
+            .push((path.display().to_string(), NetSource::File(path)));
+    }
+
+    /// Queues every `*.sp` file directly inside `dir`, sorted by file name
+    /// so the corpus (and therefore the report) is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if `dir` cannot be listed. Unreadable
+    /// *individual* files are not an error here — the worker surfaces them
+    /// as [`EngineError::Io`] in their report slot.
+    pub fn from_dir(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "sp"))
+            .collect();
+        paths.sort();
+        let mut batch = Self::new();
+        for p in paths {
+            batch.push_file(p);
+        }
+        Ok(batch)
+    }
+
+    /// The queued net names, in submission order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.jobs.iter().map(|(name, _)| name.as_str())
+    }
+}
+
+/// Timing summary of one sink of an analyzed net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkSummary {
+    /// The sink node (index within the net's tree).
+    pub node: NodeId,
+    /// Fitted 50% propagation delay (paper eq. 35).
+    pub delay_50: Time,
+    /// Fitted 10–90% rise time (paper eq. 36).
+    pub rise_time: Time,
+    /// Damping factor ζ at the sink (infinite for RC sinks).
+    pub zeta: f64,
+    /// Damping classification.
+    pub damping: Damping,
+}
+
+/// The timing result for one successfully analyzed net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetTiming {
+    /// The net's name (as submitted or its file path).
+    pub name: String,
+    /// Number of tree sections.
+    pub sections: usize,
+    /// Per-sink summaries, in arena order. Sinks without dynamics (zero
+    /// `T_RC` and `T_LC`) are omitted, as in
+    /// [`TreeAnalysis::sink_timings`].
+    pub sinks: Vec<SinkSummary>,
+}
+
+impl NetTiming {
+    /// The slowest sink, by fitted 50% delay.
+    pub fn critical(&self) -> Option<&SinkSummary> {
+        self.sinks
+            .iter()
+            .max_by(|a, b| a.delay_50.partial_cmp(&b.delay_50).expect("finite delays"))
+    }
+}
+
+/// The outcome of one batch run: one slot per submitted net, in
+/// submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Per-net results; index `k` is the `k`-th net pushed into the batch.
+    pub nets: Vec<Result<NetTiming, EngineError>>,
+}
+
+impl BatchReport {
+    /// The successfully analyzed nets, in submission order.
+    pub fn successes(&self) -> impl Iterator<Item = &NetTiming> {
+        self.nets.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// The failed nets, in submission order.
+    pub fn failures(&self) -> impl Iterator<Item = &EngineError> {
+        self.nets.iter().filter_map(|r| r.as_ref().err())
+    }
+
+    /// Renders the stable `rlc-engine/1` JSON schema. The output depends
+    /// only on the submitted corpus — never on the worker count — so
+    /// reports from different engine configurations are byte-comparable.
+    pub fn to_json(&self) -> String {
+        use core::fmt::Write as _;
+        use rlc_obs::json::{number, quote};
+
+        let mut out = String::from("{\n  \"schema\": \"rlc-engine/1\",\n  \"nets\": [");
+        for (i, net) in self.nets.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            match net {
+                Ok(t) => {
+                    let _ = write!(
+                        out,
+                        "{sep}\n    {{\"name\": {}, \"status\": \"ok\", \"sections\": {}, ",
+                        quote(&t.name),
+                        t.sections
+                    );
+                    match t.critical() {
+                        Some(c) => {
+                            let _ = write!(
+                                out,
+                                "\"critical_sink\": {}, \"critical_delay_ps\": {}, ",
+                                c.node.index(),
+                                number(c.delay_50.as_picoseconds())
+                            );
+                        }
+                        None => out.push_str("\"critical_sink\": null, "),
+                    }
+                    out.push_str("\"sinks\": [");
+                    for (j, sink) in t.sinks.iter().enumerate() {
+                        let sep = if j == 0 { "" } else { ", " };
+                        let zeta = if sink.zeta.is_finite() {
+                            number(sink.zeta)
+                        } else {
+                            "null".to_owned()
+                        };
+                        let _ = write!(
+                            out,
+                            "{sep}{{\"node\": {}, \"delay_50_ps\": {}, \"rise_time_ps\": {}, \"zeta\": {}, \"damping\": {}}}",
+                            sink.node.index(),
+                            number(sink.delay_50.as_picoseconds()),
+                            number(sink.rise_time.as_picoseconds()),
+                            zeta,
+                            quote(&sink.damping.to_string()),
+                        );
+                    }
+                    out.push_str("]}");
+                }
+                Err(e) => {
+                    let _ = write!(
+                        out,
+                        "{sep}\n    {{\"name\": {}, \"status\": \"error\", \"error\": {}}}",
+                        quote(e.net()),
+                        quote(&e.to_string())
+                    );
+                }
+            }
+        }
+        out.push_str(if self.nets.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
+    }
+}
+
+/// The worker-pool engine.
+///
+/// Plain `std::thread` workers over an atomic job cursor: no external
+/// runtime, no work stealing — nets are independent and coarse-grained, so
+/// a shared cursor is both simple and near-optimal. Results return through
+/// a channel and are placed by submission index, which makes reports
+/// deterministic (and byte-identical) for any worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    workers: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine sized to the machine (`std::thread::available_parallelism`).
+    pub fn new() -> Self {
+        Self { workers: 0 }
+    }
+
+    /// An engine with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers > 0, "engine needs at least one worker");
+        Self { workers }
+    }
+
+    /// The worker count a run of `jobs` jobs would use.
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        let configured = if self.workers == 0 {
+            auto()
+        } else {
+            self.workers
+        };
+        configured.min(jobs).max(1)
+    }
+
+    /// Analyzes every net of `batch`, returning one result per net in
+    /// submission order. Per-net failures (unreadable file, malformed
+    /// netlist, empty net, panicking analysis) land in that net's slot;
+    /// the rest of the batch is unaffected.
+    pub fn run(&self, batch: &Batch) -> BatchReport {
+        let _span = rlc_obs::span!("engine.batch");
+        rlc_obs::counter!("engine.batch.runs");
+        let jobs = &batch.jobs;
+        let n = jobs.len();
+        rlc_obs::counter!("engine.jobs.submitted", n as u64);
+        if n == 0 {
+            return BatchReport { nets: Vec::new() };
+        }
+        let workers = self.effective_workers(n);
+        rlc_obs::value!("engine.batch.workers", workers as f64);
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<NetTiming, EngineError>)>();
+        let mut slots: Vec<Option<Result<NetTiming, EngineError>>> = vec![None; n];
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let worker_start = Instant::now();
+                    let mut busy_ns = 0u128;
+                    let mut completed = 0u64;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        rlc_obs::value!("engine.queue.depth", (n - i - 1) as f64);
+                        let t0 = Instant::now();
+                        let (name, source) = &jobs[i];
+                        let result = analyze_one(name, source);
+                        busy_ns += t0.elapsed().as_nanos();
+                        completed += 1;
+                        rlc_obs::counter!("engine.jobs.completed");
+                        if result.is_err() {
+                            rlc_obs::counter!("engine.jobs.failed");
+                        }
+                        if tx.send((i, result)).is_err() {
+                            break; // collector gone; nothing left to do
+                        }
+                    }
+                    let alive_ns = worker_start.elapsed().as_nanos().max(1);
+                    rlc_obs::value!("engine.worker.jobs", completed as f64);
+                    rlc_obs::value!(
+                        "engine.worker.utilization",
+                        busy_ns as f64 / alive_ns as f64
+                    );
+                });
+            }
+            drop(tx);
+            // Collect on the caller thread while workers run.
+            while let Ok((i, result)) = rx.recv() {
+                slots[i] = Some(result);
+            }
+        });
+
+        BatchReport {
+            nets: slots
+                .into_iter()
+                .map(|slot| slot.expect("every job sends exactly one result"))
+                .collect(),
+        }
+    }
+}
+
+/// Resolves and analyzes a single net; all failure modes become
+/// [`EngineError`]s.
+fn analyze_one(name: &str, source: &NetSource) -> Result<NetTiming, EngineError> {
+    let _span = rlc_obs::span!("engine.batch/net");
+    let parsed;
+    let tree: &RlcTree = match source {
+        NetSource::Tree(tree) => tree,
+        NetSource::Deck(deck) => {
+            parsed = parse_deck(name, deck)?;
+            &parsed
+        }
+        NetSource::File(path) => {
+            let deck = std::fs::read_to_string(path).map_err(|e| EngineError::Io {
+                net: name.to_owned(),
+                message: e.to_string(),
+            })?;
+            parsed = parse_deck(name, &deck)?;
+            &parsed
+        }
+    };
+    if tree.is_empty() {
+        return Err(EngineError::EmptyNet {
+            net: name.to_owned(),
+        });
+    }
+    catch_unwind(AssertUnwindSafe(|| {
+        let analysis = TreeAnalysis::new(tree);
+        NetTiming {
+            name: name.to_owned(),
+            sections: tree.len(),
+            sinks: analysis
+                .sink_timings()
+                .into_iter()
+                .map(|t| SinkSummary {
+                    node: t.node,
+                    delay_50: t.delay_50,
+                    rise_time: t.rise_time,
+                    zeta: t.model.zeta(),
+                    damping: t.model.damping(),
+                })
+                .collect(),
+        }
+    }))
+    .map_err(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        EngineError::Panicked {
+            net: name.to_owned(),
+            message,
+        }
+    })
+}
+
+fn parse_deck(name: &str, deck: &str) -> Result<RlcTree, EngineError> {
+    Netlist::parse(deck)
+        .map(Netlist::into_tree)
+        .map_err(|source| EngineError::Netlist {
+            net: name.to_owned(),
+            source,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_tree::{topology, RlcSection};
+    use rlc_units::{Capacitance, Inductance, Resistance};
+
+    fn s(r: f64, l_nh: f64, c_pf: f64) -> RlcSection {
+        RlcSection::new(
+            Resistance::from_ohms(r),
+            Inductance::from_nanohenries(l_nh),
+            Capacitance::from_picofarads(c_pf),
+        )
+    }
+
+    fn small_corpus() -> Batch {
+        let mut batch = Batch::new();
+        batch.push_tree("balanced", topology::balanced_tree(4, 2, s(20.0, 2.0, 0.3)));
+        batch.push_deck(
+            "two-section",
+            "* line\n.input in\nR1 in n1 25\nC1 n1 0 0.5p\nR2 n1 n2 25\nC2 n2 0 0.5p\n",
+        );
+        let (line, _) = topology::single_line(6, s(10.0, 1.0, 0.2));
+        batch.push_tree("line", line);
+        batch
+    }
+
+    #[test]
+    fn batch_accessors() {
+        let batch = small_corpus();
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(
+            batch.names().collect::<Vec<_>>(),
+            vec!["balanced", "two-section", "line"]
+        );
+        assert!(Batch::new().is_empty());
+    }
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        let report = Engine::with_workers(3).run(&small_corpus());
+        let names: Vec<&str> = report
+            .nets
+            .iter()
+            .map(|r| r.as_ref().map(|t| t.name.as_str()).unwrap_or("?"))
+            .collect();
+        assert_eq!(names, vec!["balanced", "two-section", "line"]);
+        assert_eq!(report.successes().count(), 3);
+        assert_eq!(report.failures().count(), 0);
+    }
+
+    #[test]
+    fn results_match_direct_analysis() {
+        let tree = topology::balanced_tree(4, 2, s(20.0, 2.0, 0.3));
+        let mut batch = Batch::new();
+        batch.push_tree("net", tree.clone());
+        let report = Engine::with_workers(1).run(&batch);
+        let timing = report.nets[0].as_ref().expect("analyzes fine");
+        let direct = TreeAnalysis::new(&tree);
+        let (node, delay) = direct.critical_sink().expect("has sinks");
+        let critical = timing.critical().expect("has sinks");
+        assert_eq!(critical.node, node);
+        assert_eq!(critical.delay_50, delay);
+        assert_eq!(timing.sinks.len(), direct.sink_timings().len());
+    }
+
+    #[test]
+    fn failures_are_isolated_per_net() {
+        let mut batch = small_corpus();
+        batch.push_deck("broken", "R1 in n1 not-a-number\n");
+        batch.push_file("/nonexistent/net.sp");
+        batch.push_tree("empty", RlcTree::new());
+        let report = Engine::with_workers(2).run(&batch);
+        assert_eq!(report.successes().count(), 3);
+        let errors: Vec<&EngineError> = report.failures().collect();
+        assert_eq!(errors.len(), 3);
+        assert!(matches!(errors[0], EngineError::Netlist { .. }));
+        assert!(matches!(errors[1], EngineError::Io { .. }));
+        assert!(matches!(errors[2], EngineError::EmptyNet { .. }));
+    }
+
+    #[test]
+    fn json_is_identical_across_worker_counts() {
+        let mut batch = small_corpus();
+        batch.push_deck("broken", "C1 n1 0 0.5p\n");
+        let solo = Engine::with_workers(1).run(&batch).to_json();
+        let pooled = Engine::with_workers(8).run(&batch).to_json();
+        assert_eq!(solo, pooled);
+        assert!(solo.contains("\"schema\": \"rlc-engine/1\""));
+        assert!(solo.contains("\"status\": \"error\""));
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_report() {
+        let report = Engine::new().run(&Batch::new());
+        assert!(report.nets.is_empty());
+        assert!(report.to_json().contains("\"nets\": []"));
+    }
+
+    #[test]
+    fn effective_workers_clamps_sanely() {
+        assert_eq!(Engine::with_workers(8).effective_workers(3), 3);
+        assert_eq!(Engine::with_workers(2).effective_workers(100), 2);
+        assert!(Engine::new().effective_workers(100) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Engine::with_workers(0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Typed per-net failure reporting for batch runs.
+
+use core::fmt;
+
+use rlc_tree::TreeError;
+
+/// Why one net of a batch produced no timing result.
+///
+/// Batch execution never aborts on a bad net: each failure is captured as
+/// an `EngineError` in the [`BatchReport`](crate::BatchReport) slot the net
+/// would have filled, so one malformed netlist in a corpus of thousands
+/// costs exactly one result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The net's netlist file could not be read.
+    Io {
+        /// The net's name (file path or submitted label).
+        net: String,
+        /// The operating-system error rendered as text.
+        message: String,
+    },
+    /// The net's netlist deck did not parse into an RLC tree.
+    Netlist {
+        /// The net's name.
+        net: String,
+        /// The underlying parse/structure error.
+        source: TreeError,
+    },
+    /// The net parsed but contains no sections to analyze.
+    EmptyNet {
+        /// The net's name.
+        net: String,
+    },
+    /// Analysis of the net panicked; the worker caught the unwind and
+    /// moved on to the next job.
+    Panicked {
+        /// The net's name.
+        net: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl EngineError {
+    /// The name of the net the failure belongs to.
+    pub fn net(&self) -> &str {
+        match self {
+            EngineError::Io { net, .. }
+            | EngineError::Netlist { net, .. }
+            | EngineError::EmptyNet { net }
+            | EngineError::Panicked { net, .. } => net,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io { net, message } => {
+                write!(f, "net {net:?}: cannot read netlist: {message}")
+            }
+            EngineError::Netlist { net, source } => write!(f, "net {net:?}: {source}"),
+            EngineError::EmptyNet { net } => write!(f, "net {net:?}: tree has no sections"),
+            EngineError::Panicked { net, message } => {
+                write!(f, "net {net:?}: analysis panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Netlist { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_net_accessor() {
+        let e = EngineError::Io {
+            net: "a.sp".into(),
+            message: "no such file".into(),
+        };
+        assert!(e.to_string().contains("a.sp"));
+        assert_eq!(e.net(), "a.sp");
+
+        let e = EngineError::Netlist {
+            net: "b.sp".into(),
+            source: TreeError::NotATree {
+                message: "cycle".into(),
+            },
+        };
+        assert!(e.to_string().contains("cycle"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = EngineError::EmptyNet { net: "c".into() };
+        assert!(e.to_string().contains("no sections"));
+
+        let e = EngineError::Panicked {
+            net: "d".into(),
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

@@ -32,9 +32,9 @@ use rlc_units::{Capacitance, Time, TimeSquared};
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ElmoreSums {
-    rc: Vec<Time>,
-    lc: Vec<TimeSquared>,
-    downstream_cap: Vec<Capacitance>,
+    pub(crate) rc: Vec<Time>,
+    pub(crate) lc: Vec<TimeSquared>,
+    pub(crate) downstream_cap: Vec<Capacitance>,
 }
 
 impl ElmoreSums {

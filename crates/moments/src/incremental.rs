@@ -1,0 +1,364 @@
+//! Incremental maintenance of the paper's tree sums under section edits.
+//!
+//! [`tree_sums`](crate::tree_sums) recomputes `T_RC`/`T_LC` for the whole
+//! tree in O(n). Synthesis loops (wire sizing, buffer insertion) instead
+//! probe many small perturbations of one tree, so this module keeps the
+//! sums in a factored form that a single-section edit can update in
+//! O(depth):
+//!
+//! * `C_i^T` — the subtree capacitance below section `i` (the
+//!   `Cal_Cap_Loads` quantity);
+//! * the per-section *contribution terms* `R_i·C_i^T` and `L_i·C_i^T`,
+//!   whose root-path prefix sums are exactly `T_RC(i)` and `T_LC(i)`
+//!   (paper eqs. 52–53).
+//!
+//! Editing section `k` perturbs `C_j^T` (and therefore the contribution
+//! terms) only for `j` on the root path of `k`; the terms of every other
+//! section are untouched. [`IncrementalSums::apply_edit`] re-derives the
+//! affected terms from current element values — no accumulated deltas —
+//! walking the path bottom-up and stopping as soon as a recomputed subtree
+//! capacitance is unchanged (an `R`/`L`-only edit therefore touches a
+//! single term). Queries fold the contribution terms in root-first order,
+//! the same floating-point evaluation order as [`tree_sums`], so the
+//! incremental sums are **bit-identical** to a from-scratch recomputation
+//! at every point of an edit sequence — not merely close.
+
+use rlc_tree::{NodeId, RlcTree};
+use rlc_units::{Capacitance, Time, TimeSquared};
+
+use crate::ElmoreSums;
+
+/// The factored tree sums: subtree capacitances plus per-section
+/// contribution terms, updatable in O(depth) per section edit.
+///
+/// Kept consistent with an external [`RlcTree`]: construct with
+/// [`new`](Self::new), call [`apply_edit`](Self::apply_edit) after every
+/// `section_mut` change, and query with [`rc`](Self::rc) /
+/// [`lc`](Self::lc). The structure of the tree (node count, parent links)
+/// must not change between calls.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_moments::{tree_sums, IncrementalSums};
+/// use rlc_tree::{topology, RlcSection};
+/// use rlc_units::{Capacitance, Inductance, Resistance};
+///
+/// let s = RlcSection::new(
+///     Resistance::from_ohms(10.0),
+///     Inductance::from_nanohenries(1.0),
+///     Capacitance::from_picofarads(0.2),
+/// );
+/// let (mut line, sink) = topology::single_line(8, s);
+/// let mut sums = IncrementalSums::new(&line);
+///
+/// *line.section_mut(sink) = s.scaled(2.0);
+/// sums.apply_edit(&line, sink);
+/// assert_eq!(sums.rc(&line, sink), tree_sums(&line).rc(sink));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalSums {
+    /// `C_i^T`: total capacitance of the subtree rooted at section `i`.
+    downstream_cap: Vec<Capacitance>,
+    /// `R_i·C_i^T`: section `i`'s contribution to `T_RC` of its subtree.
+    contrib_rc: Vec<Time>,
+    /// `L_i·C_i^T`: section `i`'s contribution to `T_LC` of its subtree.
+    contrib_lc: Vec<TimeSquared>,
+}
+
+impl IncrementalSums {
+    /// Builds the factored sums for the current state of `tree` in O(n).
+    pub fn new(tree: &RlcTree) -> Self {
+        let _span = rlc_obs::span!("moments.incremental.build");
+        rlc_obs::counter!("moments.incremental.builds");
+        let n = tree.len();
+        let mut downstream_cap = vec![Capacitance::ZERO; n];
+        // Same pass (and same summation order) as `tree_sums` pass 1.
+        for id in tree.postorder() {
+            let mut total = tree.section(id).capacitance();
+            for &child in tree.children(id) {
+                total += downstream_cap[child.index()];
+            }
+            downstream_cap[id.index()] = total;
+        }
+        let mut contrib_rc = vec![Time::ZERO; n];
+        let mut contrib_lc = vec![TimeSquared::ZERO; n];
+        for id in tree.node_ids() {
+            let section = tree.section(id);
+            let load = downstream_cap[id.index()];
+            contrib_rc[id.index()] = section.resistance() * load;
+            contrib_lc[id.index()] = section.inductance() * load;
+        }
+        Self {
+            downstream_cap,
+            contrib_rc,
+            contrib_lc,
+        }
+    }
+
+    /// Number of sections covered.
+    pub fn len(&self) -> usize {
+        self.downstream_cap.len()
+    }
+
+    /// Returns `true` if built from an empty tree.
+    pub fn is_empty(&self) -> bool {
+        self.downstream_cap.is_empty()
+    }
+
+    /// Re-derives the terms invalidated by an edit of section `node`.
+    ///
+    /// Call after mutating `tree.section_mut(node)`. Walks the root path of
+    /// `node` bottom-up, recomputing each ancestor's subtree capacitance
+    /// from its children's (already-correct) values, and stops as soon as
+    /// the recomputed value is unchanged — so a resistance- or
+    /// inductance-only edit costs O(1) and a capacitance edit
+    /// O(depth · branching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `tree` has a different node
+    /// count than the tree these sums were built from.
+    pub fn apply_edit(&mut self, tree: &RlcTree, node: NodeId) {
+        assert_eq!(
+            tree.len(),
+            self.len(),
+            "tree structure changed under IncrementalSums"
+        );
+        rlc_obs::counter!("moments.incremental.edits");
+        let mut cursor = Some(node);
+        while let Some(id) = cursor {
+            // Identical summation order to the from-scratch postorder pass.
+            let mut total = tree.section(id).capacitance();
+            for &child in tree.children(id) {
+                total += self.downstream_cap[child.index()];
+            }
+            let unchanged = total == self.downstream_cap[id.index()];
+            self.downstream_cap[id.index()] = total;
+            let section = tree.section(id);
+            self.contrib_rc[id.index()] = section.resistance() * total;
+            self.contrib_lc[id.index()] = section.inductance() * total;
+            // The edited node always refreshes its R/L products (above);
+            // ancestors only matter while the subtree capacitance moves.
+            if unchanged {
+                break;
+            }
+            cursor = tree.parent(id);
+        }
+    }
+
+    /// The subtree capacitance `C_i^T` below section `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn downstream_capacitance(&self, i: NodeId) -> Capacitance {
+        self.downstream_cap[i.index()]
+    }
+
+    /// The Elmore sum `T_RC(i)`, folded root-first along `i`'s path in
+    /// O(depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not belong to `tree`.
+    pub fn rc(&self, tree: &RlcTree, i: NodeId) -> Time {
+        tree.path_from_root(i)
+            .into_iter()
+            .fold(Time::ZERO, |acc, j| acc + self.contrib_rc[j.index()])
+    }
+
+    /// The inductive sum `T_LC(i)`, folded root-first along `i`'s path in
+    /// O(depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not belong to `tree`.
+    pub fn lc(&self, tree: &RlcTree, i: NodeId) -> TimeSquared {
+        tree.path_from_root(i)
+            .into_iter()
+            .fold(TimeSquared::ZERO, |acc, j| acc + self.contrib_lc[j.index()])
+    }
+
+    /// Both sums at `i` with a single path walk (the common query shape for
+    /// building a second-order model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not belong to `tree`.
+    pub fn rc_lc(&self, tree: &RlcTree, i: NodeId) -> (Time, TimeSquared) {
+        tree.path_from_root(i)
+            .into_iter()
+            .fold((Time::ZERO, TimeSquared::ZERO), |(rc, lc), j| {
+                (
+                    rc + self.contrib_rc[j.index()],
+                    lc + self.contrib_lc[j.index()],
+                )
+            })
+    }
+
+    /// Expands the factored form into a full [`ElmoreSums`] table in O(n),
+    /// using the same preorder prefix pass as [`tree_sums`](crate::tree_sums)
+    /// (so the result is bit-identical to a from-scratch computation).
+    pub fn to_elmore_sums(&self, tree: &RlcTree) -> ElmoreSums {
+        assert_eq!(
+            tree.len(),
+            self.len(),
+            "tree structure changed under IncrementalSums"
+        );
+        let n = tree.len();
+        let mut rc = vec![Time::ZERO; n];
+        let mut lc = vec![TimeSquared::ZERO; n];
+        for id in tree.preorder() {
+            let (parent_rc, parent_lc) = match tree.parent(id) {
+                Some(p) => (rc[p.index()], lc[p.index()]),
+                None => (Time::ZERO, TimeSquared::ZERO),
+            };
+            rc[id.index()] = parent_rc + self.contrib_rc[id.index()];
+            lc[id.index()] = parent_lc + self.contrib_lc[id.index()];
+        }
+        ElmoreSums {
+            rc,
+            lc,
+            downstream_cap: self.downstream_cap.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree_sums;
+    use rlc_tree::{topology, RlcSection};
+    use rlc_units::{Inductance, Resistance};
+
+    fn s(r: f64, l: f64, c: f64) -> RlcSection {
+        RlcSection::new(
+            Resistance::from_ohms(r),
+            Inductance::from_henries(l),
+            Capacitance::from_farads(c),
+        )
+    }
+
+    fn assert_matches_full(tree: &RlcTree, inc: &IncrementalSums) {
+        let full = tree_sums(tree);
+        for id in tree.node_ids() {
+            assert_eq!(inc.rc(tree, id), full.rc(id), "T_RC mismatch at {id}");
+            assert_eq!(inc.lc(tree, id), full.lc(id), "T_LC mismatch at {id}");
+            assert_eq!(
+                inc.downstream_capacitance(id),
+                full.downstream_capacitance(id),
+                "C^T mismatch at {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_build_matches_tree_sums() {
+        let (tree, _) = topology::fig5_with(|k| s(k as f64, 2.0 * k as f64, 0.5 * k as f64));
+        let inc = IncrementalSums::new(&tree);
+        assert_matches_full(&tree, &inc);
+        assert_eq!(inc.len(), 7);
+        assert!(!inc.is_empty());
+    }
+
+    #[test]
+    fn capacitance_edit_updates_whole_root_path() {
+        let (mut tree, nodes) = topology::fig5(s(2.0, 1.0, 3.0));
+        let mut inc = IncrementalSums::new(&tree);
+        *tree.section_mut(nodes.n7) = s(2.0, 1.0, 9.0);
+        inc.apply_edit(&tree, nodes.n7);
+        assert_matches_full(&tree, &inc);
+    }
+
+    #[test]
+    fn resistance_edit_touches_only_the_section() {
+        let (mut tree, nodes) = topology::fig5(s(2.0, 1.0, 3.0));
+        let mut inc = IncrementalSums::new(&tree);
+        let before_root = inc.contrib_rc[nodes.n1.index()];
+        *tree.section_mut(nodes.n3) = s(50.0, 1.0, 3.0);
+        inc.apply_edit(&tree, nodes.n3);
+        assert_eq!(
+            inc.contrib_rc[nodes.n1.index()],
+            before_root,
+            "R-only edit must not touch ancestors"
+        );
+        assert_matches_full(&tree, &inc);
+    }
+
+    #[test]
+    fn edit_sequences_stay_bit_identical() {
+        use rlc_units::{Capacitance as C, Inductance as L, Resistance as R};
+        let mut tree = topology::random_tree(
+            7,
+            60,
+            (R::from_ohms(1.0), R::from_ohms(50.0)),
+            (L::ZERO, L::from_nanohenries(5.0)),
+            (C::from_femtofarads(10.0), C::from_picofarads(0.5)),
+        );
+        let mut inc = IncrementalSums::new(&tree);
+        let ids: Vec<_> = tree.node_ids().collect();
+        for (k, &id) in ids.iter().enumerate() {
+            let old = *tree.section(id);
+            *tree.section_mut(id) = old.scaled(1.0 + 0.1 * (k as f64 + 1.0));
+            inc.apply_edit(&tree, id);
+            assert_matches_full(&tree, &inc);
+        }
+    }
+
+    #[test]
+    fn round_trip_edit_restores_exactly() {
+        let (mut tree, nodes) = topology::fig5(s(3.0, 2.0, 1.0));
+        let mut inc = IncrementalSums::new(&tree);
+        let pristine = inc.clone();
+        let old = *tree.section(nodes.n2);
+        *tree.section_mut(nodes.n2) = s(30.0, 20.0, 10.0);
+        inc.apply_edit(&tree, nodes.n2);
+        *tree.section_mut(nodes.n2) = old;
+        inc.apply_edit(&tree, nodes.n2);
+        // Exact recomputation (not delta accumulation) makes undo lossless.
+        assert_eq!(inc, pristine);
+    }
+
+    #[test]
+    fn to_elmore_sums_matches_from_scratch() {
+        let tree = topology::balanced_tree(5, 2, s(7.0, 2e-9, 3e-13));
+        let mut tree = tree;
+        let mut inc = IncrementalSums::new(&tree);
+        let leaf = tree.leaves().next().unwrap();
+        *tree.section_mut(leaf) = s(1.0, 1e-9, 9e-13);
+        inc.apply_edit(&tree, leaf);
+        assert_eq!(inc.to_elmore_sums(&tree), tree_sums(&tree));
+    }
+
+    #[test]
+    fn multiple_roots_are_supported() {
+        let mut tree = RlcTree::new();
+        let a = tree.add_root_section(s(2.0, 0.0, 3.0));
+        let b = tree.add_root_section(s(5.0, 0.0, 7.0));
+        let mut inc = IncrementalSums::new(&tree);
+        *tree.section_mut(a) = s(4.0, 0.0, 3.0);
+        inc.apply_edit(&tree, a);
+        assert_eq!(inc.rc(&tree, a).as_seconds(), 12.0);
+        assert_eq!(inc.rc(&tree, b).as_seconds(), 35.0);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RlcTree::new();
+        let inc = IncrementalSums::new(&tree);
+        assert!(inc.is_empty());
+        assert_eq!(inc.len(), 0);
+        assert!(inc.to_elmore_sums(&tree).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "structure changed")]
+    fn rejects_structural_drift() {
+        let (mut tree, _) = topology::single_line(3, s(1.0, 0.0, 1.0));
+        let mut inc = IncrementalSums::new(&tree);
+        let sink = tree.leaves().next().unwrap();
+        tree.add_section(sink, s(1.0, 0.0, 1.0));
+        inc.apply_edit(&tree, sink);
+    }
+}

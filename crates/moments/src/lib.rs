@@ -16,6 +16,12 @@
 //!   accumulation of downstream capacitance (`Cal_Cap_Loads`) followed by a
 //!   preorder prefix walk (`Cal_Summations`).
 //!
+//! * [`IncrementalSums`] — the same two sums in a factored per-section
+//!   form that a single section edit updates in O(depth) instead of O(n),
+//!   bit-identical to a from-scratch [`tree_sums`] pass. This is the
+//!   substrate of `rlc-engine`'s `IncrementalAnalysis` and the synthesis
+//!   loops in `rlc-opt`.
+//!
 //! * [`TransferMoments`] / [`transfer_moments`] — *exact* moments of the
 //!   voltage transfer function at every node, to arbitrary order, via the
 //!   recursive RICE-style algorithm (two tree passes per order). These feed
@@ -44,6 +50,8 @@
 
 mod elmore;
 mod exact;
+mod incremental;
 
 pub use elmore::{tree_sums, ElmoreSums};
 pub use exact::{transfer_moments, TransferMoments};
+pub use incremental::IncrementalSums;

@@ -1,0 +1,93 @@
+//! Corpus-scale timing with the batch engine, plus incremental what-if
+//! probing of the critical net.
+//!
+//! This is the "sign-off sweep" shape of the library: time every net of a
+//! block in one call (worker pool, per-net failure isolation,
+//! deterministic report), find the critical net, then probe candidate
+//! fixes on it with `IncrementalAnalysis` — O(depth) per candidate
+//! instead of a fresh O(n) analysis — and verify the chosen fix.
+//!
+//! Run with: `cargo run --example batch_timing`
+
+use equivalent_elmore::engine::{Batch, Engine};
+use equivalent_elmore::prelude::*;
+
+fn main() {
+    // --- 1. Assemble a small corpus: in-memory trees and netlist decks.
+    let wire = WireModel::IBM_COPPER_GLOBAL;
+    let mut clock = RlcTree::new();
+    let spine = wire.route(&mut clock, None, 2000.0, 8);
+    wire.route(&mut clock, Some(spine), 1000.0, 4);
+    wire.route(&mut clock, Some(spine), 1000.0, 4);
+
+    let narrow = WireModel::MINIMUM_WIDTH_SIGNAL;
+    let mut bus = RlcTree::new();
+    narrow.route(&mut bus, None, 3000.0, 12);
+
+    let mut batch = Batch::new();
+    batch.push_tree("clock-h1", clock);
+    batch.push_tree("data-bus", bus);
+    batch.push_deck(
+        "tiny-net",
+        "* a two-section stub\nR1 in n1 25\nC1 n1 0 0.5p\nR2 n1 n2 25\nC2 n2 0 0.5p\n",
+    );
+    // A malformed deck: isolated into its slot, the rest still times.
+    batch.push_deck("broken-net", "R1 in n1 twenty-five\n");
+
+    // --- 2. One call times everything. The report is in submission order
+    // and byte-identical for any worker count.
+    let report = Engine::new().run(&batch);
+    println!("corpus of {} nets:", batch.len());
+    let mut critical: Option<(String, f64)> = None;
+    for slot in &report.nets {
+        match slot {
+            Ok(net) => {
+                let c = net.critical().expect("nets here have sinks");
+                println!(
+                    "  {:<12} {:>3} sections, critical sink {} at {}",
+                    net.name, net.sections, c.node, c.delay_50
+                );
+                let ps = c.delay_50.as_picoseconds();
+                if critical.as_ref().is_none_or(|(_, worst)| ps > *worst) {
+                    critical = Some((net.name.clone(), ps));
+                }
+            }
+            Err(e) => println!("  FAILED      {e}"),
+        }
+    }
+    let (name, worst_ps) = critical.expect("at least one net timed");
+    println!("critical net: {name} ({worst_ps:.1} ps)\n");
+    assert_eq!(report.failures().count(), 1, "only the broken deck fails");
+
+    // --- 3. Probe fixes on the critical net incrementally: what if the
+    // first quarter of the bus were routed twice as wide?
+    let mut bus = RlcTree::new();
+    let sink = narrow.route(&mut bus, None, 3000.0, 12);
+    let mut probe = IncrementalAnalysis::new(bus);
+    let before = probe.delay_50(sink);
+
+    let path = probe.tree().path_from_root(sink);
+    let wide_section = narrow.widened(2.0).section(3000.0 / 12.0);
+    let widened_delay = probe.scoped_edit(|p| {
+        for &node in &path[..3] {
+            p.set_section(node, wide_section);
+        }
+        p.delay_50(sink)
+    });
+    println!("data-bus sink delay:   {before}");
+    println!("  widen first quarter: {widened_delay} (probed and rolled back)");
+    assert_eq!(probe.delay_50(sink), before, "rollback is lossless");
+    assert!(widened_delay < before, "wider wire must be faster here");
+
+    // --- 4. Commit the winning edit for real.
+    for &node in &path[..3] {
+        probe.set_section(node, wide_section);
+    }
+    probe.commit();
+    println!("  committed:           {}", probe.delay_50(sink));
+
+    // The JSON report (schema rlc-engine/1) is ready for tooling:
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"rlc-engine/1\""));
+    println!("\nJSON report: {} bytes (schema rlc-engine/1)", json.len());
+}

@@ -19,6 +19,7 @@
 //! | [`sim`] | `rlc-sim` | transient simulators (the AS/X substitute) |
 //! | [`awe`] | `rlc-awe` | AWE/Padé, Wyatt, Kahng–Muddu comparators |
 //! | [`opt`] | `rlc-opt` | repeater insertion, wire sizing, skew, inductance FOM |
+//! | [`engine`] | `rlc-engine` | concurrent batch timing, incremental re-analysis |
 //!
 //! # Quick start
 //!
@@ -44,6 +45,7 @@
 
 pub use eed;
 pub use rlc_awe as awe;
+pub use rlc_engine as engine;
 pub use rlc_moments as moments;
 pub use rlc_numeric as numeric;
 pub use rlc_opt as opt;
@@ -54,6 +56,7 @@ pub use rlc_units as units;
 /// The most common imports, for `use equivalent_elmore::prelude::*`.
 pub mod prelude {
     pub use eed::{Damping, SecondOrderModel, TreeAnalysis};
+    pub use rlc_engine::{Batch, Engine, IncrementalAnalysis};
     pub use rlc_moments::tree_sums;
     pub use rlc_sim::{simulate, SimOptions, Source, Waveform};
     pub use rlc_tree::wire::WireModel;
