@@ -20,6 +20,9 @@ enum NetSource {
     Tree(RlcTree),
     Deck(String),
     File(PathBuf),
+    /// Fault-injection hook: the worker panics with the given message when
+    /// it picks this job up. See [`Batch::push_panicking`].
+    Panic(String),
 }
 
 /// An ordered corpus of nets to analyze.
@@ -78,6 +81,18 @@ impl Batch {
     /// that net's report slot.
     pub fn push_deck(&mut self, name: impl Into<String>, deck: impl Into<String>) {
         self.jobs.push((name.into(), NetSource::Deck(deck.into())));
+    }
+
+    /// Queues a job that panics on the worker with `message`.
+    ///
+    /// This is the fault-injection hook used by differential-verification
+    /// harnesses (see the `rlc-verify` crate) to prove the engine's
+    /// isolation contract: the panic must land in this net's report slot as
+    /// [`EngineError::Panicked`] while every sibling net is analyzed
+    /// normally, byte-identically at any worker count.
+    pub fn push_panicking(&mut self, name: impl Into<String>, message: impl Into<String>) {
+        self.jobs
+            .push((name.into(), NetSource::Panic(message.into())));
     }
 
     /// Queues a `.sp` netlist file path; reading and parsing happen on the
@@ -361,8 +376,29 @@ impl Engine {
 
 /// Resolves and analyzes a single net; all failure modes become
 /// [`EngineError`]s.
+///
+/// The *entire* job — file I/O, deck parsing, and analysis — runs inside
+/// `catch_unwind`, so even a panic on an unexpected path (or one injected
+/// via [`Batch::push_panicking`]) is confined to this net's slot and can
+/// never take the worker down. Typed failures returned by the inner stage
+/// take precedence; only genuine unwinds become
+/// [`EngineError::Panicked`].
 fn analyze_one(name: &str, source: &NetSource) -> Result<NetTiming, EngineError> {
     let _span = rlc_obs::span!("engine.batch/net");
+    catch_unwind(AssertUnwindSafe(|| analyze_unprotected(name, source))).unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        Err(EngineError::Panicked {
+            net: name.to_owned(),
+            message,
+        })
+    })
+}
+
+fn analyze_unprotected(name: &str, source: &NetSource) -> Result<NetTiming, EngineError> {
     let parsed;
     let tree: &RlcTree = match source {
         NetSource::Tree(tree) => tree,
@@ -378,40 +414,28 @@ fn analyze_one(name: &str, source: &NetSource) -> Result<NetTiming, EngineError>
             parsed = parse_deck(name, &deck)?;
             &parsed
         }
+        NetSource::Panic(message) => panic!("{}", message),
     };
     if tree.is_empty() {
         return Err(EngineError::EmptyNet {
             net: name.to_owned(),
         });
     }
-    catch_unwind(AssertUnwindSafe(|| {
-        let analysis = TreeAnalysis::new(tree);
-        NetTiming {
-            name: name.to_owned(),
-            sections: tree.len(),
-            sinks: analysis
-                .sink_timings()
-                .into_iter()
-                .map(|t| SinkSummary {
-                    node: t.node,
-                    delay_50: t.delay_50,
-                    rise_time: t.rise_time,
-                    zeta: t.model.zeta(),
-                    damping: t.model.damping(),
-                })
-                .collect(),
-        }
-    }))
-    .map_err(|payload| {
-        let message = payload
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_owned())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic payload".to_owned());
-        EngineError::Panicked {
-            net: name.to_owned(),
-            message,
-        }
+    let analysis = TreeAnalysis::new(tree);
+    Ok(NetTiming {
+        name: name.to_owned(),
+        sections: tree.len(),
+        sinks: analysis
+            .sink_timings()
+            .into_iter()
+            .map(|t| SinkSummary {
+                node: t.node,
+                delay_50: t.delay_50,
+                rise_time: t.rise_time,
+                zeta: t.model.zeta(),
+                damping: t.model.damping(),
+            })
+            .collect(),
     })
 }
 
@@ -503,6 +527,20 @@ mod tests {
         assert!(matches!(errors[0], EngineError::Netlist { .. }));
         assert!(matches!(errors[1], EngineError::Io { .. }));
         assert!(matches!(errors[2], EngineError::EmptyNet { .. }));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_typed() {
+        let mut batch = small_corpus();
+        batch.push_panicking("boom", "injected fault");
+        let report = Engine::with_workers(2).run(&batch);
+        assert_eq!(report.successes().count(), 3);
+        let err = report.nets[3].as_ref().unwrap_err();
+        assert!(
+            matches!(err, EngineError::Panicked { message, .. } if message == "injected fault"),
+            "{err}"
+        );
+        assert_eq!(err.net(), "boom");
     }
 
     #[test]

@@ -75,6 +75,68 @@ fn reports_are_byte_identical_across_worker_counts() {
     }
 }
 
+/// A corpus interleaving healthy nets with injected faults: NaN / ∞ /
+/// negative section values (each a distinct malformed-deck shape) and one
+/// net that panics on the worker.
+fn corpus_with_injected_faults() -> Batch {
+    let mut batch = Batch::new();
+    batch.push_tree(
+        "ok0",
+        topology::balanced_tree(3, 2, section(18.0, 2.5, 0.35)),
+    );
+    batch.push_deck("nan-section", "R1 in n1 NaN\nC1 n1 0 0.5p\n");
+    let (line, _) = topology::single_line(7, section(14.0, 1.2, 0.2));
+    batch.push_tree("ok1", line);
+    batch.push_deck("inf-section", "R1 in n1 1e999\nC1 n1 0 0.5p\n");
+    batch.push_deck("neg-section", "R1 in n1 25\nC1 n1 0 -0.5p\n");
+    batch.push_panicking("worker-panic", "injected worker panic");
+    batch.push_deck(
+        "ok2",
+        "R1 in n1 25\nL1 n1 n1x 2n\nC1 n1x 0 0.4p\nR2 n1x n2 15\nC2 n2 0 0.3p\n",
+    );
+    batch
+}
+
+#[test]
+fn injected_faults_are_typed_and_reports_stay_byte_identical() {
+    let batch = corpus_with_injected_faults();
+    let reference = Engine::with_workers(1).run(&batch);
+    assert_eq!(reference.nets.len(), 7);
+
+    // Every fault lands in its own slot with the right EngineError type…
+    for (slot, expect_netlist) in [(1, true), (3, true), (4, true)] {
+        let err = reference.nets[slot].as_ref().expect_err("faulted deck");
+        assert!(
+            matches!(err, EngineError::Netlist { .. }) == expect_netlist,
+            "slot {slot}: {err}"
+        );
+    }
+    let err = reference.nets[5].as_ref().expect_err("panicking net");
+    assert!(
+        matches!(err, EngineError::Panicked { message, .. } if message == "injected worker panic"),
+        "{err}"
+    );
+    // …while every healthy sibling is unaffected.
+    for slot in [0, 2, 6] {
+        let timing = reference.nets[slot]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("healthy net {slot} contaminated: {e}"));
+        assert!(!timing.sinks.is_empty());
+    }
+
+    // And the report is byte-identical at 1/2/4/8 workers.
+    let ref_json = reference.to_json();
+    for workers in [2, 4, 8] {
+        let report = Engine::with_workers(workers).run(&batch);
+        assert_eq!(report, reference, "{workers} workers: results differ");
+        assert_eq!(
+            report.to_json(),
+            ref_json,
+            "{workers} workers: JSON differs"
+        );
+    }
+}
+
 #[test]
 fn auto_sized_engine_matches_single_worker() {
     let batch = corpus_with_poison();

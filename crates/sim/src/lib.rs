@@ -50,4 +50,4 @@ mod waveform;
 
 pub use source::Source;
 pub use tree_sim::{simulate, simulate_all, Integration, SimOptions};
-pub use waveform::Waveform;
+pub use waveform::{MetricError, Waveform};

@@ -1,6 +1,73 @@
 //! Sampled waveforms and the timing measurements the paper's figures use.
 
+use core::fmt;
+
 use rlc_units::Time;
+
+/// Why a timing metric could not be extracted from a waveform.
+///
+/// The `try_*` measurement methods return this instead of panicking or
+/// collapsing every failure into `None`, so differential harnesses (see the
+/// `rlc-verify` crate) can distinguish "the response never crossed the
+/// level" from "the caller passed a nonsensical reference value".
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum MetricError {
+    /// The waveform never rises through `level` — e.g. a monotone response
+    /// still below 50% at the last sample, or a degenerate source-only
+    /// tree observed against a higher reference.
+    NoCrossing {
+        /// The absolute level that was never reached.
+        level: f64,
+    },
+    /// The reference final value was zero or non-finite.
+    InvalidFinalValue {
+        /// The offending value.
+        v_final: f64,
+    },
+    /// The band fraction was outside `(0, 1)`.
+    InvalidBand {
+        /// The offending band.
+        band: f64,
+    },
+    /// The waveform was still outside the settling band at its last
+    /// sample, so no settling time exists within the simulated horizon.
+    NotSettled {
+        /// The requested band.
+        band: f64,
+    },
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::NoCrossing { level } => {
+                write!(f, "waveform never rises through level {level}")
+            }
+            MetricError::InvalidFinalValue { v_final } => {
+                write!(f, "final value must be non-zero and finite, got {v_final}")
+            }
+            MetricError::InvalidBand { band } => {
+                write!(f, "band must lie strictly between 0 and 1, got {band}")
+            }
+            MetricError::NotSettled { band } => {
+                write!(
+                    f,
+                    "waveform has not settled within ±{band} by its last sample"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+fn check_v_final(v_final: f64) -> Result<(), MetricError> {
+    if v_final == 0.0 || !v_final.is_finite() {
+        return Err(MetricError::InvalidFinalValue { v_final });
+    }
+    Ok(())
+}
 
 /// A uniformly or non-uniformly sampled voltage waveform.
 ///
@@ -121,9 +188,26 @@ impl Waveform {
         }
     }
 
+    /// The first time the waveform crosses `level` going upward, as a
+    /// typed result: a response that never reaches the level (e.g. a
+    /// monotone rise still below it at the last sample) yields
+    /// [`MetricError::NoCrossing`] rather than a bare `None`.
+    pub fn try_first_rising_crossing(&self, level: f64) -> Result<Time, MetricError> {
+        self.first_rising_crossing(level)
+            .ok_or(MetricError::NoCrossing { level })
+    }
+
     /// The 50% propagation delay: first crossing of `0.5·v_final`.
     pub fn delay_50(&self, v_final: f64) -> Option<Time> {
         self.first_rising_crossing(0.5 * v_final)
+    }
+
+    /// The 50% propagation delay with typed failures: rejects a zero or
+    /// non-finite `v_final` and reports non-crossing responses as
+    /// [`MetricError::NoCrossing`].
+    pub fn try_delay_50(&self, v_final: f64) -> Result<Time, MetricError> {
+        check_v_final(v_final)?;
+        self.try_first_rising_crossing(0.5 * v_final)
     }
 
     /// The 10–90% rise time relative to `v_final`.
@@ -131,6 +215,15 @@ impl Waveform {
         let t10 = self.first_rising_crossing(0.1 * v_final)?;
         let t90 = self.first_rising_crossing(0.9 * v_final)?;
         Some(t90 - t10)
+    }
+
+    /// The 10–90% rise time with typed failures; the error names the first
+    /// level (10% or 90%) that was never crossed.
+    pub fn try_rise_time_10_90(&self, v_final: f64) -> Result<Time, MetricError> {
+        check_v_final(v_final)?;
+        let t10 = self.try_first_rising_crossing(0.1 * v_final)?;
+        let t90 = self.try_first_rising_crossing(0.9 * v_final)?;
+        Ok(t90 - t10)
     }
 
     /// The global maximum as `(time, value)`.
@@ -159,6 +252,14 @@ impl Waveform {
         ((peak - v_final) / v_final).max(0.0)
     }
 
+    /// [`overshoot_fraction`](Self::overshoot_fraction) with the reference
+    /// validation reported as a typed error instead of a panic.
+    pub fn try_overshoot_fraction(&self, v_final: f64) -> Result<f64, MetricError> {
+        check_v_final(v_final)?;
+        let (_, peak) = self.peak();
+        Ok(((peak - v_final) / v_final).max(0.0))
+    }
+
     /// The settling time: the first time after which the waveform stays
     /// within `±band·v_final` of `v_final` (paper Fig. 7; `band` is the
     /// paper's `x`, typically 0.1).
@@ -177,6 +278,22 @@ impl Waveform {
             v_final != 0.0 && v_final.is_finite(),
             "final value must be non-zero and finite, got {v_final}"
         );
+        self.settling_core(v_final, band)
+    }
+
+    /// [`settling_time`](Self::settling_time) with typed failures: invalid
+    /// arguments and a still-unsettled waveform each get their own
+    /// [`MetricError`] variant.
+    pub fn try_settling_time(&self, v_final: f64, band: f64) -> Result<Time, MetricError> {
+        if !(band > 0.0 && band < 1.0) {
+            return Err(MetricError::InvalidBand { band });
+        }
+        check_v_final(v_final)?;
+        self.settling_core(v_final, band)
+            .ok_or(MetricError::NotSettled { band })
+    }
+
+    fn settling_core(&self, v_final: f64, band: f64) -> Option<Time> {
         let tol = band * v_final.abs();
         // Find the last sample outside the band; the crossing into the band
         // after it is the settling instant.

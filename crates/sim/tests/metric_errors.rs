@@ -1,0 +1,112 @@
+//! Regression tests for typed waveform-metric failures.
+//!
+//! The differential harness in `rlc-verify` measures simulated responses
+//! with the `try_*` extraction APIs; these tests pin the failure taxonomy
+//! on real simulations: a response that never crosses its measurement
+//! level must be a typed [`MetricError::NoCrossing`], and degenerate
+//! source-only / zero-load trees must measure cleanly rather than panic.
+
+use rlc_sim::{simulate, MetricError, SimOptions, Source};
+use rlc_tree::{topology, RlcSection, RlcTree};
+use rlc_units::{Capacitance, Inductance, Resistance, Time};
+
+fn section(r: f64, l: f64, c: f64) -> RlcSection {
+    RlcSection::new(
+        Resistance::from_ohms(r),
+        Inductance::from_henries(l),
+        Capacitance::from_farads(c),
+    )
+}
+
+#[test]
+fn monotone_below_50_percent_is_a_typed_no_crossing() {
+    // τ = 1 s observed for only 0.2 s: the response tops out near 18%,
+    // monotone and far below the 50% level.
+    let (tree, sink) = topology::single_line(1, section(1.0, 0.0, 1.0));
+    let options = SimOptions::new(Time::from_seconds(1e-3), Time::from_seconds(0.2));
+    let wave = &simulate(&tree, &Source::step(1.0), &options, &[sink])[0];
+
+    assert!(wave.last_value() < 0.5, "premise: still below 50%");
+    let err = wave.try_delay_50(1.0).unwrap_err();
+    assert_eq!(err, MetricError::NoCrossing { level: 0.5 });
+    assert!(err.to_string().contains("never rises"), "{err}");
+
+    // 10% was crossed but 90% was not; the error names the missing level.
+    let err = wave.try_rise_time_10_90(1.0).unwrap_err();
+    assert_eq!(err, MetricError::NoCrossing { level: 0.9 });
+
+    // Still far outside a ±10% band around the final value.
+    let err = wave.try_settling_time(1.0, 0.1).unwrap_err();
+    assert_eq!(err, MetricError::NotSettled { band: 0.1 });
+
+    // The Option-returning API agrees with the typed one.
+    assert_eq!(wave.delay_50(1.0), None);
+}
+
+#[test]
+fn source_only_zero_load_tree_measures_cleanly() {
+    // A single resistive section with no shunt capacitance: no dynamics at
+    // all, the node tracks the source from the first sample.
+    let mut tree = RlcTree::new();
+    let sink = tree.add_root_section(section(25.0, 0.0, 0.0));
+    let options = SimOptions::new(Time::from_picoseconds(1.0), Time::from_picoseconds(100.0));
+    let wave = &simulate(&tree, &Source::step(1.0), &options, &[sink])[0];
+
+    assert!((wave.last_value() - 1.0).abs() < 1e-9);
+    // Starts at the level, so the crossing is the first sample.
+    assert_eq!(wave.try_delay_50(1.0).unwrap(), Time::ZERO);
+    assert_eq!(wave.try_settling_time(1.0, 0.1).unwrap(), Time::ZERO);
+    assert_eq!(wave.try_overshoot_fraction(1.0).unwrap(), 0.0);
+}
+
+#[test]
+fn invalid_references_are_typed_not_panics() {
+    let (tree, sink) = topology::single_line(1, section(1.0, 0.0, 1.0));
+    let options = SimOptions::new(Time::from_seconds(0.1), Time::from_seconds(5.0));
+    let wave = &simulate(&tree, &Source::step(1.0), &options, &[sink])[0];
+
+    for bad in [0.0, f64::NAN, f64::INFINITY] {
+        assert!(
+            matches!(
+                wave.try_delay_50(bad),
+                Err(MetricError::InvalidFinalValue { .. })
+            ),
+            "v_final = {bad}"
+        );
+        assert!(matches!(
+            wave.try_overshoot_fraction(bad),
+            Err(MetricError::InvalidFinalValue { .. })
+        ));
+        assert!(matches!(
+            wave.try_settling_time(bad, 0.1),
+            Err(MetricError::InvalidFinalValue { .. })
+        ));
+    }
+    for bad_band in [0.0, 1.0, -0.2, f64::NAN] {
+        assert!(matches!(
+            wave.try_settling_time(1.0, bad_band),
+            Err(MetricError::InvalidBand { .. })
+        ));
+    }
+}
+
+#[test]
+fn typed_and_legacy_metrics_agree_on_a_healthy_response() {
+    let (tree, sink) = topology::single_line(3, section(20.0, 1e-9, 0.3e-12));
+    let options = SimOptions::new(Time::from_femtoseconds(100.0), Time::from_nanoseconds(3.0));
+    let wave = &simulate(&tree, &Source::step(1.0), &options, &[sink])[0];
+
+    assert_eq!(wave.try_delay_50(1.0).ok(), wave.delay_50(1.0));
+    assert_eq!(
+        wave.try_rise_time_10_90(1.0).ok(),
+        wave.rise_time_10_90(1.0)
+    );
+    assert_eq!(
+        wave.try_settling_time(1.0, 0.1).ok(),
+        wave.settling_time(1.0, 0.1)
+    );
+    assert_eq!(
+        wave.try_overshoot_fraction(1.0).unwrap(),
+        wave.overshoot_fraction(1.0)
+    );
+}

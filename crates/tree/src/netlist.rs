@@ -109,9 +109,11 @@ impl Netlist {
                     }
                     let element = if kind == Some('R') {
                         let r: Resistance = parse_value(value, lineno)?;
+                        check_element_value(card, r.as_ohms(), value, lineno)?;
                         SeriesKind::Resistor(r)
                     } else {
                         let l: Inductance = parse_value(value, lineno)?;
+                        check_element_value(card, l.as_henries(), value, lineno)?;
                         SeriesKind::Inductor(l)
                     };
                     series.push(SeriesElement {
@@ -133,6 +135,7 @@ impl Netlist {
                         }
                     };
                     let c: Capacitance = parse_value(value, lineno)?;
+                    check_element_value(card, c.as_farads(), value, lineno)?;
                     *shunt.entry(node.to_owned()).or_insert(Capacitance::ZERO) += c;
                 }
                 _ => {
@@ -385,6 +388,25 @@ where
     })
 }
 
+/// Rejects element values that would violate [`RlcSection::new`]'s
+/// finite/non-negative contract, so a malformed deck (negative resistance,
+/// a value that overflows to ∞, …) surfaces as a typed parse error instead
+/// of a panic deep inside tree assembly.
+fn check_element_value(
+    card: &str,
+    base_value: f64,
+    raw: &str,
+    line: usize,
+) -> Result<(), TreeError> {
+    if !base_value.is_finite() || base_value < 0.0 {
+        return Err(TreeError::ParseNetlist {
+            line,
+            message: format!("element {card} value {raw:?} must be finite and non-negative"),
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +551,29 @@ C9 zz 0 1p
         let deck = "Q1 in n1 10\n";
         let err = Netlist::parse(deck).unwrap_err();
         assert!(err.to_string().contains("unsupported card"), "{err}");
+    }
+
+    #[test]
+    fn negative_and_non_finite_values_are_typed_errors() {
+        // Each of these used to panic inside RlcSection::new; they must be
+        // ordinary parse errors so batch workers can isolate them per net.
+        for deck in [
+            ".input in\nR1 in n1 -25\nC1 n1 0 0.5p\n",
+            ".input in\nR1 in n1 25\nC1 n1 0 -0.5p\n",
+            ".input in\nR1 in n1 25\nL1 n1 n2 -1n\nC1 n2 0 0.5p\n",
+            ".input in\nR1 in n1 1e999\nC1 n1 0 0.5p\n",
+            ".input in\nR1 in n1 25\nC1 n1 0 1e999\n",
+            ".input in\nR1 in n1 NaN\nC1 n1 0 0.5p\n",
+        ] {
+            let err = Netlist::parse(deck).unwrap_err();
+            assert!(
+                matches!(err, TreeError::ParseNetlist { .. }),
+                "deck {deck:?} gave {err}"
+            );
+        }
+        let err = Netlist::parse(".input in\nR1 in n1 -25\n").unwrap_err();
+        assert!(err.to_string().contains("finite and non-negative"), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

@@ -45,7 +45,7 @@
 mod parse;
 mod quantity;
 
-pub use parse::ParseQuantityError;
+pub use parse::{ParseQuantityError, QuantityErrorKind};
 pub use quantity::{
     AngularFrequency, Capacitance, Inductance, Resistance, Time, TimeSquared, Voltage,
 };

@@ -2,24 +2,53 @@
 
 use core::fmt;
 
+/// Why a quantity string was rejected.
+///
+/// Distinguishing syntax errors from value errors lets callers (netlist
+/// parsing, fault-injection harnesses) report precisely which contract a
+/// malformed input violated instead of funnelling everything through one
+/// opaque message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuantityErrorKind {
+    /// The string does not match `<number> [prefix][unit]`.
+    Syntax,
+    /// The string parsed, but the value is NaN or overflows to ±∞
+    /// (e.g. `"1e999"`).
+    NonFinite,
+}
+
 /// Error returned when a quantity string cannot be parsed.
 ///
 /// # Examples
 ///
 /// ```
-/// use rlc_units::Resistance;
+/// use rlc_units::{QuantityErrorKind, Resistance};
 /// let err = "ohms".parse::<Resistance>().unwrap_err();
 /// assert!(err.to_string().contains("invalid quantity"));
+/// assert_eq!(err.kind(), QuantityErrorKind::Syntax);
+///
+/// let err = "1e999".parse::<Resistance>().unwrap_err();
+/// assert_eq!(err.kind(), QuantityErrorKind::NonFinite);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseQuantityError {
     input: String,
+    kind: QuantityErrorKind,
 }
 
 impl ParseQuantityError {
     pub(crate) fn new(input: &str) -> Self {
         Self {
             input: input.to_owned(),
+            kind: QuantityErrorKind::Syntax,
+        }
+    }
+
+    pub(crate) fn non_finite(input: &str) -> Self {
+        Self {
+            input: input.to_owned(),
+            kind: QuantityErrorKind::NonFinite,
         }
     }
 
@@ -27,11 +56,21 @@ impl ParseQuantityError {
     pub fn input(&self) -> &str {
         &self.input
     }
+
+    /// What was wrong with it.
+    pub fn kind(&self) -> QuantityErrorKind {
+        self.kind
+    }
 }
 
 impl fmt::Display for ParseQuantityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid quantity syntax: {:?}", self.input)
+        match self.kind {
+            QuantityErrorKind::Syntax => write!(f, "invalid quantity syntax: {:?}", self.input),
+            QuantityErrorKind::NonFinite => {
+                write!(f, "quantity value is not finite: {:?}", self.input)
+            }
+        }
     }
 }
 
@@ -68,7 +107,7 @@ pub(crate) fn format_engineering(value: f64, unit: &str) -> String {
     let mut best: Option<(&str, i32)> = None;
     for &(sym, exp) in PREFIXES.iter().filter(|&&(s, _)| s != "µ") {
         let scale = 10f64.powi(exp);
-        if magnitude >= scale && (best.is_none() || exp > best.unwrap().1) {
+        if magnitude >= scale && best.is_none_or(|(_, b)| exp > b) {
             best = Some((sym, exp));
         }
     }
@@ -118,6 +157,11 @@ pub(crate) fn parse_engineering(s: &str, unit: &str) -> Result<f64, ParseQuantit
     let number: f64 = head
         .parse()
         .map_err(|_| ParseQuantityError::new(original))?;
+    if !number.is_finite() {
+        // "1e999" parses as +∞ under Rust's f64 grammar; a quantity that
+        // overflows its unit is a value error, not a syntax error.
+        return Err(ParseQuantityError::non_finite(original));
+    }
     let tail = tail.trim();
     // Strip a trailing unit symbol if present.
     let tail = tail
@@ -138,7 +182,13 @@ pub(crate) fn parse_engineering(s: &str, unit: &str) -> Result<f64, ParseQuantit
     }
     for &(sym, exp) in PREFIXES {
         if tail == sym {
-            return Ok(number * 10f64.powi(exp));
+            let scaled = number * 10f64.powi(exp);
+            if !scaled.is_finite() {
+                // A large-but-finite mantissa can still overflow once the
+                // prefix scale is applied (e.g. "1e300 T").
+                return Err(ParseQuantityError::non_finite(original));
+            }
+            return Ok(scaled);
         }
     }
     Err(ParseQuantityError::new(original))
@@ -209,6 +259,22 @@ mod tests {
         let err = parse_engineering("bogus", "F").unwrap_err();
         assert_eq!(err.input(), "bogus");
         assert!(err.to_string().contains("bogus"));
+        assert_eq!(err.kind(), QuantityErrorKind::Syntax);
+    }
+
+    #[test]
+    fn overflowing_values_are_typed_non_finite() {
+        // Overflow in the mantissa itself…
+        let err = parse_engineering("1e999", "Ω").unwrap_err();
+        assert_eq!(err.kind(), QuantityErrorKind::NonFinite);
+        assert!(err.to_string().contains("not finite"), "{err}");
+        // …and overflow introduced by the prefix scale.
+        let err = parse_engineering("1e300 T", "Ω").unwrap_err();
+        assert_eq!(err.kind(), QuantityErrorKind::NonFinite);
+        // NaN spellings never reach the value stage: the numeric head is
+        // empty, so they stay syntax errors.
+        let err = parse_engineering("NaN", "Ω").unwrap_err();
+        assert_eq!(err.kind(), QuantityErrorKind::Syntax);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Command-line conformance runner.
+//!
+//! Generates a seeded corpus, measures every net with the exact-simulation
+//! oracle, evaluates all delay models, runs the fault-injection plan, and
+//! writes the `rlc-verify/1` JSON report. Exits non-zero when a gated
+//! model exceeds its tolerance or a fault contract is violated.
+//!
+//! ```text
+//! cargo run --release -p rlc-verify --bin conformance -- --seed 42
+//! cargo run --release -p rlc-verify --bin conformance -- \
+//!     --seed 42 --nets 201 --max-sections 24 --out BENCH_verify.json
+//! ```
+
+use std::process::ExitCode;
+
+use rlc_verify::{Conformance, CorpusSpec, FaultPlan, ModelKind};
+
+struct Args {
+    seed: u64,
+    nets: usize,
+    max_sections: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        nets: 201,
+        max_sections: 24,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--nets" => {
+                args.nets = value("--nets")?
+                    .parse()
+                    .map_err(|e| format!("--nets: {e}"))?;
+            }
+            "--max-sections" => {
+                args.max_sections = value("--max-sections")?
+                    .parse()
+                    .map_err(|e| format!("--max-sections: {e}"))?;
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: conformance [--seed N] [--nets N] [--max-sections N] [--out FILE]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = CorpusSpec {
+        seed: args.seed,
+        nets: args.nets,
+        max_sections: args.max_sections,
+    };
+
+    eprintln!(
+        "conformance: seed {} | {} nets | up to {} sections",
+        spec.seed, spec.nets, spec.max_sections
+    );
+    let report = Conformance::default().run(&spec);
+    eprintln!(
+        "oracle measured {} nets ({} skipped)",
+        report.outcomes.len(),
+        report.skipped.len()
+    );
+    for s in &report.stats {
+        let gate = match s.model.tolerance() {
+            Some(tol) => format!(
+                "tol {:>5.1}% [{}]",
+                tol * 100.0,
+                if s.pass { "pass" } else { "FAIL" }
+            ),
+            None => "ungated".to_owned(),
+        };
+        eprintln!(
+            "  {:<20} n={:<4} mean {:>6.2}%  p95 {:>6.2}%  max {:>6.2}%  {}  worst {}",
+            s.model.name(),
+            s.count,
+            s.mean_abs * 100.0,
+            s.p95_abs * 100.0,
+            s.max_abs * 100.0,
+            gate,
+            s.worst_net,
+        );
+    }
+    for violation in &report.violations {
+        eprintln!("  VIOLATION: {violation}");
+    }
+
+    eprintln!("fault injection: standard plan, workers 1/2/4/8");
+    let faults = FaultPlan::standard(spec.seed).execute();
+    for check in &faults.checks {
+        eprintln!(
+            "  {:<22} slot {:>2}  [{}]  {}",
+            check.fault.name(),
+            check.slot,
+            if check.typed_correctly { "ok" } else { "FAIL" },
+            check.observed,
+        );
+    }
+    for violation in &faults.violations {
+        eprintln!("  VIOLATION: {violation}");
+    }
+
+    let json = report.to_json();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    // The headline number, for humans and CI logs alike.
+    let eed = report.stats_for(ModelKind::EedFitted);
+    eprintln!(
+        "eed-fitted worst case: {:.2}% on {} (replay: --seed via net seed {:#018x})",
+        eed.max_abs * 100.0,
+        eed.worst_net,
+        eed.worst_seed,
+    );
+
+    if report.passed() && faults.passed() {
+        eprintln!("conformance: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("conformance: FAIL");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,42 @@
+//! Differential verification of the equivalent-Elmore-delay pipeline.
+//!
+//! The paper validates its closed-form model against an exact circuit
+//! simulator on a handful of hand-picked trees (Section V). This crate
+//! scales that methodology into a harness:
+//!
+//! * [`TreeCorpus`] — a seeded, replayable generator of random RLC trees,
+//!   stratified by size, shape, and damping regime. The damping regime is
+//!   steered exactly: scaling every section resistance by a common factor
+//!   scales the sink's ζ (paper eq. 29) by the same factor while leaving
+//!   `T_LC` — and therefore ω_n (eq. 30) — untouched.
+//! * [`Oracle`] — measures the reference 50% delay, rise time, overshoot,
+//!   and settling time from the *exact* `rlc-sim` step response, with
+//!   automatic horizon/step refinement so the measurement, not the
+//!   discretization, dominates the error budget.
+//! * [`Conformance`] — runs every closed-form and reduced-order delay
+//!   model in the workspace against the oracle over a corpus and renders a
+//!   machine-readable `rlc-verify/1` JSON report: per-model error
+//!   statistics, an error histogram, and the worst-case net with its
+//!   replayable seed.
+//! * [`FaultPlan`] — injects malformed decks (NaN/∞/negative values,
+//!   truncated and empty decks), missing files, empty trees, and worker
+//!   panics into the batch [`rlc_engine::Engine`], asserting that every
+//!   fault lands in a typed [`rlc_engine::EngineError`] slot without
+//!   contaminating sibling nets and without breaking byte-identical
+//!   reports across worker counts.
+//!
+//! The `conformance` binary drives all of this from the command line:
+//!
+//! ```text
+//! cargo run --release -p rlc-verify --bin conformance -- --seed 42
+//! ```
+
+mod conformance;
+mod corpus;
+mod fault;
+mod oracle;
+
+pub use conformance::{Conformance, ConformanceReport, ErrorStats, ModelKind, NetOutcome};
+pub use corpus::{build_net, CorpusNet, CorpusSpec, Regime, Shape, TreeCorpus};
+pub use fault::{Fault, FaultCheck, FaultPlan, FaultReport};
+pub use oracle::{Oracle, OracleError, OracleMeasurement};

@@ -1,0 +1,85 @@
+//! End-to-end smoke test of the conformance runner on a small corpus.
+//!
+//! The release-mode acceptance run uses 201 nets (see BENCH_verify.json);
+//! this test keeps the corpus small enough for debug builds while still
+//! exercising every model, the report schema, and determinism.
+
+use rlc_obs::json;
+use rlc_verify::{Conformance, CorpusSpec, ModelKind, Oracle};
+
+fn smoke_spec() -> CorpusSpec {
+    CorpusSpec {
+        seed: 42,
+        nets: 12,
+        max_sections: 10,
+    }
+}
+
+fn run() -> rlc_verify::ConformanceReport {
+    Conformance::with_oracle(Oracle::with_max_steps(20_000)).run(&smoke_spec())
+}
+
+#[test]
+fn small_corpus_passes_all_gates() {
+    let report = run();
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert_eq!(
+        report.outcomes.len() + report.skipped.len(),
+        smoke_spec().nets,
+        "every generated net must be accounted for"
+    );
+    assert!(
+        report.skipped.is_empty(),
+        "the smoke corpus should be fully measurable: {:?}",
+        report.skipped
+    );
+    for kind in ModelKind::ALL {
+        let stats = report.stats_for(kind);
+        assert!(
+            stats.count > 0,
+            "{} never produced a prediction",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn report_json_matches_schema() {
+    let report = run();
+    let text = report.to_json();
+    let value = json::parse(&text).expect("report must be valid JSON");
+    let root = value.as_object().expect("root is an object");
+    assert_eq!(
+        root.get("schema").and_then(|v| v.as_str()),
+        Some("rlc-verify/1")
+    );
+    assert_eq!(root.get("nets").and_then(|v| v.as_f64()), Some(12.0));
+    assert_eq!(root.get("measured").and_then(|v| v.as_f64()), Some(12.0));
+    let models = root
+        .get("models")
+        .and_then(|v| v.as_array())
+        .expect("models");
+    assert_eq!(models.len(), ModelKind::ALL.len());
+    for entry in models {
+        let entry = entry.as_object().expect("model entry");
+        for key in [
+            "model",
+            "count",
+            "unavailable",
+            "mean_abs_rel_err",
+            "p95_abs_rel_err",
+            "max_abs_rel_err",
+            "worst",
+            "histogram",
+            "tolerance",
+            "pass",
+        ] {
+            assert!(entry.contains_key(key), "model entry missing {key:?}");
+        }
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_runs() {
+    assert_eq!(run().to_json(), run().to_json());
+}

@@ -1,0 +1,101 @@
+//! Property tests at the damping-regime boundaries (paper Section IV).
+//!
+//! The regimes are not a labeling convenience — they make *qualitative*
+//! predictions about the exact response that the oracle can check:
+//! overdamped trees (ζ > 1) respond monotonically, underdamped trees
+//! (ζ < 1) must overshoot by `exp(−πζ/√(1−ζ²))` (eq. 39, derived from the
+//! eq. 29/30 tree sums). These properties pin the corpus generator's ζ
+//! steering and the oracle's measurements to the paper's closed forms.
+
+use eed::SecondOrderModel;
+use proptest::prelude::*;
+use rlc_tree::{topology, RlcSection};
+use rlc_units::{Capacitance, Inductance, Resistance};
+use rlc_verify::{build_net, Oracle, Regime};
+
+/// Modest budget: each case runs a transient simulation in debug mode.
+const CASES: u32 = 16;
+
+fn oracle() -> Oracle {
+    Oracle::with_max_steps(30_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// ζ > 1.25 ⇒ the exact response is monotone: no measurable overshoot.
+    #[test]
+    fn overdamped_nets_respond_monotonically(seed in any::<u64>()) {
+        let net = build_net(seed, Regime::Overdamped, 8);
+        prop_assume!(net.zeta > 1.25);
+        let m = oracle().measure(&net.tree, net.sink).expect("measurable");
+        // Allow discretization-level wiggle only.
+        prop_assert!(
+            m.overshoot < 5e-3,
+            "ζ = {} but overshoot = {}", net.zeta, m.overshoot
+        );
+        // Monotone responses settle at their 90% crossing, after the delay.
+        prop_assert!(m.settling > m.delay_50);
+    }
+
+    /// ζ < 0.7 ⇒ the exact response rings visibly above the final value.
+    #[test]
+    fn underdamped_nets_overshoot(seed in any::<u64>()) {
+        let net = build_net(seed, Regime::Underdamped, 8);
+        prop_assume!(net.zeta < 0.7);
+        let m = oracle().measure(&net.tree, net.sink).expect("measurable");
+        prop_assert!(
+            m.overshoot > 0.015,
+            "ζ = {} but overshoot only {}", net.zeta, m.overshoot
+        );
+    }
+
+    /// The generator's recorded ζ is eq. 29 evaluated on the final tree:
+    /// `ζ = T_RC / (2·√T_LC)`, bit-for-bit what the analysis model sees.
+    #[test]
+    fn corpus_zeta_is_eq_29(seed in any::<u64>(), regime_idx in 0usize..3) {
+        let regime = Regime::ALL[regime_idx];
+        let net = build_net(seed, regime, 12);
+        let model = SecondOrderModel::at_node(&net.tree, net.sink);
+        prop_assert!(
+            (model.zeta() - net.zeta).abs() <= 1e-12 * net.zeta,
+            "recorded ζ {} vs model ζ {}", net.zeta, model.zeta()
+        );
+        // ... and ω_n is eq. 30: 1/√T_LC, finite for any RLC net.
+        prop_assert!(model.omega_n().is_finite());
+    }
+
+    /// For a single RLC section the transfer function IS the second-order
+    /// model, so the simulated overshoot must match eq. 39 to within
+    /// discretization error.
+    #[test]
+    fn single_section_overshoot_matches_eq_39(
+        r in 2.0f64..20.0,
+        l_nh in 2.0f64..10.0,
+        c_pf in 0.1f64..1.0,
+    ) {
+        let section = RlcSection::new(
+            Resistance::from_ohms(r),
+            Inductance::from_nanohenries(l_nh),
+            Capacitance::from_picofarads(c_pf),
+        );
+        let (tree, sink) = topology::single_line(1, section);
+        let model = SecondOrderModel::at_node(&tree, sink);
+        prop_assume!(model.zeta() > 0.15 && model.zeta() < 0.85);
+        let m = oracle().measure(&tree, sink).expect("measurable");
+        let expect = model.max_overshoot().expect("underdamped");
+        prop_assert!(
+            (m.overshoot - expect).abs() < 0.02,
+            "ζ = {}: simulated {} vs eq. 39 {}", model.zeta(), m.overshoot, expect
+        );
+        // Settling agrees with the eq. 41/42 extremum construction to
+        // within one ringing half-period.
+        let half_period = core::f64::consts::PI
+            / model.omega_d().expect("underdamped").as_radians_per_second();
+        let predicted = model.settling_time(0.1).as_seconds();
+        prop_assert!(
+            (m.settling.as_seconds() - predicted).abs() < half_period,
+            "settling {} vs predicted {predicted}", m.settling.as_seconds()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Integration check of the fault-injection contracts through the public
+//! API, exactly as the conformance binary drives them.
+
+use rlc_verify::{Fault, FaultPlan};
+
+#[test]
+fn standard_plan_upholds_all_contracts() {
+    let report = FaultPlan::standard(42).execute();
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert_eq!(report.worker_counts, vec![1, 2, 4, 8]);
+
+    // Every fault in the taxonomy was injected and typed correctly.
+    assert_eq!(report.checks.len(), Fault::ALL.len());
+    for fault in Fault::ALL {
+        let check = report
+            .checks
+            .iter()
+            .find(|c| c.fault == fault)
+            .unwrap_or_else(|| panic!("{fault} never injected"));
+        assert!(check.typed_correctly, "{fault}: {}", check.observed);
+    }
+}
+
+#[test]
+fn contracts_hold_for_arbitrary_seeds() {
+    for seed in [0, 1, 0xDEAD_BEEF, u64::MAX] {
+        let report = FaultPlan::standard(seed).execute();
+        assert!(
+            report.passed(),
+            "seed {seed}: violations {:?}",
+            report.violations
+        );
+    }
+}
