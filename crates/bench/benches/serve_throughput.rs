@@ -1,0 +1,106 @@
+//! Criterion benchmark for the `rlc-serve` request path: analyzes/second
+//! through [`ServeCore`] with a cold cache (every request is a new
+//! circuit — full parse → canonicalize → engine trip, plus an insert)
+//! versus a warm cache (every request is a repeat — the engine is never
+//! touched).
+//!
+//! After the warm measurement the benchmark *asserts* the cache hit
+//! ratio exceeded 90%, so a regression that silently disables content
+//! addressing (e.g. a canonicalization change that makes identical decks
+//! hash apart) fails `cargo bench`/`--test` instead of just looking slow.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rlc_serve::{AnalyzeRequest, CacheConfig, ServeConfig, ServeCore};
+
+/// Requests per measured iteration.
+const REQUESTS: usize = 32;
+/// Series sections per deck — enough that the engine trip dominates the
+/// cold path and the warm path's savings are visible.
+const SECTIONS: usize = 48;
+
+/// A `SECTIONS`-long RLC line whose first resistance is `seed`-dependent,
+/// so distinct seeds are distinct circuits (distinct cache keys).
+fn deck(seed: usize) -> String {
+    let mut deck = String::new();
+    let mut parent = "in".to_owned();
+    for k in 0..SECTIONS {
+        let node = format!("n{k}");
+        let ohms = if k == 0 { 25 + seed } else { 25 };
+        deck.push_str(&format!("R{k} {parent} {node} {ohms}\n"));
+        deck.push_str(&format!("L{k} {node} {node}x 5n\nC{k} {node}x 0 0.5p\n"));
+        parent = format!("{node}x");
+    }
+    deck
+}
+
+fn core(cache_capacity: usize) -> ServeCore {
+    ServeCore::new(ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache: CacheConfig {
+            capacity: cache_capacity,
+            ttl: None,
+        },
+    })
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+
+    // Cold: a fresh circuit per request, forever — every analyze misses,
+    // runs the engine, and inserts (with LRU churn once the cache fills).
+    let cold = core(256);
+    let mut seed = 0usize;
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            for _ in 0..REQUESTS {
+                seed += 1;
+                std::hint::black_box(cold.analyze(AnalyzeRequest::new("cold", deck(seed))));
+            }
+        })
+    });
+    let cold_stats = cold.cache_stats();
+    assert_eq!(
+        cold_stats.hits, 0,
+        "distinct circuits must never hit the cache"
+    );
+
+    // Warm: the working set is prepopulated; every measured request is a
+    // repeat and must be served without engine work.
+    let warm = core(2 * REQUESTS);
+    for i in 0..REQUESTS {
+        warm.analyze(AnalyzeRequest::new("prewarm", deck(i)));
+    }
+    let engine_jobs_before = warm.engine_stats().submitted;
+    let cache_before = warm.cache_stats();
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            for i in 0..REQUESTS {
+                std::hint::black_box(warm.analyze(AnalyzeRequest::new("warm", deck(i))));
+            }
+        })
+    });
+    group.finish();
+
+    // Ratio over the *measured* phase only — the prewarm pass is all
+    // misses by construction and must not dilute the assertion (under
+    // `--test` Criterion runs a single iteration, so total-ratio would
+    // sit at exactly 0.5 even with perfect content addressing).
+    let stats = warm.cache_stats();
+    let hits = stats.hits - cache_before.hits;
+    let misses = stats.misses - cache_before.misses;
+    let ratio = hits as f64 / (hits + misses) as f64;
+    assert!(
+        ratio > 0.9,
+        "warm-cache hit ratio {ratio:.3} <= 0.9 (hits {hits}, misses {misses})"
+    );
+    assert_eq!(
+        warm.engine_stats().submitted,
+        engine_jobs_before,
+        "warm-cache requests must do zero engine work"
+    );
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

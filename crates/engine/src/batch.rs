@@ -13,10 +13,47 @@ use rlc_units::Time;
 
 use crate::EngineError;
 
+/// Which closed-form timing model a worker evaluates for a net.
+///
+/// The cheap estimators exist to be hammered inside synthesis loops, and
+/// different loops want different fidelity/cost points: the paper's
+/// equivalent-Elmore second-order model, or the classic first-order RC
+/// Elmore bound it generalizes. The model id is part of every cache key in
+/// `rlc-serve`, so results for different models never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TimingModel {
+    /// The paper's equivalent-Elmore second-order model (eqs. 29/30 →
+    /// ζ, ωₙ, fitted eqs. 35/36). The default.
+    #[default]
+    Eed,
+    /// The first-order RC Elmore bound: `delay = ln 2 · T_RC`,
+    /// `rise = ln 9 · T_RC`, every sink reported as first-order.
+    Elmore,
+}
+
+impl TimingModel {
+    /// The stable wire-format id (`"eed"` / `"elmore"`).
+    pub fn id(self) -> &'static str {
+        match self {
+            TimingModel::Eed => "eed",
+            TimingModel::Elmore => "elmore",
+        }
+    }
+
+    /// Parses a wire-format id; `None` for unknown model names.
+    pub fn from_id(id: &str) -> Option<Self> {
+        match id {
+            "eed" => Some(TimingModel::Eed),
+            "elmore" => Some(TimingModel::Elmore),
+            _ => None,
+        }
+    }
+}
+
 /// One net awaiting analysis: an in-memory tree, a netlist deck, or a
 /// netlist file to be read by the worker that picks the job up.
 #[derive(Debug, Clone)]
-enum NetSource {
+pub(crate) enum NetSource {
     Tree(RlcTree),
     Deck(String),
     File(PathBuf),
@@ -191,59 +228,11 @@ impl BatchReport {
     /// reports from different engine configurations are byte-comparable.
     pub fn to_json(&self) -> String {
         use core::fmt::Write as _;
-        use rlc_obs::json::{number, quote};
 
         let mut out = String::from("{\n  \"schema\": \"rlc-engine/1\",\n  \"nets\": [");
         for (i, net) in self.nets.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            match net {
-                Ok(t) => {
-                    let _ = write!(
-                        out,
-                        "{sep}\n    {{\"name\": {}, \"status\": \"ok\", \"sections\": {}, ",
-                        quote(&t.name),
-                        t.sections
-                    );
-                    match t.critical() {
-                        Some(c) => {
-                            let _ = write!(
-                                out,
-                                "\"critical_sink\": {}, \"critical_delay_ps\": {}, ",
-                                c.node.index(),
-                                number(c.delay_50.as_picoseconds())
-                            );
-                        }
-                        None => out.push_str("\"critical_sink\": null, "),
-                    }
-                    out.push_str("\"sinks\": [");
-                    for (j, sink) in t.sinks.iter().enumerate() {
-                        let sep = if j == 0 { "" } else { ", " };
-                        let zeta = if sink.zeta.is_finite() {
-                            number(sink.zeta)
-                        } else {
-                            "null".to_owned()
-                        };
-                        let _ = write!(
-                            out,
-                            "{sep}{{\"node\": {}, \"delay_50_ps\": {}, \"rise_time_ps\": {}, \"zeta\": {}, \"damping\": {}}}",
-                            sink.node.index(),
-                            number(sink.delay_50.as_picoseconds()),
-                            number(sink.rise_time.as_picoseconds()),
-                            zeta,
-                            quote(&sink.damping.to_string()),
-                        );
-                    }
-                    out.push_str("]}");
-                }
-                Err(e) => {
-                    let _ = write!(
-                        out,
-                        "{sep}\n    {{\"name\": {}, \"status\": \"error\", \"error\": {}}}",
-                        quote(e.net()),
-                        quote(&e.to_string())
-                    );
-                }
-            }
+            let _ = write!(out, "{sep}\n    {}", net_json(net));
         }
         out.push_str(if self.nets.is_empty() {
             "]\n}\n"
@@ -252,6 +241,68 @@ impl BatchReport {
         });
         out
     }
+}
+
+/// Renders one per-net result as the single-line JSON object used inside
+/// the `rlc-engine/1` report's `nets` array.
+///
+/// The rendering depends only on the result value, so any front end that
+/// re-serves engine results (notably `rlc-serve`) can emit payloads that
+/// are byte-identical to a direct [`BatchReport::to_json`] entry.
+pub fn net_json(net: &Result<NetTiming, EngineError>) -> String {
+    use core::fmt::Write as _;
+    use rlc_obs::json::{number, quote};
+
+    let mut out = String::new();
+    match net {
+        Ok(t) => {
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"status\": \"ok\", \"sections\": {}, ",
+                quote(&t.name),
+                t.sections
+            );
+            match t.critical() {
+                Some(c) => {
+                    let _ = write!(
+                        out,
+                        "\"critical_sink\": {}, \"critical_delay_ps\": {}, ",
+                        c.node.index(),
+                        number(c.delay_50.as_picoseconds())
+                    );
+                }
+                None => out.push_str("\"critical_sink\": null, "),
+            }
+            out.push_str("\"sinks\": [");
+            for (j, sink) in t.sinks.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let zeta = if sink.zeta.is_finite() {
+                    number(sink.zeta)
+                } else {
+                    "null".to_owned()
+                };
+                let _ = write!(
+                    out,
+                    "{sep}{{\"node\": {}, \"delay_50_ps\": {}, \"rise_time_ps\": {}, \"zeta\": {}, \"damping\": {}}}",
+                    sink.node.index(),
+                    number(sink.delay_50.as_picoseconds()),
+                    number(sink.rise_time.as_picoseconds()),
+                    zeta,
+                    quote(&sink.damping.to_string()),
+                );
+            }
+            out.push_str("]}");
+        }
+        Err(e) => {
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"status\": \"error\", \"error\": {}}}",
+                quote(e.net()),
+                quote(&e.to_string())
+            );
+        }
+    }
+    out
 }
 
 /// The worker-pool engine.
@@ -339,7 +390,7 @@ impl Engine {
                         rlc_obs::value!("engine.queue.depth", (n - i - 1) as f64);
                         let t0 = Instant::now();
                         let (name, source) = &jobs[i];
-                        let result = analyze_one(name, source);
+                        let result = analyze_one(name, source, TimingModel::Eed);
                         busy_ns += t0.elapsed().as_nanos();
                         completed += 1;
                         rlc_obs::counter!("engine.jobs.completed");
@@ -383,9 +434,16 @@ impl Engine {
 /// never take the worker down. Typed failures returned by the inner stage
 /// take precedence; only genuine unwinds become
 /// [`EngineError::Panicked`].
-fn analyze_one(name: &str, source: &NetSource) -> Result<NetTiming, EngineError> {
+pub(crate) fn analyze_one(
+    name: &str,
+    source: &NetSource,
+    model: TimingModel,
+) -> Result<NetTiming, EngineError> {
     let _span = rlc_obs::span!("engine.batch/net");
-    catch_unwind(AssertUnwindSafe(|| analyze_unprotected(name, source))).unwrap_or_else(|payload| {
+    catch_unwind(AssertUnwindSafe(|| {
+        analyze_unprotected(name, source, model)
+    }))
+    .unwrap_or_else(|payload| {
         let message = payload
             .downcast_ref::<&str>()
             .map(|s| (*s).to_owned())
@@ -398,7 +456,11 @@ fn analyze_one(name: &str, source: &NetSource) -> Result<NetTiming, EngineError>
     })
 }
 
-fn analyze_unprotected(name: &str, source: &NetSource) -> Result<NetTiming, EngineError> {
+fn analyze_unprotected(
+    name: &str,
+    source: &NetSource,
+    model: TimingModel,
+) -> Result<NetTiming, EngineError> {
     let parsed;
     let tree: &RlcTree = match source {
         NetSource::Tree(tree) => tree,
@@ -421,11 +483,8 @@ fn analyze_unprotected(name: &str, source: &NetSource) -> Result<NetTiming, Engi
             net: name.to_owned(),
         });
     }
-    let analysis = TreeAnalysis::new(tree);
-    Ok(NetTiming {
-        name: name.to_owned(),
-        sections: tree.len(),
-        sinks: analysis
+    let sinks = match model {
+        TimingModel::Eed => TreeAnalysis::new(tree)
             .sink_timings()
             .into_iter()
             .map(|t| SinkSummary {
@@ -436,7 +495,35 @@ fn analyze_unprotected(name: &str, source: &NetSource) -> Result<NetTiming, Engi
                 damping: t.model.damping(),
             })
             .collect(),
+        TimingModel::Elmore => elmore_sinks(tree),
+    };
+    Ok(NetTiming {
+        name: name.to_owned(),
+        sections: tree.len(),
+        sinks,
     })
+}
+
+/// First-order RC Elmore summaries: the single-pole step response through
+/// `T_RC` gives `delay_50 = ln 2 · T_RC` and `rise = ln 9 · T_RC`. Sinks
+/// with zero `T_RC` are omitted, mirroring [`TreeAnalysis::sink_timings`].
+fn elmore_sinks(tree: &RlcTree) -> Vec<SinkSummary> {
+    let sums = rlc_moments::tree_sums(tree);
+    tree.leaves()
+        .filter_map(|node| {
+            let t_rc = sums.rc(node);
+            if t_rc.as_seconds() == 0.0 {
+                return None;
+            }
+            Some(SinkSummary {
+                node,
+                delay_50: t_rc * core::f64::consts::LN_2,
+                rise_time: t_rc * 9f64.ln(),
+                zeta: f64::INFINITY,
+                damping: Damping::FirstOrder,
+            })
+        })
+        .collect()
 }
 
 fn parse_deck(name: &str, deck: &str) -> Result<RlcTree, EngineError> {

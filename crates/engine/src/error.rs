@@ -40,6 +40,27 @@ pub enum EngineError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// The service's bounded submission queue was at capacity, so the net
+    /// was rejected at admission instead of piling up unboundedly
+    /// (see [`EngineService`](crate::EngineService)).
+    Overloaded {
+        /// The net's name.
+        net: String,
+        /// The configured bound on outstanding (queued + in-flight) jobs.
+        capacity: usize,
+    },
+    /// The service had begun draining when the net was submitted; no new
+    /// work is admitted during shutdown.
+    ShuttingDown {
+        /// The net's name.
+        net: String,
+    },
+    /// The net's deadline had already passed when a worker picked it up,
+    /// so the analysis was skipped.
+    DeadlineExceeded {
+        /// The net's name.
+        net: String,
+    },
 }
 
 impl EngineError {
@@ -49,7 +70,10 @@ impl EngineError {
             EngineError::Io { net, .. }
             | EngineError::Netlist { net, .. }
             | EngineError::EmptyNet { net }
-            | EngineError::Panicked { net, .. } => net,
+            | EngineError::Panicked { net, .. }
+            | EngineError::Overloaded { net, .. }
+            | EngineError::ShuttingDown { net }
+            | EngineError::DeadlineExceeded { net } => net,
         }
     }
 }
@@ -64,6 +88,21 @@ impl fmt::Display for EngineError {
             EngineError::EmptyNet { net } => write!(f, "net {net:?}: tree has no sections"),
             EngineError::Panicked { net, message } => {
                 write!(f, "net {net:?}: analysis panicked: {message}")
+            }
+            EngineError::Overloaded { net, capacity } => {
+                write!(
+                    f,
+                    "net {net:?}: rejected, submission queue at capacity ({capacity} outstanding)"
+                )
+            }
+            EngineError::ShuttingDown { net } => {
+                write!(f, "net {net:?}: rejected, service is shutting down")
+            }
+            EngineError::DeadlineExceeded { net } => {
+                write!(
+                    f,
+                    "net {net:?}: deadline passed before a worker picked it up"
+                )
             }
         }
     }
@@ -109,6 +148,21 @@ mod tests {
         };
         assert!(e.to_string().contains("boom"));
         assert!(std::error::Error::source(&e).is_none());
+
+        let e = EngineError::Overloaded {
+            net: "e".into(),
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("capacity"));
+        assert_eq!(e.net(), "e");
+
+        let e = EngineError::ShuttingDown { net: "f".into() };
+        assert!(e.to_string().contains("shutting down"));
+        assert_eq!(e.net(), "f");
+
+        let e = EngineError::DeadlineExceeded { net: "g".into() };
+        assert!(e.to_string().contains("deadline"));
+        assert_eq!(e.net(), "g");
     }
 
     #[test]

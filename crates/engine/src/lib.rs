@@ -1,8 +1,8 @@
 //! Concurrent batch timing and incremental re-analysis for RLC trees.
 //!
 //! The crates below this one answer "what is the delay of *this* tree?"
-//! (see `eed::TreeAnalysis`). This crate scales that answer along two axes
-//! that the paper's O(n) algorithm leaves open:
+//! (see `eed::TreeAnalysis`). This crate scales that answer along three
+//! axes that the paper's O(n) algorithm leaves open:
 //!
 //! * **Corpus scale** — [`Engine`] fans a [`Batch`] of independent nets
 //!   (in-memory trees, netlist decks, or `.sp` files) across a `std::thread`
@@ -10,6 +10,14 @@
 //!   [`EngineError`] slot, and results always come back in submission
 //!   order: the [`BatchReport`] for a corpus is **byte-identical** for any
 //!   worker count.
+//!
+//! * **Service scale** — [`EngineService`] keeps the worker pool alive
+//!   behind a **bounded** submission queue: jobs are admitted one at a
+//!   time from any number of producers, overload is rejected at admission
+//!   with a typed [`EngineError::Overloaded`] instead of piling up, and
+//!   [`drain`](EngineService::drain)/[`shutdown`](EngineService::shutdown)
+//!   finish accepted work before stopping. This is the substrate of the
+//!   `rlc-serve` network front end.
 //!
 //! * **Edit scale** — [`IncrementalAnalysis`] keeps the paper's two tree
 //!   summations (`T_RC`, `T_LC`) in a factored per-section form so that a
@@ -61,10 +69,25 @@
 //! assert!(report.nets[1].is_err()); // isolated, order preserved
 //! ```
 
+//!
+//! Run a long-lived service with bounded admission and graceful drain:
+//!
+//! ```
+//! use rlc_engine::{EngineService, ServiceConfig};
+//!
+//! let service = EngineService::start(ServiceConfig { workers: 2, capacity: 8 });
+//! let ticket = service.submit("line", "R1 in n1 25\nC1 n1 0 0.5p\n").unwrap();
+//! assert!(ticket.wait().is_ok());
+//! let stats = service.shutdown(); // drains in-flight jobs first
+//! assert_eq!(stats.completed, 1);
+//! ```
+
 mod batch;
 mod error;
 mod incremental;
+mod service;
 
-pub use batch::{Batch, BatchReport, Engine, NetTiming, SinkSummary};
+pub use batch::{net_json, Batch, BatchReport, Engine, NetTiming, SinkSummary, TimingModel};
 pub use error::EngineError;
 pub use incremental::{EditCheckpoint, IncrementalAnalysis};
+pub use service::{EngineService, JobSpec, JobTicket, ServiceConfig, ServiceStats};

@@ -1,0 +1,518 @@
+//! The long-running engine service: a bounded submission queue in front of
+//! a persistent worker pool, with graceful drain.
+//!
+//! [`Engine::run`](crate::Engine::run) is a one-shot fan-out: it owns its
+//! workers for the duration of one batch and returns when the whole corpus
+//! is done. A serving front end (see the `rlc-serve` crate) instead needs
+//! jobs to arrive one at a time, forever, from many producers — which
+//! raises two problems `run` never has:
+//!
+//! * **Overload.** Producers can outrun the pool. An unbounded queue turns
+//!   that into unbounded memory and unbounded latency; [`EngineService`]
+//!   instead bounds *outstanding* work (queued + in-flight) and rejects
+//!   at admission with a typed [`EngineError::Overloaded`].
+//! * **Shutdown.** A service must stop without dropping accepted work.
+//!   [`EngineService::drain`] stops admission (late submissions get
+//!   [`EngineError::ShuttingDown`]) and waits until every accepted job has
+//!   delivered its result; [`EngineService::shutdown`] additionally joins
+//!   the workers and returns the final [`ServiceStats`].
+//!
+//! Results are delivered through a per-job [`JobTicket`], so concurrent
+//! submitters never contend on a shared report.
+//!
+//! # Examples
+//!
+//! ```
+//! use rlc_engine::{EngineService, ServiceConfig};
+//!
+//! let service = EngineService::start(ServiceConfig {
+//!     workers: 2,
+//!     capacity: 8,
+//! });
+//! let ticket = service
+//!     .submit("line", "R1 in n1 25\nC1 n1 0 0.5p\n")
+//!     .expect("queue has room");
+//! let timing = ticket.wait().expect("analyzes fine");
+//! assert_eq!(timing.sections, 1);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use rlc_tree::RlcTree;
+
+use crate::batch::{analyze_one, NetSource, NetTiming, TimingModel};
+use crate::EngineError;
+
+/// Sizing of an [`EngineService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads; `0` sizes to `std::thread::available_parallelism`.
+    pub workers: usize,
+    /// Bound on *outstanding* jobs — queued plus in-flight. Admission
+    /// counts a job from `submit` until its result is delivered, so the
+    /// bound is independent of how fast workers pick jobs up (and overload
+    /// behaviour is deterministic for any worker count).
+    pub capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            capacity: 64,
+        }
+    }
+}
+
+/// What one submitted job analyzes, and under which policy knobs.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    name: String,
+    source: NetSource,
+    model: TimingModel,
+    deadline: Option<Instant>,
+    hold: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A job that parses and analyzes a netlist deck.
+    pub fn deck(name: impl Into<String>, deck: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            source: NetSource::Deck(deck.into()),
+            model: TimingModel::Eed,
+            deadline: None,
+            hold: None,
+        }
+    }
+
+    /// A job over an already-built tree (no parsing on the worker).
+    pub fn tree(name: impl Into<String>, tree: RlcTree) -> Self {
+        Self {
+            name: name.into(),
+            source: NetSource::Tree(tree),
+            model: TimingModel::Eed,
+            deadline: None,
+            hold: None,
+        }
+    }
+
+    /// Selects the timing model (default [`TimingModel::Eed`]).
+    pub fn model(mut self, model: TimingModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets an absolute deadline. A worker that picks the job up after
+    /// this instant skips the analysis and reports
+    /// [`EngineError::DeadlineExceeded`] — queue time counts against the
+    /// request, so a backlog sheds stale work instead of burning CPU on
+    /// answers nobody is waiting for.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Fault-injection hook: the worker sleeps for `hold` before analyzing.
+    ///
+    /// Like [`Batch::push_panicking`](crate::Batch::push_panicking), this
+    /// exists so scheduling contracts can be proven deterministically:
+    /// held jobs pin workers and fill the queue on demand, which is how
+    /// the overload and drain tests (and the `rlc-serve` smoke) force the
+    /// admission paths without racing the real analysis speed.
+    pub fn hold(mut self, hold: Duration) -> Self {
+        self.hold = Some(hold);
+        self
+    }
+}
+
+/// Monotonic counters describing a service's lifetime so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted at admission.
+    pub submitted: u64,
+    /// Jobs whose result was delivered (ok or per-net error).
+    pub completed: u64,
+    /// Completed jobs that delivered an error result.
+    pub failed: u64,
+    /// Submissions rejected because the queue was at capacity.
+    pub rejected_overload: u64,
+    /// Submissions rejected because the service was draining.
+    pub rejected_shutdown: u64,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Jobs picked up by a worker whose result is not yet delivered.
+    in_flight: usize,
+    accepting: bool,
+}
+
+struct Job {
+    spec: JobSpec,
+    tx: mpsc::Sender<Result<NetTiming, EngineError>>,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signals workers that a job arrived or admission closed.
+    job_ready: Condvar,
+    /// Signals drainers that the service went idle.
+    idle: Condvar,
+    capacity: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_shutdown: AtomicU64,
+}
+
+/// A persistent worker pool with bounded admission and graceful drain.
+///
+/// See the [module docs](self) for the admission and shutdown contracts.
+pub struct EngineService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EngineService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineService")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.shared.capacity)
+            .finish()
+    }
+}
+
+impl EngineService {
+    /// Starts the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity` is zero (a service that can accept
+    /// nothing is a misconfiguration, not a policy).
+    pub fn start(config: ServiceConfig) -> Self {
+        assert!(
+            config.capacity > 0,
+            "service needs capacity for at least one job"
+        );
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                in_flight: 0,
+                accepting: true,
+            }),
+            job_ready: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: config.capacity,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The worker thread count.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The configured bound on outstanding jobs.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Jobs currently outstanding (queued + in-flight).
+    pub fn outstanding(&self) -> usize {
+        let state = self.shared.state.lock().expect("service lock");
+        state.jobs.len() + state.in_flight
+    }
+
+    /// Submits a netlist deck under the default model; shorthand for
+    /// [`submit_spec`](Self::submit_spec) with [`JobSpec::deck`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Overloaded`] when the queue is at capacity,
+    /// [`EngineError::ShuttingDown`] once a drain has begun.
+    pub fn submit(
+        &self,
+        name: impl Into<String>,
+        deck: impl Into<String>,
+    ) -> Result<JobTicket, EngineError> {
+        self.submit_spec(JobSpec::deck(name, deck))
+    }
+
+    /// Submits a job, applying the admission policy.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Overloaded`] when the queue is at capacity,
+    /// [`EngineError::ShuttingDown`] once a drain has begun.
+    pub fn submit_spec(&self, spec: JobSpec) -> Result<JobTicket, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        let name = spec.name.clone();
+        {
+            let mut state = self.shared.state.lock().expect("service lock");
+            if !state.accepting {
+                self.shared
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                rlc_obs::counter!("engine.service.rejected.shutdown");
+                return Err(EngineError::ShuttingDown { net: name });
+            }
+            if state.jobs.len() + state.in_flight >= self.shared.capacity {
+                self.shared
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                rlc_obs::counter!("engine.service.rejected.overload");
+                return Err(EngineError::Overloaded {
+                    net: name,
+                    capacity: self.shared.capacity,
+                });
+            }
+            state.jobs.push_back(Job { spec, tx });
+            rlc_obs::value!("engine.service.queue.depth", state.jobs.len() as f64);
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        rlc_obs::counter!("engine.service.submitted");
+        self.shared.job_ready.notify_one();
+        Ok(JobTicket { name, rx })
+    }
+
+    /// Stops admission without waiting: subsequent submissions are
+    /// rejected with [`EngineError::ShuttingDown`], but accepted jobs keep
+    /// running. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().expect("service lock");
+        state.accepting = false;
+        // Wake every idle worker so pools with nothing queued notice the
+        // closure (they re-check `accepting` and exit their wait).
+        self.shared.job_ready.notify_all();
+    }
+
+    /// Graceful drain: [`close`](Self::close)s admission, then blocks
+    /// until every accepted job has delivered its result.
+    pub fn drain(&self) {
+        self.close();
+        let mut state = self.shared.state.lock().expect("service lock");
+        while !state.jobs.is_empty() || state.in_flight > 0 {
+            state = self.shared.idle.wait(state).expect("service lock");
+        }
+    }
+
+    /// Drains and joins the workers, returning the final stats.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.drain();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            rejected_overload: self.shared.rejected_overload.load(Ordering::Relaxed),
+            rejected_shutdown: self.shared.rejected_shutdown.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for EngineService {
+    fn drop(&mut self) {
+        // A dropped service still honours accepted work: drain, then join.
+        self.drain();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Receipt for one accepted job; redeem it with [`wait`](Self::wait).
+#[derive(Debug)]
+pub struct JobTicket {
+    name: String,
+    rx: mpsc::Receiver<Result<NetTiming, EngineError>>,
+}
+
+impl JobTicket {
+    /// The submitted net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks until the worker delivers this job's result.
+    pub fn wait(self) -> Result<NetTiming, EngineError> {
+        self.rx
+            .recv()
+            .unwrap_or(Err(EngineError::ShuttingDown { net: self.name }))
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("service lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    state.in_flight += 1;
+                    break job;
+                }
+                if !state.accepting {
+                    return;
+                }
+                state = shared.job_ready.wait(state).expect("service lock");
+            }
+        };
+
+        let _span = rlc_obs::span!("engine.service/job");
+        if let Some(hold) = job.spec.hold {
+            std::thread::sleep(hold);
+        }
+        let result = match job.spec.deadline {
+            Some(deadline) if Instant::now() > deadline => Err(EngineError::DeadlineExceeded {
+                net: job.spec.name.clone(),
+            }),
+            _ => analyze_one(&job.spec.name, &job.spec.source, job.spec.model),
+        };
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        rlc_obs::counter!("engine.service.completed");
+        if result.is_err() {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            rlc_obs::counter!("engine.service.failed");
+        }
+        let mut state = shared.state.lock().expect("service lock");
+        state.in_flight -= 1;
+        // Deliver while still holding the state lock (channel sends never
+        // block): the admission slot frees *atomically* with delivery, so
+        // a submitter unblocked by this result can never be rejected on a
+        // stale in-flight count. The submitter may also have given up on
+        // the ticket; a closed channel still counts as delivery.
+        let _ = job.tx.send(result);
+        if state.jobs.is_empty() && state.in_flight == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECK: &str = "R1 in n1 25\nC1 n1 0 0.5p\n";
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let service = EngineService::start(ServiceConfig {
+            workers: 2,
+            capacity: 4,
+        });
+        let ticket = service.submit("line", DECK).expect("capacity free");
+        assert_eq!(ticket.name(), "line");
+        let timing = ticket.wait().expect("analyzes fine");
+        assert_eq!(timing.name, "line");
+        assert_eq!(timing.sections, 1);
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn per_job_failures_are_typed_results() {
+        let service = EngineService::start(ServiceConfig {
+            workers: 1,
+            capacity: 4,
+        });
+        let bad = service.submit("bad", "R1 in n1 oops\n").expect("admitted");
+        let good = service.submit("good", DECK).expect("admitted");
+        assert!(matches!(
+            bad.wait().unwrap_err(),
+            EngineError::Netlist { .. }
+        ));
+        assert!(good.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn elmore_model_reports_first_order_sinks() {
+        let service = EngineService::start(ServiceConfig {
+            workers: 1,
+            capacity: 2,
+        });
+        let ticket = service
+            .submit_spec(JobSpec::deck("line", DECK).model(TimingModel::Elmore))
+            .expect("admitted");
+        let timing = ticket.wait().expect("analyzes fine");
+        assert_eq!(timing.sinks.len(), 1);
+        let sink = &timing.sinks[0];
+        assert!(sink.zeta.is_infinite());
+        // T_RC = 25 Ω · 0.5 pF = 12.5 ps → delay = ln 2 · 12.5 ps.
+        let expected_ps = 12.5 * core::f64::consts::LN_2;
+        assert!((sink.delay_50.as_picoseconds() - expected_ps).abs() < 1e-9);
+        drop(service);
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_at_pickup() {
+        let service = EngineService::start(ServiceConfig {
+            workers: 1,
+            capacity: 2,
+        });
+        let ticket = service
+            .submit_spec(
+                JobSpec::deck("stale", DECK).deadline(Instant::now() - Duration::from_millis(1)),
+            )
+            .expect("admitted");
+        assert!(matches!(
+            ticket.wait().unwrap_err(),
+            EngineError::DeadlineExceeded { .. }
+        ));
+        drop(service);
+    }
+
+    #[test]
+    fn model_ids_round_trip() {
+        for model in [TimingModel::Eed, TimingModel::Elmore] {
+            assert_eq!(TimingModel::from_id(model.id()), Some(model));
+        }
+        assert_eq!(TimingModel::from_id("spice"), None);
+        assert_eq!(TimingModel::default(), TimingModel::Eed);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = EngineService::start(ServiceConfig {
+            workers: 1,
+            capacity: 0,
+        });
+    }
+}

@@ -1,0 +1,364 @@
+//! The `rlc-serve` daemon.
+//!
+//! ```text
+//! serve [--listen ADDR] [--stdio] [--smoke]
+//!       [--workers N] [--queue N] [--cache-capacity N] [--cache-ttl-ms MS]
+//! ```
+//!
+//! Default mode listens on `127.0.0.1:7199` and speaks the `rlc-serve/1`
+//! line protocol (see `crates/serve/src/protocol.rs` and DESIGN.md §11).
+//! `--stdio` serves a single session over stdin/stdout. `--smoke` runs
+//! the self-contained conformance smoke used by CI: it exercises the
+//! warm-cache, overload, deadline, and drain contracts at worker counts
+//! 1/2/4/8 and fails unless every transcript is byte-identical.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rlc_serve::{serve_stdio, AnalyzeRequest, CacheConfig, ServeConfig, ServeCore, Server};
+
+const USAGE: &str = "usage: serve [--listen ADDR] [--stdio] [--smoke]
+             [--workers N] [--queue N] [--cache-capacity N] [--cache-ttl-ms MS]
+
+modes (default: --listen 127.0.0.1:7199)
+  --listen ADDR       accept rlc-serve/1 connections on ADDR
+  --stdio             serve one session over stdin/stdout
+  --smoke             run the CI conformance smoke and exit
+
+sizing
+  --workers N         engine worker threads (0 = machine-sized)
+  --queue N           bound on outstanding engine jobs (default 64)
+  --cache-capacity N  result-cache entries (0 disables; default 128)
+  --cache-ttl-ms MS   result-cache time-to-live (default: no expiry)";
+
+enum Mode {
+    Listen(String),
+    Stdio,
+    Smoke,
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Listen("127.0.0.1:7199".to_owned());
+    let mut config = ServeConfig {
+        workers: 0,
+        queue_capacity: 64,
+        cache: CacheConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        let result: Result<(), String> = match arg.as_str() {
+            "--listen" => take("--listen").map(|addr| mode = Mode::Listen(addr)),
+            "--stdio" => {
+                mode = Mode::Stdio;
+                Ok(())
+            }
+            "--smoke" => {
+                mode = Mode::Smoke;
+                Ok(())
+            }
+            "--workers" => parse_usize(&mut take, "--workers").map(|n| config.workers = n),
+            "--queue" => parse_usize(&mut take, "--queue").map(|n| config.queue_capacity = n),
+            "--cache-capacity" => {
+                parse_usize(&mut take, "--cache-capacity").map(|n| config.cache.capacity = n)
+            }
+            "--cache-ttl-ms" => parse_usize(&mut take, "--cache-ttl-ms")
+                .map(|ms| config.cache.ttl = Some(Duration::from_millis(ms as u64))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag {other:?}\n{USAGE}")),
+        };
+        if let Err(message) = result {
+            eprintln!("serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let outcome = match mode {
+        Mode::Stdio => serve_stdio(config, &mut io::stdin().lock(), &mut io::stdout().lock())
+            .map_err(|e| format!("stdio session failed: {e}")),
+        Mode::Listen(addr) => listen(&addr, config),
+        Mode::Smoke => smoke(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_usize(
+    take: &mut impl FnMut(&str) -> Result<String, String>,
+    flag: &str,
+) -> Result<usize, String> {
+    let value = take(flag)?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag} needs an unsigned integer, got {value:?}"))
+}
+
+fn listen(addr: &str, config: ServeConfig) -> Result<(), String> {
+    let server = Server::bind(addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!("rlc-serve/1 listening on {}", server.local_addr());
+    let stats = server
+        .run()
+        .map_err(|e| format!("accept loop failed: {e}"))?;
+    println!("{stats}");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The CI smoke.
+// ---------------------------------------------------------------------------
+
+/// Outstanding-job bound used by every smoke iteration. Admission bounds
+/// queued + in-flight work, so with all workers pinned by held jobs the
+/// accepted count is exactly this — independent of the worker count.
+const SMOKE_CAPACITY: usize = 4;
+
+/// One circuit, two exact spellings (whitespace, node names, labels, and
+/// value notation differ; every value parses to the identical f64).
+const WARM_DECK: &str = "R1 in n1 25\nC1 n1 0 0.5p\nL2 n1 n2 5n\nC2 n2 0 1p\n";
+const WARM_DECK_RESPELLED: &str =
+    "* same circuit, different spelling\n.input  s\nRa s  x 2.5e1\nCa x 0 0.5p\nLb x y 5.0n\nCb y 0 1p\n.end\n";
+
+fn expect(condition: bool, message: impl FnOnce() -> String) -> Result<(), String> {
+    if condition {
+        Ok(())
+    } else {
+        Err(format!("smoke failed: {}", message()))
+    }
+}
+
+fn wait_until(what: &str, mut condition: impl FnMut() -> bool) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !condition() {
+        if Instant::now() > deadline {
+            return Err(format!("smoke failed: timed out waiting for {what}"));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    Ok(())
+}
+
+fn smoke() -> Result<(), String> {
+    let mut transcripts = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        transcripts.push((workers, smoke_one(workers)?));
+    }
+    let (_, reference) = &transcripts[0];
+    for (workers, transcript) in &transcripts {
+        expect(transcript == reference, || {
+            format!("transcript at workers={workers} differs from workers=1")
+        })?;
+    }
+    println!(
+        "smoke ok: transcripts byte-identical across workers 1/2/4/8 ({} lines, {} bytes each)",
+        reference.lines().count(),
+        reference.len()
+    );
+    println!(
+        "smoke ok: warm-cache analyze did zero engine jobs; overload, deadline and drain rejections all typed"
+    );
+    Ok(())
+}
+
+fn smoke_one(workers: usize) -> Result<String, String> {
+    let fail = |what: &str, line: &str| format!("workers={workers}: {what}, got {line}");
+    let core = Arc::new(ServeCore::new(ServeConfig {
+        workers,
+        queue_capacity: SMOKE_CAPACITY,
+        cache: CacheConfig {
+            capacity: 32,
+            ttl: None,
+        },
+    }));
+    let mut transcript: Vec<String> = Vec::new();
+
+    // 1. Warm cache: the second identical request must be a cache hit
+    //    that performs zero engine work and differs from the first
+    //    response only in the cache field; a respelled deck under a new
+    //    name must hit too (content addressing).
+    let r1 = core.analyze(AnalyzeRequest::new("warm", WARM_DECK));
+    let jobs_before = core.engine_stats().submitted;
+    let r2 = core.analyze(AnalyzeRequest::new("warm", WARM_DECK));
+    let jobs_delta = core.engine_stats().submitted - jobs_before;
+    expect(r1.contains("\"cache\": \"miss\""), || {
+        fail("first analyze should miss", &r1)
+    })?;
+    expect(r2.contains("\"cache\": \"hit\""), || {
+        fail("repeat analyze should hit", &r2)
+    })?;
+    expect(jobs_delta == 0, || {
+        format!(
+            "workers={workers}: warm-cache analyze submitted {jobs_delta} engine job(s), want 0"
+        )
+    })?;
+    expect(
+        r2 == r1.replacen("\"cache\": \"miss\"", "\"cache\": \"hit\"", 1),
+        || {
+            fail(
+                "hit response should differ from the miss only in the cache field",
+                &r2,
+            )
+        },
+    )?;
+    let r3 = core.analyze(AnalyzeRequest::new("alias", WARM_DECK_RESPELLED));
+    expect(
+        r3.contains("\"cache\": \"hit\"") && r3.contains("\"name\": \"alias\""),
+        || fail("respelled deck should hit under the caller's name", &r3),
+    )?;
+
+    // 2. A malformed deck is a typed per-net result, not a dead server.
+    let r4 = core.analyze(AnalyzeRequest::new("broken", "R1 in n1 oops\n"));
+    expect(
+        r4.contains("\"type\": \"result\"") && r4.contains("\"status\": \"error\""),
+        || fail("malformed deck should report a typed result error", &r4),
+    )?;
+
+    // 3. Overload: pin the service with SMOKE_CAPACITY held jobs, then
+    //    prove the next submission gets a typed rejection while every
+    //    accepted job still completes.
+    let jobs_before = core.engine_stats().submitted;
+    let sleepers: Vec<_> = (0..SMOKE_CAPACITY)
+        .map(|i| {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || {
+                let mut request = AnalyzeRequest::new(
+                    format!("sleeper{i}"),
+                    format!("R1 in n1 {}\nC1 n1 0 0.5p\n", 10 + i),
+                );
+                request.sleep_ms = Some(600);
+                core.analyze(request)
+            })
+        })
+        .collect();
+    wait_until("held jobs to be admitted", || {
+        core.engine_stats().submitted >= jobs_before + SMOKE_CAPACITY as u64
+    })?;
+    let r5 = core.analyze(AnalyzeRequest::new(
+        "overflow",
+        "R1 in n1 99\nC1 n1 0 0.5p\n",
+    ));
+    expect(
+        r5.contains("\"kind\": \"overloaded\"") && r5.contains("\"net\": \"overflow\""),
+        || {
+            fail(
+                "submission beyond capacity should be a typed overload rejection",
+                &r5,
+            )
+        },
+    )?;
+    let mut sleeper_lines = Vec::new();
+    for sleeper in sleepers {
+        let line = sleeper
+            .join()
+            .map_err(|_| format!("workers={workers}: sleeper thread panicked"))?;
+        expect(line.contains("\"status\": \"ok\""), || {
+            fail("held jobs should complete despite the overload", &line)
+        })?;
+        sleeper_lines.push(line);
+    }
+    // Thread completion order is scheduling-dependent; the protocol makes
+    // no ordering promise across connections, so normalize for the
+    // transcript comparison.
+    sleeper_lines.sort();
+
+    // 4. Deadline shedding: queue time counts, expired work is skipped.
+    let mut stale = AnalyzeRequest::new("stale", "R1 in n1 77\nC1 n1 0 0.5p\n");
+    stale.deadline_ms = Some(0);
+    stale.sleep_ms = Some(20);
+    let r6 = core.analyze(stale);
+    expect(
+        r6.contains("\"status\": \"error\"") && r6.contains("deadline"),
+        || fail("expired deadline should be a typed result error", &r6),
+    )?;
+
+    // 5. Probe, drain, late rejection, final report.
+    let probe = core.probe();
+    expect(probe.contains("\"type\": \"probe\""), || {
+        fail("probe should answer with live counters", &probe)
+    })?;
+    core.drain();
+    let late = core.analyze(AnalyzeRequest::new("late", "R1 in n1 88\nC1 n1 0 0.5p\n"));
+    expect(late.contains("\"kind\": \"shutting_down\""), || {
+        fail(
+            "post-drain submission should be a typed shutdown rejection",
+            &late,
+        )
+    })?;
+    let stats = core.final_stats();
+    expect(stats.contains("\"type\": \"stats\""), || {
+        fail("drain should flush a final stats report", &stats)
+    })?;
+
+    transcript.extend([r1, r2, r3, r4, r5]);
+    transcript.extend(sleeper_lines);
+    transcript.extend([r6, probe, late, stats]);
+
+    // 6. The same contracts hold over an actual socket: miss, hit,
+    //    probe, then shutdown — whose response must equal the final
+    //    report the accept loop returns.
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        ServeConfig {
+            workers,
+            queue_capacity: SMOKE_CAPACITY,
+            cache: CacheConfig {
+                capacity: 32,
+                ttl: None,
+            },
+        },
+    )
+    .map_err(|e| format!("workers={workers}: cannot bind smoke server: {e}"))?;
+    let addr = server.local_addr();
+    let accept_loop = std::thread::spawn(move || server.run());
+    let tcp = (|| -> io::Result<Vec<String>> {
+        let stream = TcpStream::connect(addr)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let mut lines = Vec::new();
+        for request in [
+            "analyze name=tcp\nR1 in n1 25\nC1 n1 0 0.5p\n.\n",
+            "analyze name=tcp\nR1 in n1 25\nC1 n1 0 0.5p\n.\n",
+            "probe\n",
+            "shutdown\n",
+        ] {
+            writer.write_all(request.as_bytes())?;
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            lines.push(line.trim_end().to_owned());
+        }
+        Ok(lines)
+    })()
+    .map_err(|e| format!("workers={workers}: smoke TCP session failed: {e}"))?;
+    let final_report = accept_loop
+        .join()
+        .map_err(|_| format!("workers={workers}: accept loop panicked"))?
+        .map_err(|e| format!("workers={workers}: accept loop failed: {e}"))?;
+    expect(tcp[0].contains("\"cache\": \"miss\""), || {
+        fail("TCP first analyze should miss", &tcp[0])
+    })?;
+    expect(tcp[1].contains("\"cache\": \"hit\""), || {
+        fail("TCP repeat analyze should hit", &tcp[1])
+    })?;
+    expect(tcp[3] == final_report, || {
+        format!(
+            "workers={workers}: shutdown response {:?} differs from the accept loop's final report {final_report:?}",
+            tcp[3]
+        )
+    })?;
+    transcript.extend(tcp);
+
+    Ok(transcript.join("\n"))
+}

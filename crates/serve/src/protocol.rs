@@ -1,0 +1,257 @@
+//! The `rlc-serve/1` wire protocol: line-delimited requests, one JSON
+//! object per line back.
+//!
+//! # Grammar
+//!
+//! ```text
+//! request  = header LF [ deck ]
+//! header   = verb *( SP field )
+//! verb     = "analyze" | "probe" | "shutdown"
+//! field    = key "=" value               ; no spaces inside a field
+//! deck     = *( line LF ) "." LF        ; analyze only; "." ends the deck
+//! ```
+//!
+//! Blank lines between requests are ignored. `analyze` accepts the fields
+//! `name=<label>`, `model=eed|elmore`, `deadline_ms=<u64>` (queue time
+//! counts against it) and `sleep_ms=<u64>` (fault-injection hold, see
+//! [`JobSpec::hold`](rlc_engine::JobSpec::hold)); the deck body is the
+//! netlist format of [`rlc_tree::netlist`]. A lone `.` terminates the deck
+//! — netlist directives like `.input` are longer than one character, so
+//! the sentinel never collides with deck content.
+//!
+//! Every response is a single line of JSON with a `"proto": "rlc-serve/1"`
+//! and a `"type"` member: `result` (the engine verdict for one net, ok
+//! *or* per-net error), `error` (the request never reached a worker:
+//! `overloaded`, `shutting_down`, `bad_request`), `probe` (live counters)
+//! or `stats` (the final report flushed at shutdown).
+
+use std::fmt;
+use std::io::{self, BufRead};
+
+use rlc_engine::TimingModel;
+
+/// A request that could not be parsed off the wire. The server answers
+/// with a `bad_request` error response and closes that connection —
+/// after a framing error the byte stream can no longer be trusted to
+/// align with request boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Human-readable description of the framing violation.
+    pub message: String,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad request: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// One `analyze` request: a netlist deck plus its policy knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeRequest {
+    /// Net label echoed in the response (`name=`; default `"net"`).
+    pub name: String,
+    /// Timing model (`model=`; default [`TimingModel::Eed`]).
+    pub model: TimingModel,
+    /// Relative deadline in milliseconds (`deadline_ms=`). Queue time
+    /// counts against it; an expired job reports `deadline exceeded`
+    /// instead of burning a worker.
+    pub deadline_ms: Option<u64>,
+    /// Fault-injection hold in milliseconds (`sleep_ms=`): the worker
+    /// sleeps before analyzing. Exists so overload and drain behaviour
+    /// can be exercised deterministically over the wire.
+    pub sleep_ms: Option<u64>,
+    /// The netlist deck body (without the terminating `.` line).
+    pub deck: String,
+}
+
+impl AnalyzeRequest {
+    /// An analyze request for `deck` with every knob at its default.
+    pub fn new(name: impl Into<String>, deck: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            model: TimingModel::default(),
+            deadline_ms: None,
+            sleep_ms: None,
+            deck: deck.into(),
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Analyze one netlist deck.
+    Analyze(AnalyzeRequest),
+    /// Report live service counters.
+    Probe,
+    /// Stop accepting, drain in-flight nets, reply with the final stats.
+    Shutdown,
+}
+
+/// What [`read_request`] found on the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadOutcome {
+    /// The peer closed the stream cleanly between requests.
+    Eof,
+    /// The stream held bytes that do not frame as a request.
+    Malformed(ProtocolError),
+    /// A complete, well-formed request.
+    Request(Request),
+}
+
+fn malformed(message: impl Into<String>) -> io::Result<ReadOutcome> {
+    Ok(ReadOutcome::Malformed(ProtocolError {
+        message: message.into(),
+    }))
+}
+
+/// Reads the next request off `reader`, skipping blank lines.
+///
+/// # Errors
+///
+/// Only transport-level failures surface as `io::Error`; anything the
+/// peer *sent* wrong comes back as [`ReadOutcome::Malformed`] so the
+/// server can answer with a typed response before closing.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<ReadOutcome> {
+    let header = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(ReadOutcome::Eof);
+        }
+        if !line.trim().is_empty() {
+            break line;
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let verb = parts.next().expect("header line is non-blank");
+    match verb {
+        "probe" | "shutdown" => {
+            if parts.next().is_some() {
+                return malformed(format!("{verb} takes no fields"));
+            }
+            Ok(ReadOutcome::Request(if verb == "probe" {
+                Request::Probe
+            } else {
+                Request::Shutdown
+            }))
+        }
+        "analyze" => {
+            let mut request = AnalyzeRequest::new("net", "");
+            for field in parts {
+                let Some((key, value)) = field.split_once('=') else {
+                    return malformed(format!("field {field:?} is not key=value"));
+                };
+                match key {
+                    "name" => request.name = value.to_owned(),
+                    "model" => match TimingModel::from_id(value) {
+                        Some(model) => request.model = model,
+                        None => {
+                            return malformed(format!(
+                                "unknown model {value:?} (expected eed or elmore)"
+                            ))
+                        }
+                    },
+                    "deadline_ms" => match value.parse() {
+                        Ok(ms) => request.deadline_ms = Some(ms),
+                        Err(_) => return malformed(format!("deadline_ms {value:?} is not a u64")),
+                    },
+                    "sleep_ms" => match value.parse() {
+                        Ok(ms) => request.sleep_ms = Some(ms),
+                        Err(_) => return malformed(format!("sleep_ms {value:?} is not a u64")),
+                    },
+                    other => return malformed(format!("unknown field {other:?}")),
+                }
+            }
+            loop {
+                let mut line = String::new();
+                if reader.read_line(&mut line)? == 0 {
+                    return malformed("unterminated deck: missing \".\" line");
+                }
+                if line.trim() == "." {
+                    break;
+                }
+                request.deck.push_str(&line);
+            }
+            Ok(ReadOutcome::Request(Request::Analyze(request)))
+        }
+        other => malformed(format!("unknown verb {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(input: &str) -> ReadOutcome {
+        read_request(&mut input.as_bytes()).expect("in-memory reads cannot fail")
+    }
+
+    #[test]
+    fn analyze_with_fields_and_deck() {
+        let outcome = read(
+            "analyze name=clk model=elmore deadline_ms=250 sleep_ms=5\nR1 in n1 25\nC1 n1 0 0.5p\n.\n",
+        );
+        let ReadOutcome::Request(Request::Analyze(req)) = outcome else {
+            panic!("expected analyze, got {outcome:?}");
+        };
+        assert_eq!(req.name, "clk");
+        assert_eq!(req.model, TimingModel::Elmore);
+        assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(req.sleep_ms, Some(5));
+        assert_eq!(req.deck, "R1 in n1 25\nC1 n1 0 0.5p\n");
+    }
+
+    #[test]
+    fn defaults_and_blank_line_skipping() {
+        let outcome = read("\n\nanalyze\nR1 in n1 25\n.\n");
+        let ReadOutcome::Request(Request::Analyze(req)) = outcome else {
+            panic!("expected analyze, got {outcome:?}");
+        };
+        assert_eq!(req.name, "net");
+        assert_eq!(req.model, TimingModel::Eed);
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn control_verbs_and_eof() {
+        assert_eq!(read("probe\n"), ReadOutcome::Request(Request::Probe));
+        assert_eq!(read("shutdown\n"), ReadOutcome::Request(Request::Shutdown));
+        assert_eq!(read(""), ReadOutcome::Eof);
+        assert_eq!(read("\n  \n"), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn sequential_requests_frame_cleanly() {
+        let mut reader = "analyze name=a\nR1 in n1 25\n.\nprobe\n".as_bytes();
+        assert!(matches!(
+            read_request(&mut reader).unwrap(),
+            ReadOutcome::Request(Request::Analyze(_))
+        ));
+        assert_eq!(
+            read_request(&mut reader).unwrap(),
+            ReadOutcome::Request(Request::Probe)
+        );
+        assert_eq!(read_request(&mut reader).unwrap(), ReadOutcome::Eof);
+    }
+
+    #[test]
+    fn malformed_headers_are_typed() {
+        for (input, needle) in [
+            ("launch\n", "unknown verb"),
+            ("probe now\n", "takes no fields"),
+            ("analyze name\n.\n", "not key=value"),
+            ("analyze model=spice\n.\n", "unknown model"),
+            ("analyze deadline_ms=-3\n.\n", "not a u64"),
+            ("analyze color=red\n.\n", "unknown field"),
+            ("analyze\nR1 in n1 25\n", "unterminated deck"),
+        ] {
+            let ReadOutcome::Malformed(err) = read(input) else {
+                panic!("{input:?} should be malformed");
+            };
+            assert!(err.message.contains(needle), "{input:?}: {err}");
+        }
+    }
+}

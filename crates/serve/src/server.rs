@@ -1,0 +1,379 @@
+//! The serving layer: request handling over an [`EngineService`], a TCP
+//! accept loop, and a stdio transport.
+//!
+//! [`ServeCore`] is transport-agnostic — it turns a parsed
+//! [`Request`](crate::protocol::Request) into a single-line JSON response
+//! and owns the engine pool plus the result cache. [`Server`] wraps it in
+//! a `TcpListener` with one thread per connection; [`serve_stdio`] runs
+//! the same core over any `BufRead`/`Write` pair (used by `serve --stdio`
+//! and the integration tests).
+//!
+//! # Response invariants
+//!
+//! * The `"net"` object inside a `result` response is exactly
+//!   [`rlc_engine::net_json`] of the engine's verdict — byte-identical to
+//!   what a direct [`Engine`](rlc_engine::Engine) run reports for the
+//!   same deck, for any worker count.
+//! * Admission failures never masquerade as analysis results: they are
+//!   `error` responses with `kind` `overloaded` or `shutting_down`.
+//! * The final `stats` line never mentions the worker count, so shutdown
+//!   reports from differently sized pools are byte-comparable.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rlc_engine::{net_json, EngineError, EngineService, JobSpec, ServiceConfig, ServiceStats};
+use rlc_obs::json;
+use rlc_tree::netlist::Netlist;
+
+use crate::cache::{CacheConfig, CacheStats, ResultCache};
+use crate::protocol::{read_request, AnalyzeRequest, ProtocolError, ReadOutcome, Request};
+
+/// Sizing of a serving stack: engine pool, admission bound, cache policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeConfig {
+    /// Engine worker threads; `0` sizes to the machine.
+    pub workers: usize,
+    /// Bound on outstanding engine jobs; `0` takes the engine default.
+    pub queue_capacity: usize,
+    /// Result-cache policy.
+    pub cache: CacheConfig,
+}
+
+impl ServeConfig {
+    fn service_config(&self) -> ServiceConfig {
+        let default = ServiceConfig::default();
+        ServiceConfig {
+            workers: self.workers,
+            capacity: if self.queue_capacity == 0 {
+                default.capacity
+            } else {
+                self.queue_capacity
+            },
+        }
+    }
+}
+
+/// Transport-independent request handling: engine pool + result cache +
+/// request counters.
+pub struct ServeCore {
+    service: EngineService,
+    cache: Mutex<ResultCache>,
+    requests: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+impl ServeCore {
+    /// Starts the engine pool and an empty cache.
+    pub fn new(config: ServeConfig) -> Self {
+        Self {
+            service: EngineService::start(config.service_config()),
+            cache: Mutex::new(ResultCache::new(config.cache)),
+            requests: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Live engine counters (admissions, completions, rejections).
+    pub fn engine_stats(&self) -> ServiceStats {
+        self.service.stats()
+    }
+
+    /// Live cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Handles one analyze request, returning the response line.
+    ///
+    /// The deck is parsed here (the canonical form is the cache address),
+    /// so workers only ever see already-built trees; a parse failure
+    /// renders the same [`EngineError::Netlist`] the engine itself would
+    /// report for the deck.
+    pub fn analyze(&self, request: AnalyzeRequest) -> String {
+        let _span = rlc_obs::span!("serve/analyze");
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        rlc_obs::counter!("serve.request");
+        let tree = match Netlist::parse(&request.deck) {
+            Ok(netlist) => netlist.into_tree(),
+            Err(source) => {
+                let error = EngineError::Netlist {
+                    net: request.name,
+                    source,
+                };
+                return result_response("miss", &net_json(&Err(error)));
+            }
+        };
+        let key = ResultCache::key(request.model.id(), &tree.canonical_deck());
+        if let Some(mut timing) = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .get(&key, Instant::now())
+        {
+            // Content-addressed: the cached circuit answers under the
+            // requester's label.
+            timing.name = request.name;
+            return result_response("hit", &net_json(&Ok(timing)));
+        }
+        let mut spec = JobSpec::tree(&request.name, tree).model(request.model);
+        if let Some(ms) = request.deadline_ms {
+            spec = spec.deadline(Instant::now() + Duration::from_millis(ms));
+        }
+        if let Some(ms) = request.sleep_ms {
+            spec = spec.hold(Duration::from_millis(ms));
+        }
+        match self.service.submit_spec(spec) {
+            Err(rejection) => admission_response(&rejection),
+            Ok(ticket) => {
+                let result = ticket.wait();
+                if let Ok(timing) = &result {
+                    self.cache.lock().expect("cache lock").insert(
+                        key,
+                        timing.clone(),
+                        Instant::now(),
+                    );
+                }
+                result_response("miss", &net_json(&result))
+            }
+        }
+    }
+
+    /// Handles a probe, returning the live-counters response line.
+    pub fn probe(&self) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        rlc_obs::counter!("serve.request");
+        format!(
+            "{{\"proto\": \"rlc-serve/1\", \"type\": \"probe\", {}}}",
+            self.stats_body()
+        )
+    }
+
+    /// Records and answers a framing violation.
+    pub fn bad_request(&self, error: &ProtocolError) -> String {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+        rlc_obs::counter!("serve.request.bad");
+        format!(
+            "{{\"proto\": \"rlc-serve/1\", \"type\": \"error\", \"kind\": \"bad_request\", \"message\": {}}}",
+            json::quote(&error.message)
+        )
+    }
+
+    /// Stops admission and blocks until every accepted job has delivered
+    /// its result. Idempotent.
+    pub fn drain(&self) {
+        self.service.drain();
+    }
+
+    /// The final `rlc-serve/1` stats report. Call after [`drain`]
+    /// (enforced nowhere — a pre-drain call just reports a moving count).
+    pub fn final_stats(&self) -> String {
+        format!(
+            "{{\"proto\": \"rlc-serve/1\", \"type\": \"stats\", {}}}",
+            self.stats_body()
+        )
+    }
+
+    fn stats_body(&self) -> String {
+        let engine = self.service.stats();
+        let cache = self.cache_stats();
+        format!(
+            "\"requests\": {}, \"bad_requests\": {}, \
+             \"engine\": {{\"submitted\": {}, \"completed\": {}, \"failed\": {}, \
+             \"rejected_overload\": {}, \"rejected_shutdown\": {}}}, \
+             \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}, \"expired\": {}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.bad_requests.load(Ordering::Relaxed),
+            engine.submitted,
+            engine.completed,
+            engine.failed,
+            engine.rejected_overload,
+            engine.rejected_shutdown,
+            cache.entries,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.expired,
+        )
+    }
+}
+
+fn result_response(cache: &str, net: &str) -> String {
+    format!(
+        "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"{cache}\", \"net\": {net}}}"
+    )
+}
+
+fn admission_response(error: &EngineError) -> String {
+    let kind = match error {
+        EngineError::Overloaded { .. } => "overloaded",
+        EngineError::ShuttingDown { .. } => "shutting_down",
+        // `submit_spec` only ever rejects with the two variants above.
+        _ => "rejected",
+    };
+    format!(
+        "{{\"proto\": \"rlc-serve/1\", \"type\": \"error\", \"kind\": \"{kind}\", \"net\": {}, \"message\": {}}}",
+        json::quote(error.net()),
+        json::quote(&error.to_string())
+    )
+}
+
+/// Runs the request loop over arbitrary streams: read a request, write
+/// one response line, flush. Returns `true` if the peer asked for
+/// shutdown (as opposed to hanging up or breaking framing).
+///
+/// On [`Request::Shutdown`] the core is drained and the final stats line
+/// is the response. A [`ReadOutcome::Malformed`] request gets a
+/// `bad_request` response and ends the loop — the stream can no longer be
+/// trusted to align with request boundaries.
+fn serve_streams<R: BufRead, W: Write>(
+    core: &ServeCore,
+    input: &mut R,
+    output: &mut W,
+) -> io::Result<bool> {
+    loop {
+        let (line, done) = match read_request(input)? {
+            ReadOutcome::Eof => return Ok(false),
+            ReadOutcome::Malformed(error) => (core.bad_request(&error), Some(false)),
+            ReadOutcome::Request(Request::Probe) => (core.probe(), None),
+            ReadOutcome::Request(Request::Analyze(request)) => (core.analyze(request), None),
+            ReadOutcome::Request(Request::Shutdown) => {
+                core.drain();
+                (core.final_stats(), Some(true))
+            }
+        };
+        output.write_all(line.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        if let Some(shutdown) = done {
+            return Ok(shutdown);
+        }
+    }
+}
+
+/// Serves the `rlc-serve/1` protocol over a single `BufRead`/`Write`
+/// pair (stdin/stdout in `serve --stdio`). Drains the engine and flushes
+/// the final stats report when the input ends — unless the peer already
+/// received it by asking for `shutdown`.
+pub fn serve_stdio<R: BufRead, W: Write>(
+    config: ServeConfig,
+    input: &mut R,
+    output: &mut W,
+) -> io::Result<()> {
+    let core = ServeCore::new(config);
+    let shutdown_reported = serve_streams(&core, input, output)?;
+    if !shutdown_reported {
+        core.drain();
+        output.write_all(core.final_stats().as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+/// A TCP front end over a shared [`ServeCore`]: one thread per
+/// connection, graceful stop on the `shutdown` verb.
+pub struct Server {
+    core: Arc<ServeCore>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    /// Read-half clones of every accepted connection, so shutdown can
+    /// deliver EOF to peers parked in `read_request`.
+    peers: Mutex<Vec<TcpStream>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the engine pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            core: Arc::new(ServeCore::new(config)),
+            listener,
+            addr,
+            stopping: Arc::new(AtomicBool::new(false)),
+            peers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepts connections until a peer sends `shutdown`, then stops
+    /// every remaining connection, drains the engine, and returns the
+    /// final stats report (the same line the shutting-down peer
+    /// received).
+    ///
+    /// Connections idle at shutdown are not waited on indefinitely:
+    /// their read halves are shut down, so a peer parked between
+    /// requests sees EOF while any response still being written goes
+    /// out intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures; per-connection I/O errors
+    /// only end their own connection.
+    pub fn run(self) -> io::Result<String> {
+        let mut connections = Vec::new();
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.stopping.load(Ordering::SeqCst) {
+                // The wake-up connection from the shutdown handler (or a
+                // late client); stop accepting.
+                break;
+            }
+            if let Ok(clone) = stream.try_clone() {
+                self.peers.lock().expect("peer registry lock").push(clone);
+            }
+            let core = Arc::clone(&self.core);
+            let stopping = Arc::clone(&self.stopping);
+            let addr = self.addr;
+            connections.push(std::thread::spawn(move || {
+                handle_connection(&core, stream, &stopping, addr);
+            }));
+        }
+        for peer in self.peers.lock().expect("peer registry lock").iter() {
+            let _ = peer.shutdown(std::net::Shutdown::Read);
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        self.core.drain();
+        Ok(self.core.final_stats())
+    }
+}
+
+fn handle_connection(
+    core: &ServeCore,
+    stream: TcpStream,
+    stopping: &AtomicBool,
+    server_addr: SocketAddr,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let shutdown = serve_streams(core, &mut reader, &mut writer).unwrap_or(false);
+    // The server's peer registry holds a clone of this socket, so merely
+    // dropping our handles would leave it open; shut it down so the peer
+    // sees EOF as soon as its session ends.
+    let _ = writer.shutdown(std::net::Shutdown::Both);
+    if shutdown && !stopping.swap(true, Ordering::SeqCst) {
+        // First shutdown request: unblock the accept loop with a
+        // throwaway connection so `run` can join and report.
+        let _ = TcpStream::connect(server_addr);
+    }
+}

@@ -1,0 +1,344 @@
+//! End-to-end contracts for `rlc-serve`:
+//!
+//! * a TCP server under concurrent mixed (healthy + malformed) traffic
+//!   answers every analyze with **exactly** the bytes a direct
+//!   `rlc-engine` run produces for the same deck, wrapped in the
+//!   `rlc-serve/1` result envelope;
+//! * the full per-client transcript and the final stats report are
+//!   byte-identical across worker counts;
+//! * the cache serves repeats without engine work and under the caller's
+//!   name; admission and framing failures are typed and scoped.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use rlc_engine::{net_json, Batch, Engine, EngineService, JobSpec, ServiceConfig, TimingModel};
+use rlc_serve::{serve_stdio, AnalyzeRequest, CacheConfig, ServeConfig, ServeCore, Server};
+
+const LINE_DECK: &str = "R1 in n1 25\nC1 n1 0 0.5p\nL2 n1 n2 5n\nC2 n2 0 1p\n";
+const BRANCH_DECK: &str =
+    "R1 in t 10\nC1 t 0 0.2p\nL2 t a 3n\nC2 a 0 0.4p\nR3 t b 40\nC3 b 0 0.6p\n";
+const THIRD_DECK: &str = "R1 in n1 75\nC1 n1 0 1.5p\n";
+const MALFORMED_DECK: &str = "R1 in n1 oops\n";
+const EMPTY_DECK: &str = "* a deck with no cards\n";
+
+/// What one client sends (in order) over its single connection.
+/// `(request name, deck, model id)` per request; the malformed deck rides
+/// in the middle to prove a bad deck doesn't poison the connection.
+fn client_scripts() -> Vec<Vec<(String, &'static str, TimingModel)>> {
+    let decks: [(&str, TimingModel); 5] = [
+        (LINE_DECK, TimingModel::Eed),
+        (BRANCH_DECK, TimingModel::Eed),
+        (THIRD_DECK, TimingModel::Eed),
+        (EMPTY_DECK, TimingModel::Eed),
+        (BRANCH_DECK, TimingModel::Elmore),
+    ];
+    decks
+        .iter()
+        .enumerate()
+        .map(|(client, &(deck, model))| {
+            vec![
+                (format!("c{client}-first"), deck, model),
+                (format!("c{client}-bad"), MALFORMED_DECK, TimingModel::Eed),
+                (format!("c{client}-again"), deck, model),
+            ]
+        })
+        .collect()
+}
+
+/// The engine's own verdict for `deck`, rendered exactly as the server
+/// must render it (direct `Engine` run for the default model, a direct
+/// `EngineService` job for explicit models).
+fn direct_engine_response(name: &str, deck: &str, model: TimingModel) -> String {
+    let net = match model {
+        TimingModel::Eed => {
+            let mut batch = Batch::new();
+            batch.push_deck(name, deck);
+            let report = Engine::with_workers(1).run(&batch);
+            net_json(&report.nets[0])
+        }
+        _ => {
+            let service = EngineService::start(ServiceConfig {
+                workers: 1,
+                capacity: 2,
+            });
+            let result = service
+                .submit_spec(JobSpec::deck(name, deck).model(model))
+                .expect("queue has room")
+                .wait();
+            net_json(&result)
+        }
+    };
+    format!(
+        "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"miss\", \"net\": {net}}}"
+    )
+}
+
+fn request_line(name: &str, deck: &str, model: TimingModel) -> String {
+    format!("analyze name={name} model={}\n{deck}.\n", model.id())
+}
+
+fn exchange(writer: &mut TcpStream, reader: &mut impl BufRead, request: &str) -> String {
+    writer.write_all(request.as_bytes()).expect("send request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(line.ends_with('\n'), "response line is newline-terminated");
+    line.trim_end().to_owned()
+}
+
+/// Runs the full mixed workload against a server with `workers` engine
+/// threads; returns (per-client transcripts, final stats report).
+fn run_workload(workers: usize) -> (BTreeMap<usize, Vec<String>>, String) {
+    // Cache disabled: every response must take the engine path, so each
+    // is comparable to a direct engine run.
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        ServeConfig {
+            workers,
+            queue_capacity: 32,
+            cache: CacheConfig {
+                capacity: 0,
+                ttl: None,
+            },
+        },
+    )
+    .expect("bind ephemeral");
+    let addr = server.local_addr();
+    let accept_loop = std::thread::spawn(move || server.run());
+
+    let clients: Vec<_> = client_scripts()
+        .into_iter()
+        .enumerate()
+        .map(|(client, script)| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let mut writer = stream;
+                let transcript: Vec<String> = script
+                    .iter()
+                    .map(|(name, deck, model)| {
+                        exchange(&mut writer, &mut reader, &request_line(name, deck, *model))
+                    })
+                    .collect();
+                (client, transcript)
+            })
+        })
+        .collect();
+    let transcripts: BTreeMap<usize, Vec<String>> = clients
+        .into_iter()
+        .map(|handle| handle.join().expect("client thread"))
+        .collect();
+
+    let stats = shutdown(addr);
+    let final_report = accept_loop
+        .join()
+        .expect("accept loop thread")
+        .expect("accept loop result");
+    assert_eq!(
+        stats, final_report,
+        "the shutdown response is the same report the accept loop returns"
+    );
+    (transcripts, final_report)
+}
+
+fn shutdown(addr: SocketAddr) -> String {
+    let stream = TcpStream::connect(addr).expect("connect for shutdown");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    exchange(&mut writer, &mut reader, "shutdown\n")
+}
+
+#[test]
+fn concurrent_mixed_traffic_matches_direct_engine_for_any_worker_count() {
+    let mut runs = Vec::new();
+    for workers in [1usize, 4] {
+        let (transcripts, stats) = run_workload(workers);
+        // Every response equals the direct engine verdict, byte for byte.
+        for (client, script) in client_scripts().into_iter().enumerate() {
+            for (request, response) in script.iter().zip(&transcripts[&client]) {
+                let (name, deck, model) = request;
+                assert_eq!(
+                    response,
+                    &direct_engine_response(name, deck, *model),
+                    "workers={workers} client={client} name={name}"
+                );
+            }
+        }
+        runs.push((transcripts, stats));
+    }
+    let (transcripts_1, stats_1) = &runs[0];
+    let (transcripts_4, stats_4) = &runs[1];
+    assert_eq!(
+        transcripts_1, transcripts_4,
+        "transcripts are worker-independent"
+    );
+    assert_eq!(
+        stats_1, stats_4,
+        "the final stats report is worker-independent"
+    );
+}
+
+#[test]
+fn cache_hits_do_zero_engine_work_and_answer_under_the_callers_name() {
+    let core = ServeCore::new(ServeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache: CacheConfig::default(),
+    });
+    let miss = core.analyze(AnalyzeRequest::new("first", LINE_DECK));
+    assert!(miss.contains("\"cache\": \"miss\""), "{miss}");
+    let jobs_after_miss = core.engine_stats().submitted;
+
+    // Same circuit, different node names/spacing/value spellings.
+    let respelled =
+        "* same circuit\n.input  s\nRx s  a 2.5e1\nCx a 0 0.5p\nLy a b 5.0n\nCy b 0 1p\n.end\n";
+    let hit = core.analyze(AnalyzeRequest::new("second", respelled));
+    assert!(hit.contains("\"cache\": \"hit\""), "{hit}");
+    assert!(hit.contains("\"name\": \"second\""), "{hit}");
+    assert_eq!(
+        core.engine_stats().submitted,
+        jobs_after_miss,
+        "hit did engine work"
+    );
+
+    // Beyond the name and the cache tag, the timing bytes are identical.
+    let normalize = |line: &str, name: &str, tag: &str| {
+        line.replace(&format!("\"name\": \"{name}\""), "\"name\": \"net\"")
+            .replace(&format!("\"cache\": \"{tag}\""), "\"cache\": \"x\"")
+    };
+    assert_eq!(
+        normalize(&miss, "first", "miss"),
+        normalize(&hit, "second", "hit")
+    );
+
+    let stats = core.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+}
+
+#[test]
+fn model_selection_is_part_of_the_cache_key() {
+    let core = ServeCore::new(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache: CacheConfig::default(),
+    });
+    let mut eed = AnalyzeRequest::new("net", LINE_DECK);
+    eed.model = TimingModel::Eed;
+    let mut elmore = AnalyzeRequest::new("net", LINE_DECK);
+    elmore.model = TimingModel::Elmore;
+    let first = core.analyze(eed);
+    let second = core.analyze(elmore);
+    assert!(first.contains("\"cache\": \"miss\""), "{first}");
+    assert!(
+        second.contains("\"cache\": \"miss\""),
+        "a different model must not reuse the EED result: {second}"
+    );
+    // The Elmore response is first-order: ζ is infinite, which the JSON
+    // schema renders as null.
+    assert!(second.contains("\"zeta\": null"), "{second}");
+    assert_eq!(core.cache_stats().entries, 2);
+}
+
+#[test]
+fn admission_failures_are_typed_and_scoped() {
+    let core = std::sync::Arc::new(ServeCore::new(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache: CacheConfig {
+            capacity: 0,
+            ttl: None,
+        },
+    }));
+    // Pin the single worker, then overflow the single-slot queue.
+    let pinned = {
+        let core = std::sync::Arc::clone(&core);
+        std::thread::spawn(move || {
+            let mut request = AnalyzeRequest::new("pinned", LINE_DECK);
+            request.sleep_ms = Some(150);
+            core.analyze(request)
+        })
+    };
+    while core.engine_stats().submitted == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let rejected = core.analyze(AnalyzeRequest::new("spill", THIRD_DECK));
+    assert!(rejected.contains("\"type\": \"error\""), "{rejected}");
+    assert!(rejected.contains("\"kind\": \"overloaded\""), "{rejected}");
+    assert!(rejected.contains("\"net\": \"spill\""), "{rejected}");
+    assert!(pinned.join().unwrap().contains("\"status\": \"ok\""));
+
+    // Deadline expiry is a *result* (the engine's verdict), not an
+    // admission error.
+    let mut stale = AnalyzeRequest::new("stale", THIRD_DECK);
+    stale.deadline_ms = Some(0);
+    stale.sleep_ms = Some(10);
+    let sheded = core.analyze(stale);
+    assert!(sheded.contains("\"type\": \"result\""), "{sheded}");
+    assert!(sheded.contains("deadline"), "{sheded}");
+
+    core.drain();
+    let late = core.analyze(AnalyzeRequest::new("late", LINE_DECK));
+    assert!(late.contains("\"kind\": \"shutting_down\""), "{late}");
+    assert!(core.final_stats().contains("\"rejected_shutdown\": 1"));
+}
+
+#[test]
+fn framing_violations_close_only_their_connection() {
+    let server = Server::bind(("127.0.0.1", 0), ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let accept_loop = std::thread::spawn(move || server.run());
+
+    // A garbage verb gets a typed bad_request and then EOF.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let answer = exchange(&mut writer, &mut reader, "launch missiles\n");
+    assert!(answer.contains("\"kind\": \"bad_request\""), "{answer}");
+    let mut rest = String::new();
+    assert_eq!(
+        reader.read_line(&mut rest).expect("read"),
+        0,
+        "connection closed"
+    );
+
+    // The server is still serving other connections.
+    let stream = TcpStream::connect(addr).expect("reconnect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let healthy = exchange(
+        &mut writer,
+        &mut reader,
+        &request_line("fresh", LINE_DECK, TimingModel::Eed),
+    );
+    assert!(healthy.contains("\"status\": \"ok\""), "{healthy}");
+
+    let stats = shutdown(addr);
+    assert!(stats.contains("\"bad_requests\": 1"), "{stats}");
+    // The healthy connection was left open and idle; shutdown must not
+    // block on it — the server EOFs it instead.
+    let mut rest = String::new();
+    assert_eq!(
+        reader.read_line(&mut rest).expect("read after shutdown"),
+        0,
+        "idle connection is closed by shutdown"
+    );
+    accept_loop.join().expect("thread").expect("run");
+}
+
+#[test]
+fn stdio_session_flushes_the_final_report_on_eof() {
+    let input = format!(
+        "analyze name=one\n{LINE_DECK}.\nprobe\n" // no shutdown: EOF ends it
+    );
+    let mut output = Vec::new();
+    serve_stdio(ServeConfig::default(), &mut input.as_bytes(), &mut output).expect("stdio session");
+    let text = String::from_utf8(output).expect("utf8 output");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    assert!(lines[0].contains("\"type\": \"result\""), "{text}");
+    assert!(lines[1].contains("\"type\": \"probe\""), "{text}");
+    assert!(lines[2].contains("\"type\": \"stats\""), "{text}");
+    assert!(lines[2].contains("\"requests\": 2"), "{text}");
+}

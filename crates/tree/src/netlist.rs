@@ -283,9 +283,57 @@ impl Netlist {
 /// # Ok::<(), rlc_tree::TreeError>(())
 /// ```
 pub fn write(tree: &RlcTree) -> String {
+    emit_deck(tree, Some("* RLC tree netlist (generated)"))
+}
+
+impl RlcTree {
+    /// The canonical netlist form of this tree: a deck with every degree of
+    /// textual freedom removed, suitable as a content-addressable identity
+    /// for caching and deduplication (see the `rlc-serve` crate).
+    ///
+    /// Two decks that parse to the same tree — whatever their node names,
+    /// whitespace, comments, card labels, or engineering-suffix spelling of
+    /// the same value — canonicalize to the same bytes:
+    ///
+    /// * sections are emitted in arena order (the parse order, which is
+    ///   stable for a given tree) and nodes renamed `n{index}`;
+    /// * element values are printed in base SI units in `{:e}` form, so
+    ///   `0.5p`, `5e-1p`, and `5e-13` all become the same token;
+    /// * whitespace is a single space, comments are dropped, and the deck
+    ///   is framed by exactly `.input in` and `.end`.
+    ///
+    /// For trees in the parser's image (each section purely R or purely L),
+    /// canonicalization is lossless: `parse(t.canonical_deck())` rebuilds
+    /// `t` exactly, node ids included, and a second round trip is a
+    /// fixpoint — properties exercised in `tests/canonical_roundtrip.rs`.
+    /// Sections carrying both R and L (only constructible via the API) are
+    /// split into an R card and an L card like [`write`], which preserves
+    /// the electrical behaviour but doubles those sections on re-parse.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rlc_tree::netlist::Netlist;
+    ///
+    /// let sloppy = "* a line\n.input src\nRdrv   src  mid   25\n\nCload mid 0 5e-1p\n";
+    /// let tidy = ".input in\nR1 in a 25\nC1 a 0 0.5p\n";
+    /// let canon = |deck: &str| Netlist::parse(deck).unwrap().into_tree().canonical_deck();
+    /// assert_eq!(canon(sloppy), canon(tidy));
+    /// ```
+    pub fn canonical_deck(&self) -> String {
+        emit_deck(self, None)
+    }
+}
+
+fn emit_deck(tree: &RlcTree, header: Option<&str>) -> String {
     use std::fmt::Write as _;
 
-    let mut out = String::from("* RLC tree netlist (generated)\n.input in\n");
+    let mut out = String::new();
+    if let Some(comment) = header {
+        out.push_str(comment);
+        out.push('\n');
+    }
+    out.push_str(".input in\n");
     for id in tree.node_ids() {
         let section = tree.section(id);
         let parent_name = match tree.parent(id) {

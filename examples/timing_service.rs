@@ -1,0 +1,58 @@
+//! The timing service end to end: in-process `ServeCore` first (cache
+//! miss vs. content-addressed hit), then a real TCP round-trip against
+//! an ephemeral-port [`Server`] — analyze under both models, probe the
+//! live counters, and shut down gracefully for the final report.
+//!
+//! Run with: `cargo run --example timing_service`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+
+use equivalent_elmore::serve::{AnalyzeRequest, ServeConfig, ServeCore, Server};
+
+/// A three-section RLC net in `rlc-tree` netlist form.
+const DECK: &str = "R1 in n1 25\nL1 n1 n2 5n\nC1 n2 0 1p\n";
+
+fn main() {
+    // --- 1. In-process: ServeCore is the server without the socket.
+    // The second request is the same circuit (same canonical deck, same
+    // model), so it is answered from the cache with zero engine work.
+    let core = ServeCore::new(ServeConfig::default());
+    let first = core.analyze(AnalyzeRequest::new("clk", DECK.to_owned()));
+    let second = core.analyze(AnalyzeRequest::new("clk", DECK.to_owned()));
+    println!("miss: {first}");
+    println!("hit:  {second}");
+    let cache = core.cache_stats();
+    println!(
+        "cache: {} hit / {} miss; engine jobs: {}\n",
+        cache.hits,
+        cache.misses,
+        core.engine_stats().submitted
+    );
+
+    // --- 2. Over TCP, on an ephemeral port. `run` blocks until a client
+    // sends `shutdown`, then drains in-flight work and returns the final
+    // stats report.
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let server_thread = thread::spawn(move || server.run());
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut send = |request: &str| {
+        writer.write_all(request.as_bytes()).expect("write");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        print!("<- {line}");
+    };
+
+    send(&format!("analyze name=clk\n{DECK}.\n"));
+    send(&format!("analyze name=clk model=elmore\n{DECK}.\n"));
+    send("probe\n");
+    send("shutdown\n");
+
+    let report = server_thread.join().expect("join").expect("serve");
+    println!("\nfinal report: {report}");
+}

@@ -20,6 +20,7 @@
 //! | [`awe`] | `rlc-awe` | AWE/Padé, Wyatt, Kahng–Muddu comparators |
 //! | [`opt`] | `rlc-opt` | repeater insertion, wire sizing, skew, inductance FOM |
 //! | [`engine`] | `rlc-engine` | concurrent batch timing, incremental re-analysis |
+//! | [`serve`] | `rlc-serve` | networked timing service: protocol, cache, admission |
 //!
 //! # Quick start
 //!
@@ -49,6 +50,7 @@ pub use rlc_engine as engine;
 pub use rlc_moments as moments;
 pub use rlc_numeric as numeric;
 pub use rlc_opt as opt;
+pub use rlc_serve as serve;
 pub use rlc_sim as sim;
 pub use rlc_tree as tree;
 pub use rlc_units as units;
