@@ -165,6 +165,31 @@ impl Batch {
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.jobs.iter().map(|(name, _)| name.as_str())
     }
+
+    /// Statically analyzes every queued net with [`rlc_lint`], without
+    /// running any timing analysis: one report per job, in submission
+    /// order. `None` marks the one source kind with nothing to lint (the
+    /// [`push_panicking`](Self::push_panicking) fault-injection hook).
+    ///
+    /// A net whose report carries error-severity findings is guaranteed
+    /// to land as a typed per-net failure if run (`rlc-lint`'s
+    /// parser-agreement invariant), so batch drivers can shed or triage
+    /// those slots before spending worker time; warning- and
+    /// info-severity findings never predict failure.
+    pub fn precheck(&self) -> Vec<Option<rlc_lint::LintReport>> {
+        let _span = rlc_obs::span!("engine.batch/precheck");
+        self.jobs
+            .iter()
+            .map(|(_, source)| match source {
+                NetSource::Tree(tree) => Some(rlc_lint::lint_tree(tree)),
+                NetSource::Deck(deck) => Some(rlc_lint::lint_deck(deck)),
+                NetSource::File(path) => {
+                    Some(rlc_lint::lint_path(path, &rlc_lint::LintConfig::default()))
+                }
+                NetSource::Panic(_) => None,
+            })
+            .collect()
+    }
 }
 
 /// Timing summary of one sink of an analyzed net.
@@ -628,6 +653,35 @@ mod tests {
             "{err}"
         );
         assert_eq!(err.net(), "boom");
+    }
+
+    #[test]
+    fn precheck_predicts_per_net_outcomes() {
+        let mut batch = small_corpus();
+        batch.push_deck("broken", "R1 in n1 not-a-number\n");
+        batch.push_file("/nonexistent/net.sp");
+        batch.push_panicking("boom", "injected fault");
+        let reports = batch.precheck();
+        assert_eq!(reports.len(), batch.len());
+
+        // The healthy corpus lints error-free; the broken deck and the
+        // missing file carry the specific codes.
+        for report in reports[..3].iter().flatten() {
+            assert!(report.is_clean(), "{report:?}");
+        }
+        let broken = reports[3].as_ref().expect("deck is lintable");
+        assert!(broken.codes().contains(&"L101"), "{broken:?}");
+        let missing = reports[4].as_ref().expect("path is lintable");
+        assert_eq!(missing.codes(), vec!["L301"]);
+        assert!(reports[5].is_none(), "panic hook has no deck to lint");
+
+        // Error-severity findings predict exactly the nets the engine
+        // fails (the panic slot is unpredicted by construction).
+        let report = Engine::with_workers(2).run(&batch);
+        for (lint, net) in reports.iter().zip(&report.nets).take(5) {
+            let lint = lint.as_ref().expect("first five are lintable");
+            assert_eq!(lint.is_clean(), net.is_ok(), "{lint:?} vs {net:?}");
+        }
     }
 
     #[test]

@@ -39,10 +39,27 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+// Under `--cfg loom` the admission-slot protocol routes its primitives
+// through the `loom` crate so `tests/loom_service.rs` can model-check the
+// submit/drain/shutdown handoff (see that test and `vendor/loom`).
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+use loom::sync::mpsc;
+#[cfg(loom)]
+use loom::sync::{Arc, Condvar, Mutex};
+#[cfg(loom)]
+use loom::thread;
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+use std::sync::mpsc;
+#[cfg(not(loom))]
+use std::sync::{Arc, Condvar, Mutex};
+#[cfg(not(loom))]
+use std::thread;
 
 use rlc_tree::RlcTree;
 
@@ -178,7 +195,7 @@ struct Shared {
 /// See the [module docs](self) for the admission and shutdown contracts.
 pub struct EngineService {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for EngineService {
@@ -203,7 +220,7 @@ impl EngineService {
             "service needs capacity for at least one job"
         );
         let workers = if config.workers == 0 {
-            std::thread::available_parallelism()
+            thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         } else {
@@ -227,7 +244,7 @@ impl EngineService {
         let workers = (0..workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                thread::spawn(move || worker_loop(&shared))
             })
             .collect();
         Self { shared, workers }
@@ -392,7 +409,7 @@ fn worker_loop(shared: &Shared) {
 
         let _span = rlc_obs::span!("engine.service/job");
         if let Some(hold) = job.spec.hold {
-            std::thread::sleep(hold);
+            thread::sleep(hold);
         }
         let result = match job.spec.deadline {
             Some(deadline) if Instant::now() > deadline => Err(EngineError::DeadlineExceeded {

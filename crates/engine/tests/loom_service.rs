@@ -1,0 +1,121 @@
+//! Model-checking the `EngineService` admission-slot handoff under loom.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (the CI `loom` job). With
+//! that cfg, `service.rs` routes its `Mutex`/`Condvar`/channel/thread
+//! primitives through the `loom` crate, and these tests drive the
+//! submit/drain/shutdown protocol through `loom::model`. The vendored
+//! `loom` stub (see `vendor/loom`) re-runs each scenario many times over
+//! real threads rather than exhaustively exploring interleavings; against
+//! the registry crate the same tests become exhaustive model checks.
+//!
+//! The protocol invariants being checked:
+//!
+//! 1. **Slot conservation** — with capacity 1, two racing submitters
+//!    produce `submitted + rejected_overload == 2` and at least one
+//!    acceptance; every accepted job delivers exactly one result.
+//! 2. **Close/submit handoff** — a submission that observes `accepting`
+//!    is processed even if `close` lands immediately after; a submission
+//!    sequenced after `close` returns is always `ShuttingDown`.
+//! 3. **Drain completeness** — `drain` returns only once every accepted
+//!    job has delivered, so `completed == submitted` at shutdown.
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use rlc_engine::{EngineError, EngineService, ServiceConfig};
+
+const DECK: &str = "R1 in n1 25\nC1 n1 0 0.5p\n";
+
+#[test]
+fn racing_submitters_conserve_the_admission_slot() {
+    loom::model(|| {
+        let service = Arc::new(EngineService::start(ServiceConfig {
+            workers: 1,
+            capacity: 1,
+        }));
+        let racer = {
+            let service = Arc::clone(&service);
+            loom::thread::spawn(move || match service.submit("b", DECK) {
+                Ok(ticket) => {
+                    ticket.wait().expect("accepted job delivers a result");
+                    true
+                }
+                Err(EngineError::Overloaded { .. }) => false,
+                Err(other) => panic!("unexpected admission error: {other}"),
+            })
+        };
+        let main_accepted = match service.submit("a", DECK) {
+            Ok(ticket) => {
+                ticket.wait().expect("accepted job delivers a result");
+                true
+            }
+            Err(EngineError::Overloaded { .. }) => false,
+            Err(other) => panic!("unexpected admission error: {other}"),
+        };
+        let racer_accepted = racer.join().expect("racer thread joins");
+        assert!(
+            main_accepted || racer_accepted,
+            "an empty service must accept at least one of two submitters"
+        );
+        let service = match Arc::try_unwrap(service) {
+            Ok(service) => service,
+            Err(_) => panic!("all clones joined"),
+        };
+        let stats = service.shutdown();
+        assert_eq!(
+            stats.submitted + stats.rejected_overload,
+            2,
+            "every submission is either admitted or typed-rejected: {stats:?}"
+        );
+        assert_eq!(
+            stats.completed, stats.submitted,
+            "every admitted job delivers exactly once: {stats:?}"
+        );
+        assert_eq!(stats.rejected_shutdown, 0, "{stats:?}");
+    });
+}
+
+#[test]
+fn close_submit_handoff_never_strands_accepted_work() {
+    loom::model(|| {
+        let service = Arc::new(EngineService::start(ServiceConfig {
+            workers: 1,
+            capacity: 2,
+        }));
+        let early = service
+            .submit("early", DECK)
+            .expect("empty service accepts");
+        let closer = {
+            let service = Arc::clone(&service);
+            loom::thread::spawn(move || service.close())
+        };
+        // Races with `close`: may be admitted or typed-rejected, but never
+        // lost either way.
+        let late = service.submit("late", DECK);
+        closer.join().expect("closer thread joins");
+        // Sequenced strictly after `close` returned: always rejected.
+        match service.submit("post-close", DECK) {
+            Err(EngineError::ShuttingDown { net }) => assert_eq!(net, "post-close"),
+            Ok(_) => panic!("submission after close must be rejected"),
+            Err(other) => panic!("wrong rejection kind: {other}"),
+        }
+        early.wait().expect("pre-close job delivers");
+        let late_accepted = match late {
+            Ok(ticket) => {
+                ticket.wait().expect("admitted job delivers despite close");
+                true
+            }
+            Err(EngineError::ShuttingDown { .. }) => false,
+            Err(other) => panic!("unexpected admission error: {other}"),
+        };
+        service.drain();
+        assert_eq!(service.outstanding(), 0, "drain returns only when idle");
+        let service = match Arc::try_unwrap(service) {
+            Ok(service) => service,
+            Err(_) => panic!("all clones joined"),
+        };
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 1 + u64::from(late_accepted));
+        assert_eq!(stats.completed, stats.submitted, "{stats:?}");
+        assert!(stats.rejected_shutdown >= 1, "{stats:?}");
+    });
+}

@@ -1,0 +1,5 @@
+.input in
+R1 in a 10
+R2 a b 10
+R3 b in 10
+C1 b 0 1p

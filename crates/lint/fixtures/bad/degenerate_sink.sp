@@ -1,0 +1,3 @@
+.input in
+L1 in a 5n
+C1 a 0 1p

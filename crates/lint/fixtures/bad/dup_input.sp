@@ -1,0 +1,4 @@
+.input in
+.input src
+R1 src a 10
+C1 a 0 1p

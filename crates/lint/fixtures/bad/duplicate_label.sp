@@ -1,0 +1,4 @@
+.input in
+R1 in a 10
+R1 a b 10
+C1 b 0 1p

@@ -1,0 +1,3 @@
+.input in
+R1 in a 10
+C1 in a 1p

@@ -1,0 +1,2 @@
+.input in
+R1 in 0 10

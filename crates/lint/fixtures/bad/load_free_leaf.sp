@@ -1,0 +1,4 @@
+.input in
+R1 in n1 25
+C1 n1 0 1p
+R2 n1 n2 25

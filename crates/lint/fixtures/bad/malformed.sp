@@ -1,0 +1,5 @@
+.input in
+R1 in n1 25
+C1 n1 0 0.5p
+R2 n1
+Q7 n1 n2 10

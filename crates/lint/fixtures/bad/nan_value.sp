@@ -1,0 +1,3 @@
+.input in
+R1 in n1 NaN
+C1 n1 0 0.5p

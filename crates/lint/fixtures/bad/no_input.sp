@@ -1,0 +1,2 @@
+R1 a b 10
+C1 b 0 1p

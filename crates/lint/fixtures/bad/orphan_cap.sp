@@ -1,0 +1,4 @@
+.input in
+R1 in a 10
+C1 a 0 1p
+C9 zz 0 1p

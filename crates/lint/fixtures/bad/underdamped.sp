@@ -1,0 +1,7 @@
+* zeta ~ 0.265 at the sink: analyzable but flagged
+.input in
+R1 in n1 25
+C1 n1 0 0.5p
+L2 n1 n2 5n
+C2 n2 0 1p
+.end

@@ -1,0 +1,3 @@
+.input in
+R1 in n1 25
+C1 n1 0 0

@@ -1,0 +1,9 @@
+* a branching RLC tree, all sinks moderately damped
+.input in
+R1 in t 50
+C1 t 0 0.2p
+L2 t a 1n
+C2 a 0 1p
+R3 t b 80
+C3 b 0 0.5p
+.end

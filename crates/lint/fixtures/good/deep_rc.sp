@@ -1,0 +1,6 @@
+* deeply overdamped RLC (zeta ~ 16): first-order hint expected
+.input in
+R1 in n1 1k
+L2 n1 n2 1n
+C2 n2 0 1p
+.end

@@ -1,0 +1,7 @@
+* a clean two-section RC line
+.input in
+R1 in n1 25
+C1 n1 0 0.5p
+R2 n1 n2 25
+C2 n2 0 0.5p
+.end

@@ -1,0 +1,6 @@
+* moderately damped RLC section (zeta ~ 1.6)
+.input in
+R1 in n1 100
+L2 n1 n2 1n
+C2 n2 0 1p
+.end

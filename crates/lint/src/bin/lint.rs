@@ -1,0 +1,185 @@
+//! `lint` — static analysis for netlist decks.
+//!
+//! ```text
+//! lint [--json] [--deny-warnings] [--workers N] <path>...
+//! lint --rules
+//! ```
+//!
+//! Each path is a deck file or a directory searched recursively for `*.sp`
+//! files. Directory decks are labelled by their path *relative to the
+//! directory argument*, so the same fixture tree produces byte-identical
+//! output wherever it is checked out. Decks are linted in label order;
+//! `--workers N` fans the work out over N threads with a deterministic
+//! assignment, so the report bytes never depend on the worker count.
+//!
+//! Exit status: `0` when every deck passes, `1` when any deck fails the
+//! gate (`--deny-warnings` makes warnings fail too), `2` on usage errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rlc_lint::{lint_path, render_document, LintConfig, LintReport, Rule};
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    workers: usize,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lint [--json] [--deny-warnings] [--workers N] <path>...");
+    eprintln!("       lint --rules");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        json: false,
+        deny_warnings: false,
+        workers: 1,
+        paths: Vec::new(),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--workers" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                if n == 0 {
+                    return usage();
+                }
+                opts.workers = n;
+            }
+            "--rules" => {
+                print_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: lint [--json] [--deny-warnings] [--workers N] <path>...");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("lint: unknown flag {other:?}");
+                return usage();
+            }
+            other => opts.paths.push(PathBuf::from(other)),
+        }
+    }
+    if opts.paths.is_empty() {
+        return usage();
+    }
+
+    // (label, file) jobs, labels sorted for a stable document order.
+    let mut jobs: Vec<(String, PathBuf)> = Vec::new();
+    for path in &opts.paths {
+        if path.is_dir() {
+            let mut files = Vec::new();
+            collect_decks(path, &mut files);
+            for file in files {
+                let label = file
+                    .strip_prefix(path)
+                    .unwrap_or(&file)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                jobs.push((label, file));
+            }
+        } else {
+            jobs.push((path.to_string_lossy().replace('\\', "/"), path.clone()));
+        }
+    }
+    jobs.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let reports = run_jobs(&jobs, opts.workers);
+
+    if opts.json {
+        print!("{}", render_document(&reports));
+    } else {
+        for (label, report) in &reports {
+            print!("{}", report.render_human(label));
+        }
+        let errors: usize = reports.iter().map(|(_, r)| r.errors()).sum();
+        let warnings: usize = reports.iter().map(|(_, r)| r.warnings()).sum();
+        let infos: usize = reports.iter().map(|(_, r)| r.infos()).sum();
+        println!(
+            "{} decks: {errors} errors, {warnings} warnings, {infos} infos",
+            reports.len()
+        );
+    }
+
+    let pass = reports.iter().all(|(_, r)| r.passes(opts.deny_warnings));
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Lints `jobs` over `workers` threads. Worker `w` takes jobs `w, w+N,
+/// w+2N, …` and results land back in job order, so the output is
+/// byte-identical for every worker count.
+fn run_jobs(jobs: &[(String, PathBuf)], workers: usize) -> Vec<(String, LintReport)> {
+    let config = LintConfig::default();
+    let workers = workers.min(jobs.len()).max(1);
+    let mut slots: Vec<Option<LintReport>> = vec![None; jobs.len()];
+    if workers <= 1 {
+        for (slot, (_, file)) in slots.iter_mut().zip(jobs) {
+            *slot = Some(lint_path(file, &config));
+        }
+    } else {
+        let results = std::sync::Mutex::new(vec![None; jobs.len()]);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let results = &results;
+                let config = &config;
+                scope.spawn(move || {
+                    for (idx, (_, file)) in jobs.iter().enumerate().skip(w).step_by(workers) {
+                        let report = lint_path(file, config);
+                        if let Ok(mut slots) = results.lock() {
+                            slots[idx] = Some(report);
+                        }
+                    }
+                });
+            }
+        });
+        if let Ok(filled) = results.into_inner() {
+            slots = filled;
+        }
+    }
+    jobs.iter()
+        .zip(slots)
+        .map(|((label, _), report)| (label.clone(), report.unwrap_or_default()))
+        .collect()
+}
+
+/// Recursively collects `*.sp` files under `dir` in a deterministic
+/// (name-sorted) order.
+fn collect_decks(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_decks(&entry, out);
+        } else if entry.extension().is_some_and(|ext| ext == "sp") {
+            out.push(entry);
+        }
+    }
+}
+
+fn print_rules() {
+    println!("rlc-lint rule catalog (see DESIGN.md §12):");
+    for &rule in Rule::ALL {
+        println!(
+            "  {} {:<8} {}",
+            rule.code(),
+            rule.severity(),
+            rule.summary()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Static analysis for RLC netlist decks.
+//!
+//! `rlc-lint` inspects a deck *without* simulating it and produces a
+//! [`LintReport`]: a deterministic list of [`Diagnostic`]s with stable rule
+//! codes (`L001`…), fixed severities, and source spans pointing at the
+//! offending deck line. The rules come in three tiers (see [`Tier`]):
+//!
+//! * **structural** — the element graph must be a tree rooted at the input
+//!   (cycles, unreachable elements, misplaced capacitors, missing loads);
+//! * **physical** — element values must be finite, non-negative, and
+//!   plausibly on-chip;
+//! * **model-regime** — per-sink damping factors `ζ = T_RC/(2√T_LC)`
+//!   (paper eq. 29) computed in O(n) via [`rlc_moments::tree_sums`], used
+//!   to flag decks the two-pole model grades poorly on (ζ < 0.5) and
+//!   deep-RC decks where a first-order model would do (`L202`).
+//!
+//! The contract downstream gates rely on: **a deck lints error-free iff
+//! `Netlist::parse` accepts it**. Warnings and infos never block parsing;
+//! errors always predict a parse failure. `rlc-serve` uses this to reject
+//! work before it costs an admission slot, `rlc-engine` offers it as a
+//! batch pre-check, and `rlc-verify` screens its generated corpus with it.
+//!
+//! Reports render two ways: human `file:line: L00x severity: message`
+//! lines, and the byte-stable `rlc-lint/1` JSON document (sorted decks,
+//! sorted diagnostics, no timestamps) — see [`report::render_document`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rlc_lint::{lint_deck, Rule, Severity};
+//!
+//! // ζ ≈ 0.265 at the sink: analyzable, but flagged.
+//! let deck = "R1 in n1 25\nC1 n1 0 0.5p\nL2 n1 n2 5n\nC2 n2 0 1p\n";
+//! let report = lint_deck(deck);
+//! assert!(report.is_clean());
+//! assert_eq!(report.codes(), vec!["L201"]);
+//! let finding = &report.diagnostics()[0];
+//! assert_eq!(finding.rule, Rule::UnderdampedSink);
+//! assert_eq!(finding.rule.severity(), Severity::Warning);
+//! assert_eq!(finding.node.as_deref(), Some("n2"));
+//! ```
+
+mod analyze;
+mod report;
+mod rules;
+
+pub use analyze::{lint_deck, lint_deck_with, lint_path, lint_tree, lint_tree_with, LintConfig};
+pub use report::{render_document, Diagnostic, LintReport};
+pub use rules::{Rule, Severity, Tier};

@@ -1,0 +1,341 @@
+//! Diagnostics, reports, and the two renderers (human and `rlc-lint/1`).
+
+use std::fmt::Write as _;
+
+use rlc_obs::json;
+
+use crate::rules::{Rule, Severity};
+
+/// One finding: a rule instance anchored to a deck line and/or a node.
+///
+/// Line numbers are 1-based and point into the *original* deck text the
+/// analyzer saw. Diagnostics produced from an in-memory tree (no deck text)
+/// carry a node name instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    /// 1-based deck line, when the finding is anchored to a card.
+    pub line: Option<usize>,
+    /// Netlist node name, when the finding is anchored to a node.
+    pub node: Option<String>,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn line(rule: Rule, line: usize, message: String) -> Self {
+        Self {
+            rule,
+            line: Some(line),
+            node: None,
+            message,
+        }
+    }
+
+    pub(crate) fn node(rule: Rule, node: impl Into<String>, message: String) -> Self {
+        Self {
+            rule,
+            line: None,
+            node: Some(node.into()),
+            message,
+        }
+    }
+
+    pub(crate) fn deck(rule: Rule, message: String) -> Self {
+        Self {
+            rule,
+            line: None,
+            node: None,
+            message,
+        }
+    }
+
+    /// The deterministic ordering key: line-anchored findings first in line
+    /// order, then deck/node-level findings by code.
+    fn sort_key(&self) -> (usize, &'static str, &str, &str) {
+        (
+            self.line.unwrap_or(usize::MAX),
+            self.rule.code(),
+            self.node.as_deref().unwrap_or(""),
+            &self.message,
+        )
+    }
+
+    /// Renders this diagnostic as a single-line JSON object.
+    fn to_json(&self) -> String {
+        let line = match self.line {
+            Some(n) => n.to_string(),
+            None => "null".to_owned(),
+        };
+        let node = match &self.node {
+            Some(n) => json::quote(n),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"code\": {}, \"severity\": {}, \"line\": {}, \"node\": {}, \"message\": {}}}",
+            json::quote(self.rule.code()),
+            json::quote(self.rule.severity().as_str()),
+            line,
+            node,
+            json::quote(&self.message),
+        )
+    }
+}
+
+/// The outcome of linting one deck: diagnostics in deterministic order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Builds a report, sorting the diagnostics into the canonical order
+    /// (line ascending with unanchored findings last, then code, node,
+    /// message). Every renderer and every consumer sees this order.
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        Self { diagnostics }
+    }
+
+    /// The findings, in canonical order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.rule.severity() == severity)
+            .count()
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of info-severity findings.
+    pub fn infos(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    /// No findings at all, of any severity.
+    pub fn is_spotless(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// No error-severity findings: the deck will parse and analyze.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Gate verdict: clean, and warning-free when `deny_warnings` is set.
+    pub fn passes(&self, deny_warnings: bool) -> bool {
+        self.is_clean() && !(deny_warnings && self.warnings() > 0)
+    }
+
+    /// Sorted, deduplicated codes of every finding.
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self.diagnostics.iter().map(|d| d.rule.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    /// The most severe finding, ties broken by canonical order. This is the
+    /// finding a gate (e.g. `rlc-serve`'s `lint=deny`) cites when rejecting.
+    pub fn primary(&self) -> Option<&Diagnostic> {
+        self.diagnostics.iter().max_by(|a, b| {
+            (a.rule.severity(), std::cmp::Reverse(a.sort_key()))
+                .cmp(&(b.rule.severity(), std::cmp::Reverse(b.sort_key())))
+        })
+    }
+
+    /// Human rendering: one `label:line: L00x severity: message` line per
+    /// finding (the line segment is omitted for unanchored findings).
+    pub fn render_human(&self, label: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            match d.line {
+                Some(line) => {
+                    let _ = writeln!(
+                        out,
+                        "{label}:{line}: {} {}: {}",
+                        d.rule.code(),
+                        d.rule.severity(),
+                        d.message
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{label}: {} {}: {}",
+                        d.rule.code(),
+                        d.rule.severity(),
+                        d.message
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The per-deck `rlc-lint/1` JSON object, on a single line:
+    ///
+    /// ```json
+    /// {"deck": "...", "diagnostics": [...], "summary": {...}}
+    /// ```
+    pub fn to_json_object(&self, label: &str) -> String {
+        let diags: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!(
+            "{{\"deck\": {}, \"diagnostics\": [{}], \"summary\": {}}}",
+            json::quote(label),
+            diags.join(", "),
+            self.summary_json(),
+        )
+    }
+
+    /// The severity tally as a JSON object:
+    /// `{"errors": E, "warnings": W, "infos": I}`.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"errors\": {}, \"warnings\": {}, \"infos\": {}}}",
+            self.errors(),
+            self.warnings(),
+            self.infos()
+        )
+    }
+
+    /// A compact gate-annotation object for embedding in other protocols
+    /// (used by `rlc-serve` to attach lint results to `analyze` responses):
+    /// `{"errors": E, "warnings": W, "infos": I, "codes": ["L201", ...]}`.
+    pub fn annotation_json(&self) -> String {
+        let codes: Vec<String> = self.codes().iter().map(|c| json::quote(c)).collect();
+        format!(
+            "{{\"errors\": {}, \"warnings\": {}, \"infos\": {}, \"codes\": [{}]}}",
+            self.errors(),
+            self.warnings(),
+            self.infos(),
+            codes.join(", ")
+        )
+    }
+}
+
+/// Renders the top-level `rlc-lint/1` document over several labelled
+/// reports. Decks appear in the order given (the CLI sorts labels first),
+/// one JSON object per line, so the document is byte-stable:
+///
+/// ```json
+/// {
+///   "schema": "rlc-lint/1",
+///   "decks": [
+///     {"deck": "...", "diagnostics": [...], "summary": {...}}
+///   ],
+///   "summary": {"decks": 1, "errors": 0, "warnings": 0, "infos": 0, "clean": true}
+/// }
+/// ```
+pub fn render_document(reports: &[(String, LintReport)]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"rlc-lint/1\",\n  \"decks\": [\n");
+    for (i, (label, report)) in reports.iter().enumerate() {
+        let sep = if i + 1 == reports.len() { "" } else { "," };
+        let _ = writeln!(out, "    {}{}", report.to_json_object(label), sep);
+    }
+    let errors: usize = reports.iter().map(|(_, r)| r.errors()).sum();
+    let warnings: usize = reports.iter().map(|(_, r)| r.warnings()).sum();
+    let infos: usize = reports.iter().map(|(_, r)| r.infos()).sum();
+    let _ = write!(
+        out,
+        "  ],\n  \"summary\": {{\"decks\": {}, \"errors\": {}, \"warnings\": {}, \"infos\": {}, \"clean\": {}}}\n}}\n",
+        reports.len(),
+        errors,
+        warnings,
+        infos,
+        errors == 0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport::new(vec![
+            Diagnostic::node(Rule::UnderdampedSink, "n2", "ζ low".into()),
+            Diagnostic::line(Rule::MalformedCard, 3, "bad card".into()),
+            Diagnostic::line(Rule::BadValue, 1, "bad value".into()),
+        ])
+    }
+
+    #[test]
+    fn diagnostics_sort_line_first_then_unanchored() {
+        let r = sample();
+        let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.rule.code()).collect();
+        assert_eq!(codes, vec!["L102", "L101", "L201"]);
+    }
+
+    #[test]
+    fn counts_and_verdicts() {
+        let r = sample();
+        assert_eq!((r.errors(), r.warnings(), r.infos()), (2, 1, 0));
+        assert!(!r.is_clean());
+        let warn_only = LintReport::new(vec![Diagnostic::node(
+            Rule::UnderdampedSink,
+            "n2",
+            "ζ low".into(),
+        )]);
+        assert!(warn_only.is_clean());
+        assert!(warn_only.passes(false));
+        assert!(!warn_only.passes(true));
+        assert!(LintReport::default().passes(true));
+    }
+
+    #[test]
+    fn primary_is_most_severe_then_first_in_order() {
+        let r = sample();
+        let primary = r.primary().expect("has findings");
+        assert_eq!(primary.rule, Rule::BadValue);
+        assert_eq!(primary.line, Some(1));
+    }
+
+    #[test]
+    fn human_rendering_includes_line_spans() {
+        let text = sample().render_human("deck.sp");
+        assert!(text.contains("deck.sp:1: L102 error: bad value"), "{text}");
+        assert!(text.contains("deck.sp:3: L101 error: bad card"), "{text}");
+        assert!(text.contains("deck.sp: L201 warning: ζ low"), "{text}");
+    }
+
+    #[test]
+    fn json_object_is_single_line_and_parses() {
+        let obj = sample().to_json_object("deck.sp");
+        assert!(!obj.contains('\n'));
+        rlc_obs::json::parse(&obj).expect("valid JSON");
+        assert!(obj.contains("\"code\": \"L102\""), "{obj}");
+    }
+
+    #[test]
+    fn document_parses_and_totals() {
+        let doc = render_document(&[
+            ("a.sp".to_owned(), sample()),
+            ("b.sp".to_owned(), LintReport::default()),
+        ]);
+        rlc_obs::json::parse(&doc).expect("valid JSON document");
+        assert!(doc.contains("\"schema\": \"rlc-lint/1\""), "{doc}");
+        assert!(doc.contains("\"decks\": 2"), "{doc}");
+        assert!(doc.contains("\"clean\": false"), "{doc}");
+    }
+
+    #[test]
+    fn annotation_lists_sorted_unique_codes() {
+        let ann = sample().annotation_json();
+        assert_eq!(
+            ann,
+            "{\"errors\": 2, \"warnings\": 1, \"infos\": 0, \"codes\": [\"L101\", \"L102\", \"L201\"]}"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! The rule catalog: stable codes, severities and tiers.
+//!
+//! Codes are append-only: once published in a report, a code keeps its
+//! meaning forever. New rules take fresh codes; retired rules leave gaps.
+//! The catalog is mirrored in DESIGN.md §12.
+
+use core::fmt;
+
+/// How serious a diagnostic is.
+///
+/// `Error` means the deck cannot be analyzed at all (it will not parse or
+/// will not assemble into a tree). `Warning` means analysis is possible but
+/// the result is degenerate or falls in a regime the model is known to
+/// grade poorly on. `Info` is advice with no correctness implication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    /// The lowercase wire spelling used by both renderers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which analysis stage a rule belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Graph shape: the element graph must be a tree rooted at the input.
+    Structural,
+    /// Card-level value sanity: finite, non-negative, plausibly on-chip.
+    Physical,
+    /// Model applicability: where eq. 29/30's two-pole fit degrades.
+    ModelRegime,
+    /// Problems reading the deck before any analysis (CLI file mode).
+    Io,
+}
+
+/// Every rule the analyzer can fire, with its stable code.
+///
+/// The `L0xx` block is structural, `L1xx` physical, `L2xx` model-regime,
+/// `L3xx` I/O. See [`Rule::code`], [`Rule::severity`], [`Rule::tier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Rule {
+    /// The deck contains no series elements at all.
+    EmptyDeck,
+    /// A series element closes a cycle back into the visited tree.
+    Cycle,
+    /// A series element is not reachable from the input node.
+    Unreachable,
+    /// No `.input` directive and no node named `in`, or the named input
+    /// touches no series element.
+    NoInput,
+    /// A series element connects to ground, which a tree cannot contain.
+    GroundedSeries,
+    /// A capacitor card connects two non-ground nodes.
+    FloatingCapacitor,
+    /// A capacitor sits on the input node or on a node no series element
+    /// reaches.
+    OrphanCapacitor,
+    /// Two cards share the same label.
+    DuplicateLabel,
+    /// A leaf node carries no capacitive load, so it contributes nothing
+    /// to any Elmore sum and has no meaningful delay of its own.
+    LoadFreeLeaf,
+    /// A second `.input` directive silently overrides the first.
+    DuplicateInput,
+    /// A card does not match `<name> <node> <node> <value>` (wrong field
+    /// count, unknown card letter, unparsable value syntax).
+    MalformedCard,
+    /// A value parsed but is non-finite or negative, violating the
+    /// element contract from `RlcSection::new`.
+    BadValue,
+    /// A sink node has `T_RC = 0`: the second-order model (eq. 29) is
+    /// degenerate there and predicts zero delay.
+    DegenerateSink,
+    /// The whole net has zero capacitance, so every tree sum vanishes.
+    ZeroLoadNet,
+    /// An element value is finite and positive but outside the plausible
+    /// on-chip magnitude range for its kind.
+    ImplausibleValue,
+    /// A sink's damping factor ζ (eq. 29) is below the configured floor;
+    /// paper Section V only bounds the two-pole model's error for
+    /// moderately damped responses.
+    UnderdampedSink,
+    /// Every sink is deep-RC (ζ far above 1 or `T_LC = 0` outright): the
+    /// first-order Elmore/Wyatt model would do the same job cheaper.
+    DeepRcNet,
+    /// The deck file could not be read.
+    UnreadableDeck,
+}
+
+impl Rule {
+    /// Every rule, in code order. Useful for documentation and tests.
+    pub const ALL: &'static [Rule] = &[
+        Rule::EmptyDeck,
+        Rule::Cycle,
+        Rule::Unreachable,
+        Rule::NoInput,
+        Rule::GroundedSeries,
+        Rule::FloatingCapacitor,
+        Rule::OrphanCapacitor,
+        Rule::DuplicateLabel,
+        Rule::LoadFreeLeaf,
+        Rule::DuplicateInput,
+        Rule::MalformedCard,
+        Rule::BadValue,
+        Rule::DegenerateSink,
+        Rule::ZeroLoadNet,
+        Rule::ImplausibleValue,
+        Rule::UnderdampedSink,
+        Rule::DeepRcNet,
+        Rule::UnreadableDeck,
+    ];
+
+    /// The stable wire code, `L001`..`L301`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::EmptyDeck => "L001",
+            Rule::Cycle => "L002",
+            Rule::Unreachable => "L003",
+            Rule::NoInput => "L004",
+            Rule::GroundedSeries => "L005",
+            Rule::FloatingCapacitor => "L006",
+            Rule::OrphanCapacitor => "L007",
+            Rule::DuplicateLabel => "L008",
+            Rule::LoadFreeLeaf => "L009",
+            Rule::DuplicateInput => "L010",
+            Rule::MalformedCard => "L101",
+            Rule::BadValue => "L102",
+            Rule::DegenerateSink => "L103",
+            Rule::ZeroLoadNet => "L104",
+            Rule::ImplausibleValue => "L105",
+            Rule::UnderdampedSink => "L201",
+            Rule::DeepRcNet => "L202",
+            Rule::UnreadableDeck => "L301",
+        }
+    }
+
+    /// The fixed severity of this rule.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::EmptyDeck
+            | Rule::Cycle
+            | Rule::Unreachable
+            | Rule::NoInput
+            | Rule::GroundedSeries
+            | Rule::FloatingCapacitor
+            | Rule::OrphanCapacitor
+            | Rule::MalformedCard
+            | Rule::BadValue
+            | Rule::UnreadableDeck => Severity::Error,
+            Rule::DuplicateLabel
+            | Rule::LoadFreeLeaf
+            | Rule::DuplicateInput
+            | Rule::DegenerateSink
+            | Rule::ZeroLoadNet
+            | Rule::ImplausibleValue
+            | Rule::UnderdampedSink => Severity::Warning,
+            Rule::DeepRcNet => Severity::Info,
+        }
+    }
+
+    /// The analysis tier the rule belongs to.
+    pub fn tier(self) -> Tier {
+        match self {
+            Rule::EmptyDeck
+            | Rule::Cycle
+            | Rule::Unreachable
+            | Rule::NoInput
+            | Rule::GroundedSeries
+            | Rule::FloatingCapacitor
+            | Rule::OrphanCapacitor
+            | Rule::DuplicateLabel
+            | Rule::LoadFreeLeaf
+            | Rule::DuplicateInput => Tier::Structural,
+            Rule::MalformedCard
+            | Rule::BadValue
+            | Rule::DegenerateSink
+            | Rule::ZeroLoadNet
+            | Rule::ImplausibleValue => Tier::Physical,
+            Rule::UnderdampedSink | Rule::DeepRcNet => Tier::ModelRegime,
+            Rule::UnreadableDeck => Tier::Io,
+        }
+    }
+
+    /// A one-line description for catalogs (`lint --rules`).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::EmptyDeck => "deck has no series elements",
+            Rule::Cycle => "element graph contains a cycle",
+            Rule::Unreachable => "element not reachable from the input",
+            Rule::NoInput => "no usable input node",
+            Rule::GroundedSeries => "series element connects to ground",
+            Rule::FloatingCapacitor => "capacitor does not connect to ground",
+            Rule::OrphanCapacitor => "capacitor on the input or an unknown node",
+            Rule::DuplicateLabel => "card label reused",
+            Rule::LoadFreeLeaf => "leaf node carries no capacitive load",
+            Rule::DuplicateInput => "second .input overrides the first",
+            Rule::MalformedCard => "card does not match <name> <node> <node> <value>",
+            Rule::BadValue => "element value is non-finite or negative",
+            Rule::DegenerateSink => "sink has T_RC = 0 (degenerate model)",
+            Rule::ZeroLoadNet => "net has zero total capacitance",
+            Rule::ImplausibleValue => "value outside plausible on-chip range",
+            Rule::UnderdampedSink => "sink damping factor below the model-fidelity floor",
+            Rule::DeepRcNet => "deep-RC net; first-order Elmore/Wyatt model suffices",
+            Rule::UnreadableDeck => "deck file cannot be read",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), Rule::ALL.len(), "duplicate code");
+        assert_eq!(sorted, codes, "Rule::ALL must be in code order");
+    }
+
+    #[test]
+    fn tiers_match_code_blocks() {
+        for &rule in Rule::ALL {
+            let block = &rule.code()[1..2];
+            let expected = match rule.tier() {
+                Tier::Structural => "0",
+                Tier::Physical => "1",
+                Tier::ModelRegime => "2",
+                Tier::Io => "3",
+            };
+            assert_eq!(
+                block,
+                expected,
+                "{rule:?} code {} in wrong block",
+                rule.code()
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The load-bearing property of the whole gate design: **a deck lints
+//! error-free iff `Netlist::parse` accepts it**. Warnings and infos never
+//! block parsing; any error-severity finding predicts a parse failure.
+//!
+//! `rlc-serve` relies on this to reject work before admission without ever
+//! refusing a deck the engine could serve, and `rlc-engine`'s batch
+//! pre-check relies on it to predict per-net failures.
+
+use proptest::prelude::*;
+use rlc_lint::lint_deck;
+use rlc_tree::netlist::Netlist;
+
+/// A generator of decks spanning the interesting space: mostly valid
+/// topologies, with mutations that hit every scanner path.
+fn decks() -> impl Strategy<Value = String> {
+    let section = (0u32..4, 1u32..100, 0u32..100);
+    (
+        proptest::collection::vec(section, 1..12),
+        0u32..12, // mutation selector
+    )
+        .prop_map(|(sections, mutation)| {
+            let mut deck = String::from(".input in\n");
+            for (i, (kind, series, cap)) in sections.iter().enumerate() {
+                let parent = if i == 0 {
+                    "in".to_owned()
+                } else {
+                    format!("m{}", i - 1)
+                };
+                let me = format!("m{i}");
+                if kind % 2 == 0 {
+                    deck.push_str(&format!("R{i} {parent} {me} {series}\n"));
+                } else {
+                    deck.push_str(&format!("L{i} {parent} {me} {series}n\n"));
+                }
+                if *cap > 0 {
+                    deck.push_str(&format!("C{i} {me} 0 {cap}f\n"));
+                }
+            }
+            match mutation {
+                0 => deck.push_str("Rbad m0\n"),
+                1 => deck.push_str("Q9 m0 zz 10\n"),
+                2 => deck.push_str("Rneg m0 zz -5\n"),
+                3 => deck.push_str("Rnan m0 zz NaN\n"),
+                4 => deck.push_str("Rinf m0 zz 1e999\n"),
+                5 => deck.push_str("Rloop m0 in 10\n"),
+                6 => deck.push_str("Rfar aa bb 10\n"),
+                7 => deck.push_str("Cfar zz 0 1p\n"),
+                8 => deck.push_str("Rgnd m0 0 10\n"),
+                9 => deck.push_str("Cfloat in m0 1p\n"),
+                _ => {} // leave the deck valid
+            }
+            deck
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lints_error_free_iff_the_parser_accepts(deck in decks()) {
+        let report = lint_deck(&deck);
+        let parsed = Netlist::parse(&deck);
+        let agree = report.is_clean() == parsed.is_ok();
+        prop_assert!(agree, "lint/parse disagree on {deck:?}: {report:?} vs {:?}", parsed.err());
+    }
+
+    #[test]
+    fn reports_are_deterministic(deck in decks()) {
+        prop_assert_eq!(lint_deck(&deck), lint_deck(&deck));
+    }
+}

@@ -9,8 +9,9 @@
 //! line protocol (see `crates/serve/src/protocol.rs` and DESIGN.md §11).
 //! `--stdio` serves a single session over stdin/stdout. `--smoke` runs
 //! the self-contained conformance smoke used by CI: it exercises the
-//! warm-cache, overload, deadline, and drain contracts at worker counts
-//! 1/2/4/8 and fails unless every transcript is byte-identical.
+//! warm-cache, lint-gate, overload, deadline, and drain contracts at
+//! worker counts 1/2/4/8 and fails unless every transcript is
+//! byte-identical.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -18,7 +19,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rlc_serve::{serve_stdio, AnalyzeRequest, CacheConfig, ServeConfig, ServeCore, Server};
+use rlc_serve::{
+    serve_stdio, AnalyzeRequest, CacheConfig, LintMode, LintRequest, ServeConfig, ServeCore, Server,
+};
 
 const USAGE: &str = "usage: serve [--listen ADDR] [--stdio] [--smoke]
              [--workers N] [--queue N] [--cache-capacity N] [--cache-ttl-ms MS]
@@ -168,7 +171,7 @@ fn smoke() -> Result<(), String> {
         reference.len()
     );
     println!(
-        "smoke ok: warm-cache analyze did zero engine jobs; overload, deadline and drain rejections all typed"
+        "smoke ok: warm-cache analyze did zero engine jobs; lint, overload, deadline and drain rejections all typed"
     );
     Ok(())
 }
@@ -219,14 +222,45 @@ fn smoke_one(workers: usize) -> Result<String, String> {
         || fail("respelled deck should hit under the caller's name", &r3),
     )?;
 
-    // 2. A malformed deck is a typed per-net result, not a dead server.
+    // 2. Lint gate (ISSUE 5 acceptance): WARM_DECK's sink sits at
+    //    ζ ≈ 0.265 < 0.5, so the default warn mode serves it *with* the
+    //    L201 annotation attached — on the miss and the hit alike —
+    //    while lint=deny rejects it, typed like overload, before any
+    //    cache or engine work.
+    expect(
+        r1.contains("\"lint\": {") && r1.contains("\"L201\"") && r1.contains("\"status\": \"ok\""),
+        || fail("warn mode should serve the underdamped deck annotated", &r1),
+    )?;
+    let jobs_before = core.engine_stats().submitted;
+    let mut gated = AnalyzeRequest::new("gated", WARM_DECK);
+    gated.lint = LintMode::Deny;
+    let r_denied = core.analyze(gated);
+    expect(
+        r_denied.contains("\"kind\": \"lint_denied\"")
+            && r_denied.contains("\"code\": \"L201\"")
+            && r_denied.contains("\"net\": \"gated\""),
+        || fail("deny mode should reject the underdamped deck", &r_denied),
+    )?;
+    expect(core.engine_stats().submitted == jobs_before, || {
+        format!("workers={workers}: lint denial must not reach the engine")
+    })?;
+    let r_lint = core.lint(&LintRequest {
+        name: "warm".to_owned(),
+        deck: WARM_DECK.to_owned(),
+    });
+    expect(
+        r_lint.contains("\"type\": \"lint\"") && r_lint.contains("\"code\": \"L201\""),
+        || fail("lint verb should report the full diagnostics", &r_lint),
+    )?;
+
+    // 3. A malformed deck is a typed per-net result, not a dead server.
     let r4 = core.analyze(AnalyzeRequest::new("broken", "R1 in n1 oops\n"));
     expect(
         r4.contains("\"type\": \"result\"") && r4.contains("\"status\": \"error\""),
         || fail("malformed deck should report a typed result error", &r4),
     )?;
 
-    // 3. Overload: pin the service with SMOKE_CAPACITY held jobs, then
+    // 4. Overload: pin the service with SMOKE_CAPACITY held jobs, then
     //    prove the next submission gets a typed rejection while every
     //    accepted job still completes.
     let jobs_before = core.engine_stats().submitted;
@@ -274,7 +308,7 @@ fn smoke_one(workers: usize) -> Result<String, String> {
     // transcript comparison.
     sleeper_lines.sort();
 
-    // 4. Deadline shedding: queue time counts, expired work is skipped.
+    // 5. Deadline shedding: queue time counts, expired work is skipped.
     let mut stale = AnalyzeRequest::new("stale", "R1 in n1 77\nC1 n1 0 0.5p\n");
     stale.deadline_ms = Some(0);
     stale.sleep_ms = Some(20);
@@ -284,7 +318,7 @@ fn smoke_one(workers: usize) -> Result<String, String> {
         || fail("expired deadline should be a typed result error", &r6),
     )?;
 
-    // 5. Probe, drain, late rejection, final report.
+    // 6. Probe, drain, late rejection, final report.
     let probe = core.probe();
     expect(probe.contains("\"type\": \"probe\""), || {
         fail("probe should answer with live counters", &probe)
@@ -301,14 +335,17 @@ fn smoke_one(workers: usize) -> Result<String, String> {
     expect(stats.contains("\"type\": \"stats\""), || {
         fail("drain should flush a final stats report", &stats)
     })?;
+    expect(stats.contains("\"lint_denied\": 1"), || {
+        fail("the final report should count the lint denial", &stats)
+    })?;
 
-    transcript.extend([r1, r2, r3, r4, r5]);
+    transcript.extend([r1, r2, r3, r_denied, r_lint, r4, r5]);
     transcript.extend(sleeper_lines);
     transcript.extend([r6, probe, late, stats]);
 
-    // 6. The same contracts hold over an actual socket: miss, hit,
-    //    probe, then shutdown — whose response must equal the final
-    //    report the accept loop returns.
+    // 7. The same contracts hold over an actual socket: miss, hit,
+    //    lint verb, deny gate, probe, then shutdown — whose response
+    //    must equal the final report the accept loop returns.
     let server = Server::bind(
         ("127.0.0.1", 0),
         ServeConfig {
@@ -331,6 +368,8 @@ fn smoke_one(workers: usize) -> Result<String, String> {
         for request in [
             "analyze name=tcp\nR1 in n1 25\nC1 n1 0 0.5p\n.\n",
             "analyze name=tcp\nR1 in n1 25\nC1 n1 0 0.5p\n.\n",
+            "lint name=tcp\nR1 in n1 25\nC1 n1 0 0.5p\n.\n",
+            "analyze name=tcpgated lint=deny\nR1 in n1 25\nC1 n1 0 0.5p\nL2 n1 n2 5n\nC2 n2 0 1p\n.\n",
             "probe\n",
             "shutdown\n",
         ] {
@@ -352,10 +391,17 @@ fn smoke_one(workers: usize) -> Result<String, String> {
     expect(tcp[1].contains("\"cache\": \"hit\""), || {
         fail("TCP repeat analyze should hit", &tcp[1])
     })?;
-    expect(tcp[3] == final_report, || {
+    expect(tcp[2].contains("\"type\": \"lint\""), || {
+        fail("TCP lint verb should answer with a report", &tcp[2])
+    })?;
+    expect(
+        tcp[3].contains("\"kind\": \"lint_denied\"") && tcp[3].contains("\"code\": \"L201\""),
+        || fail("TCP lint=deny should reject the underdamped deck", &tcp[3]),
+    )?;
+    expect(tcp[5] == final_report, || {
         format!(
             "workers={workers}: shutdown response {:?} differs from the accept loop's final report {final_report:?}",
-            tcp[3]
+            tcp[5]
         )
     })?;
     transcript.extend(tcp);

@@ -22,6 +22,13 @@
 //! * **Graceful drain**: the `shutdown` verb stops admission, lets every
 //!   accepted net finish, and flushes a final `rlc-serve/1` stats report.
 //!
+//! On top of those, every `analyze` runs the [`rlc_lint`] static analyzer
+//! as a **pre-admission gate** ([`LintMode`], `lint=` field): `warn` (the
+//! default) attaches a `"lint"` summary to the response when the deck has
+//! findings, `deny` rejects error- or warning-carrying decks with a typed
+//! `lint_denied` error before any cache or engine work, and the `lint`
+//! verb returns the full report on its own.
+//!
 //! Malformed decks and worker panics are *results* (the engine's typed
 //! per-net errors), scoped to the connection that sent them; only framing
 //! violations terminate a connection.
@@ -53,5 +60,5 @@ pub mod protocol;
 mod server;
 
 pub use cache::{fnv1a_64, CacheConfig, CacheStats, ResultCache};
-pub use protocol::{AnalyzeRequest, ProtocolError, ReadOutcome, Request};
+pub use protocol::{AnalyzeRequest, LintMode, LintRequest, ProtocolError, ReadOutcome, Request};
 pub use server::{serve_stdio, ServeConfig, ServeCore, Server};

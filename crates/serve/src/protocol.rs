@@ -6,24 +6,28 @@
 //! ```text
 //! request  = header LF [ deck ]
 //! header   = verb *( SP field )
-//! verb     = "analyze" | "probe" | "shutdown"
+//! verb     = "analyze" | "lint" | "probe" | "shutdown"
 //! field    = key "=" value               ; no spaces inside a field
-//! deck     = *( line LF ) "." LF        ; analyze only; "." ends the deck
+//! deck     = *( line LF ) "." LF        ; analyze and lint; "." ends the deck
 //! ```
 //!
 //! Blank lines between requests are ignored. `analyze` accepts the fields
-//! `name=<label>`, `model=eed|elmore`, `deadline_ms=<u64>` (queue time
-//! counts against it) and `sleep_ms=<u64>` (fault-injection hold, see
-//! [`JobSpec::hold`](rlc_engine::JobSpec::hold)); the deck body is the
-//! netlist format of [`rlc_tree::netlist`]. A lone `.` terminates the deck
-//! — netlist directives like `.input` are longer than one character, so
-//! the sentinel never collides with deck content.
+//! `name=<label>`, `model=eed|elmore`, `lint=off|warn|deny` (pre-admission
+//! static analysis, see [`LintMode`]; default `warn`), `deadline_ms=<u64>`
+//! (queue time counts against it) and `sleep_ms=<u64>` (fault-injection
+//! hold, see [`JobSpec::hold`](rlc_engine::JobSpec::hold)); the deck body
+//! is the netlist format of [`rlc_tree::netlist`]. A lone `.` terminates
+//! the deck — netlist directives like `.input` are longer than one
+//! character, so the sentinel never collides with deck content. `lint`
+//! accepts only `name=<label>` and returns the full `rlc-lint` report for
+//! the deck without admitting any engine work.
 //!
 //! Every response is a single line of JSON with a `"proto": "rlc-serve/1"`
 //! and a `"type"` member: `result` (the engine verdict for one net, ok
 //! *or* per-net error), `error` (the request never reached a worker:
-//! `overloaded`, `shutting_down`, `bad_request`), `probe` (live counters)
-//! or `stats` (the final report flushed at shutdown).
+//! `overloaded`, `shutting_down`, `lint_denied`, `bad_request`), `lint`
+//! (the static-analysis report), `probe` (live counters) or `stats` (the
+//! final report flushed at shutdown).
 
 use std::fmt;
 use std::io::{self, BufRead};
@@ -48,6 +52,46 @@ impl fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
+/// Pre-admission lint gating for an `analyze` request (`lint=` field).
+///
+/// The lint report is computed from the deck text by [`rlc_lint`] before
+/// the cache lookup or any engine admission, so gating is identical on
+/// cache hits and misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// Skip linting entirely; the response carries no `lint` member.
+    Off,
+    /// Lint and attach a summary of any findings to the response, but
+    /// never reject. The default.
+    #[default]
+    Warn,
+    /// Reject the deck with a typed `lint_denied` error when the report
+    /// carries any error- or warning-severity finding (the CLI's
+    /// `--deny-warnings` gate). Info findings never deny.
+    Deny,
+}
+
+impl LintMode {
+    /// Parses the wire spelling (`off`, `warn`, `deny`).
+    pub fn from_id(id: &str) -> Option<Self> {
+        match id {
+            "off" => Some(Self::Off),
+            "warn" => Some(Self::Warn),
+            "deny" => Some(Self::Deny),
+            _ => None,
+        }
+    }
+
+    /// The wire spelling.
+    pub fn id(self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::Warn => "warn",
+            Self::Deny => "deny",
+        }
+    }
+}
+
 /// One `analyze` request: a netlist deck plus its policy knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalyzeRequest {
@@ -55,6 +99,8 @@ pub struct AnalyzeRequest {
     pub name: String,
     /// Timing model (`model=`; default [`TimingModel::Eed`]).
     pub model: TimingModel,
+    /// Lint gating (`lint=`; default [`LintMode::Warn`]).
+    pub lint: LintMode,
     /// Relative deadline in milliseconds (`deadline_ms=`). Queue time
     /// counts against it; an expired job reports `deadline exceeded`
     /// instead of burning a worker.
@@ -73,6 +119,7 @@ impl AnalyzeRequest {
         Self {
             name: name.into(),
             model: TimingModel::default(),
+            lint: LintMode::default(),
             deadline_ms: None,
             sleep_ms: None,
             deck: deck.into(),
@@ -80,11 +127,23 @@ impl AnalyzeRequest {
     }
 }
 
+/// One `lint` request: report the deck's static-analysis findings without
+/// admitting any engine work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintRequest {
+    /// Deck label echoed in the report (`name=`; default `"net"`).
+    pub name: String,
+    /// The netlist deck body (without the terminating `.` line).
+    pub deck: String,
+}
+
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Analyze one netlist deck.
     Analyze(AnalyzeRequest),
+    /// Lint one netlist deck without analyzing it.
+    Lint(LintRequest),
     /// Report live service counters.
     Probe,
     /// Stop accepting, drain in-flight nets, reply with the final stats.
@@ -106,6 +165,25 @@ fn malformed(message: impl Into<String>) -> io::Result<ReadOutcome> {
     Ok(ReadOutcome::Malformed(ProtocolError {
         message: message.into(),
     }))
+}
+
+/// Reads a deck body up to (and consuming) the lone `.` terminator.
+/// `Err` carries the malformed outcome for a deck the stream never
+/// terminated.
+fn read_deck<R: BufRead>(reader: &mut R) -> io::Result<Result<String, ReadOutcome>> {
+    let mut deck = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(Err(ReadOutcome::Malformed(ProtocolError {
+                message: "unterminated deck: missing \".\" line".to_owned(),
+            })));
+        }
+        if line.trim() == "." {
+            return Ok(Ok(deck));
+        }
+        deck.push_str(&line);
+    }
 }
 
 /// Reads the next request off `reader`, skipping blank lines.
@@ -154,6 +232,14 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<ReadOutcome> {
                             ))
                         }
                     },
+                    "lint" => match LintMode::from_id(value) {
+                        Some(mode) => request.lint = mode,
+                        None => {
+                            return malformed(format!(
+                                "unknown lint mode {value:?} (expected off, warn or deny)"
+                            ))
+                        }
+                    },
                     "deadline_ms" => match value.parse() {
                         Ok(ms) => request.deadline_ms = Some(ms),
                         Err(_) => return malformed(format!("deadline_ms {value:?} is not a u64")),
@@ -165,17 +251,35 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<ReadOutcome> {
                     other => return malformed(format!("unknown field {other:?}")),
                 }
             }
-            loop {
-                let mut line = String::new();
-                if reader.read_line(&mut line)? == 0 {
-                    return malformed("unterminated deck: missing \".\" line");
+            match read_deck(reader)? {
+                Ok(deck) => {
+                    request.deck = deck;
+                    Ok(ReadOutcome::Request(Request::Analyze(request)))
                 }
-                if line.trim() == "." {
-                    break;
-                }
-                request.deck.push_str(&line);
+                Err(outcome) => Ok(outcome),
             }
-            Ok(ReadOutcome::Request(Request::Analyze(request)))
+        }
+        "lint" => {
+            let mut request = LintRequest {
+                name: "net".to_owned(),
+                deck: String::new(),
+            };
+            for field in parts {
+                let Some((key, value)) = field.split_once('=') else {
+                    return malformed(format!("field {field:?} is not key=value"));
+                };
+                match key {
+                    "name" => request.name = value.to_owned(),
+                    other => return malformed(format!("unknown field {other:?}")),
+                }
+            }
+            match read_deck(reader)? {
+                Ok(deck) => {
+                    request.deck = deck;
+                    Ok(ReadOutcome::Request(Request::Lint(request)))
+                }
+                Err(outcome) => Ok(outcome),
+            }
         }
         other => malformed(format!("unknown verb {other:?}")),
     }
@@ -192,13 +296,14 @@ mod tests {
     #[test]
     fn analyze_with_fields_and_deck() {
         let outcome = read(
-            "analyze name=clk model=elmore deadline_ms=250 sleep_ms=5\nR1 in n1 25\nC1 n1 0 0.5p\n.\n",
+            "analyze name=clk model=elmore lint=deny deadline_ms=250 sleep_ms=5\nR1 in n1 25\nC1 n1 0 0.5p\n.\n",
         );
         let ReadOutcome::Request(Request::Analyze(req)) = outcome else {
             panic!("expected analyze, got {outcome:?}");
         };
         assert_eq!(req.name, "clk");
         assert_eq!(req.model, TimingModel::Elmore);
+        assert_eq!(req.lint, LintMode::Deny);
         assert_eq!(req.deadline_ms, Some(250));
         assert_eq!(req.sleep_ms, Some(5));
         assert_eq!(req.deck, "R1 in n1 25\nC1 n1 0 0.5p\n");
@@ -212,7 +317,26 @@ mod tests {
         };
         assert_eq!(req.name, "net");
         assert_eq!(req.model, TimingModel::Eed);
+        assert_eq!(req.lint, LintMode::Warn);
         assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn lint_verb_frames_a_deck() {
+        let outcome = read("lint name=clk\nR1 in n1 25\nC1 n1 0 0.5p\n.\n");
+        let ReadOutcome::Request(Request::Lint(req)) = outcome else {
+            panic!("expected lint, got {outcome:?}");
+        };
+        assert_eq!(req.name, "clk");
+        assert_eq!(req.deck, "R1 in n1 25\nC1 n1 0 0.5p\n");
+    }
+
+    #[test]
+    fn lint_mode_spellings_round_trip() {
+        for mode in [LintMode::Off, LintMode::Warn, LintMode::Deny] {
+            assert_eq!(LintMode::from_id(mode.id()), Some(mode));
+        }
+        assert_eq!(LintMode::from_id("strict"), None);
     }
 
     #[test]
@@ -244,9 +368,12 @@ mod tests {
             ("probe now\n", "takes no fields"),
             ("analyze name\n.\n", "not key=value"),
             ("analyze model=spice\n.\n", "unknown model"),
+            ("analyze lint=strict\n.\n", "unknown lint mode"),
             ("analyze deadline_ms=-3\n.\n", "not a u64"),
             ("analyze color=red\n.\n", "unknown field"),
             ("analyze\nR1 in n1 25\n", "unterminated deck"),
+            ("lint model=eed\n.\n", "unknown field"),
+            ("lint\nR1 in n1 25\n", "unterminated deck"),
         ] {
             let ReadOutcome::Malformed(err) = read(input) else {
                 panic!("{input:?} should be malformed");

@@ -15,7 +15,12 @@
 //!   what a direct [`Engine`](rlc_engine::Engine) run reports for the
 //!   same deck, for any worker count.
 //! * Admission failures never masquerade as analysis results: they are
-//!   `error` responses with `kind` `overloaded` or `shutting_down`.
+//!   `error` responses with `kind` `overloaded`, `shutting_down` or
+//!   `lint_denied`.
+//! * The lint report is computed from the deck text *before* the cache
+//!   lookup, so a `result` response carries the identical `"lint"`
+//!   member (present only when there are findings) whether it was a hit
+//!   or a miss, and `lint=deny` gates hits and misses alike.
 //! * The final `stats` line never mentions the worker count, so shutdown
 //!   reports from differently sized pools are byte-comparable.
 
@@ -26,11 +31,14 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rlc_engine::{net_json, EngineError, EngineService, JobSpec, ServiceConfig, ServiceStats};
+use rlc_lint::LintReport;
 use rlc_obs::json;
 use rlc_tree::netlist::Netlist;
 
 use crate::cache::{CacheConfig, CacheStats, ResultCache};
-use crate::protocol::{read_request, AnalyzeRequest, ProtocolError, ReadOutcome, Request};
+use crate::protocol::{
+    read_request, AnalyzeRequest, LintMode, LintRequest, ProtocolError, ReadOutcome, Request,
+};
 
 /// Sizing of a serving stack: engine pool, admission bound, cache policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +72,7 @@ pub struct ServeCore {
     cache: Mutex<ResultCache>,
     requests: AtomicU64,
     bad_requests: AtomicU64,
+    lint_denied: AtomicU64,
 }
 
 impl ServeCore {
@@ -74,6 +83,7 @@ impl ServeCore {
             cache: Mutex::new(ResultCache::new(config.cache)),
             requests: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            lint_denied: AtomicU64::new(0),
         }
     }
 
@@ -89,14 +99,36 @@ impl ServeCore {
 
     /// Handles one analyze request, returning the response line.
     ///
-    /// The deck is parsed here (the canonical form is the cache address),
-    /// so workers only ever see already-built trees; a parse failure
-    /// renders the same [`EngineError::Netlist`] the engine itself would
-    /// report for the deck.
+    /// The deck is linted first (see [`LintMode`]): `deny` rejects a deck
+    /// with errors or warnings before any cache or engine work, `warn`
+    /// (the default) attaches a `"lint"` summary to the response when
+    /// there are findings. The deck is then parsed here (the canonical
+    /// form is the cache address), so workers only ever see already-built
+    /// trees; a parse failure renders the same [`EngineError::Netlist`]
+    /// the engine itself would report for the deck.
     pub fn analyze(&self, request: AnalyzeRequest) -> String {
         let _span = rlc_obs::span!("serve/analyze");
         self.requests.fetch_add(1, Ordering::Relaxed);
         rlc_obs::counter!("serve.request");
+        // Lint before the cache lookup: the report depends only on the
+        // deck text, so hits and misses carry identical annotations and
+        // the deny gate cannot be dodged by a warm cache.
+        let report = match request.lint {
+            LintMode::Off => None,
+            LintMode::Warn | LintMode::Deny => Some(rlc_lint::lint_deck(&request.deck)),
+        };
+        match (request.lint, &report) {
+            (LintMode::Deny, Some(report)) if !report.passes(true) => {
+                self.lint_denied.fetch_add(1, Ordering::Relaxed);
+                rlc_obs::counter!("serve.lint.denied");
+                return lint_denied_response(&request.name, report);
+            }
+            _ => {}
+        }
+        let annotation = report
+            .filter(|r| !r.is_spotless())
+            .map(|r| r.annotation_json());
+        let annotation = annotation.as_deref();
         let tree = match Netlist::parse(&request.deck) {
             Ok(netlist) => netlist.into_tree(),
             Err(source) => {
@@ -104,7 +136,7 @@ impl ServeCore {
                     net: request.name,
                     source,
                 };
-                return result_response("miss", &net_json(&Err(error)));
+                return result_response("miss", &net_json(&Err(error)), annotation);
             }
         };
         let key = ResultCache::key(request.model.id(), &tree.canonical_deck());
@@ -117,7 +149,7 @@ impl ServeCore {
             // Content-addressed: the cached circuit answers under the
             // requester's label.
             timing.name = request.name;
-            return result_response("hit", &net_json(&Ok(timing)));
+            return result_response("hit", &net_json(&Ok(timing)), annotation);
         }
         let mut spec = JobSpec::tree(&request.name, tree).model(request.model);
         if let Some(ms) = request.deadline_ms {
@@ -137,9 +169,22 @@ impl ServeCore {
                         Instant::now(),
                     );
                 }
-                result_response("miss", &net_json(&result))
+                result_response("miss", &net_json(&result), annotation)
             }
         }
+    }
+
+    /// Handles a `lint` request: the full `rlc-lint` report for one deck.
+    /// Never touches the cache or the engine pool.
+    pub fn lint(&self, request: &LintRequest) -> String {
+        let _span = rlc_obs::span!("serve/lint");
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        rlc_obs::counter!("serve.request");
+        let report = rlc_lint::lint_deck(&request.deck);
+        format!(
+            "{{\"proto\": \"rlc-serve/1\", \"type\": \"lint\", \"report\": {}}}",
+            report.to_json_object(&request.name)
+        )
     }
 
     /// Handles a probe, returning the live-counters response line.
@@ -181,13 +226,14 @@ impl ServeCore {
         let engine = self.service.stats();
         let cache = self.cache_stats();
         format!(
-            "\"requests\": {}, \"bad_requests\": {}, \
+            "\"requests\": {}, \"bad_requests\": {}, \"lint_denied\": {}, \
              \"engine\": {{\"submitted\": {}, \"completed\": {}, \"failed\": {}, \
              \"rejected_overload\": {}, \"rejected_shutdown\": {}}}, \
              \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \
              \"evictions\": {}, \"expired\": {}}}",
             self.requests.load(Ordering::Relaxed),
             self.bad_requests.load(Ordering::Relaxed),
+            self.lint_denied.load(Ordering::Relaxed),
             engine.submitted,
             engine.completed,
             engine.failed,
@@ -202,9 +248,32 @@ impl ServeCore {
     }
 }
 
-fn result_response(cache: &str, net: &str) -> String {
+fn result_response(cache: &str, net: &str, lint: Option<&str>) -> String {
+    match lint {
+        Some(annotation) => format!(
+            "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"{cache}\", \"net\": {net}, \"lint\": {annotation}}}"
+        ),
+        None => format!(
+            "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"{cache}\", \"net\": {net}}}"
+        ),
+    }
+}
+
+/// The `lint=deny` rejection: typed like `overloaded`, citing the
+/// report's most severe finding and carrying the full annotation.
+fn lint_denied_response(net: &str, report: &LintReport) -> String {
+    let primary = report.primary();
+    let code = primary.map_or("L000", |d| d.rule.code());
+    let message = primary.map_or_else(
+        || "lint gate failed".to_owned(),
+        |d| format!("{} {}: {}", d.rule.code(), d.rule.severity(), d.message),
+    );
     format!(
-        "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"{cache}\", \"net\": {net}}}"
+        "{{\"proto\": \"rlc-serve/1\", \"type\": \"error\", \"kind\": \"lint_denied\", \"net\": {}, \"code\": {}, \"message\": {}, \"lint\": {}}}",
+        json::quote(net),
+        json::quote(code),
+        json::quote(&message),
+        report.annotation_json(),
     )
 }
 
@@ -241,6 +310,7 @@ fn serve_streams<R: BufRead, W: Write>(
             ReadOutcome::Malformed(error) => (core.bad_request(&error), Some(false)),
             ReadOutcome::Request(Request::Probe) => (core.probe(), None),
             ReadOutcome::Request(Request::Analyze(request)) => (core.analyze(request), None),
+            ReadOutcome::Request(Request::Lint(request)) => (core.lint(&request), None),
             ReadOutcome::Request(Request::Shutdown) => {
                 core.drain();
                 (core.final_stats(), Some(true))

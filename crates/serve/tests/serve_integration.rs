@@ -15,7 +15,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use rlc_engine::{net_json, Batch, Engine, EngineService, JobSpec, ServiceConfig, TimingModel};
-use rlc_serve::{serve_stdio, AnalyzeRequest, CacheConfig, ServeConfig, ServeCore, Server};
+use rlc_serve::{
+    serve_stdio, AnalyzeRequest, CacheConfig, LintMode, LintRequest, ServeConfig, ServeCore, Server,
+};
 
 const LINE_DECK: &str = "R1 in n1 25\nC1 n1 0 0.5p\nL2 n1 n2 5n\nC2 n2 0 1p\n";
 const BRANCH_DECK: &str =
@@ -50,7 +52,9 @@ fn client_scripts() -> Vec<Vec<(String, &'static str, TimingModel)>> {
 
 /// The engine's own verdict for `deck`, rendered exactly as the server
 /// must render it (direct `Engine` run for the default model, a direct
-/// `EngineService` job for explicit models).
+/// `EngineService` job for explicit models), with the same `"lint"`
+/// annotation the default `lint=warn` mode attaches when the deck has
+/// findings.
 fn direct_engine_response(name: &str, deck: &str, model: TimingModel) -> String {
     let net = match model {
         TimingModel::Eed => {
@@ -71,8 +75,14 @@ fn direct_engine_response(name: &str, deck: &str, model: TimingModel) -> String 
             net_json(&result)
         }
     };
+    let report = rlc_lint::lint_deck(deck);
+    let lint = if report.is_spotless() {
+        String::new()
+    } else {
+        format!(", \"lint\": {}", report.annotation_json())
+    };
     format!(
-        "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"miss\", \"net\": {net}}}"
+        "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"miss\", \"net\": {net}{lint}}}"
     )
 }
 
@@ -239,6 +249,72 @@ fn model_selection_is_part_of_the_cache_key() {
     // schema renders as null.
     assert!(second.contains("\"zeta\": null"), "{second}");
     assert_eq!(core.cache_stats().entries, 2);
+}
+
+#[test]
+fn lint_gate_denies_underdamped_decks_but_warn_serves_them() {
+    let core = ServeCore::new(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache: CacheConfig::default(),
+    });
+
+    // LINE_DECK's sink is underdamped (ζ ≈ 0.265 < 0.5 → L201). The
+    // default warn mode serves it, annotated.
+    let warned = core.analyze(AnalyzeRequest::new("soft", LINE_DECK));
+    assert!(warned.contains("\"status\": \"ok\""), "{warned}");
+    assert!(warned.contains("\"lint\": {"), "{warned}");
+    assert!(warned.contains("\"codes\": [\"L201\"]"), "{warned}");
+
+    // lint=deny rejects the same deck with the documented code — even on
+    // a warm cache — and never reaches the engine.
+    let jobs = core.engine_stats().submitted;
+    let mut gated = AnalyzeRequest::new("hard", LINE_DECK);
+    gated.lint = LintMode::Deny;
+    let denied = core.analyze(gated);
+    assert!(denied.contains("\"type\": \"error\""), "{denied}");
+    assert!(denied.contains("\"kind\": \"lint_denied\""), "{denied}");
+    assert!(denied.contains("\"code\": \"L201\""), "{denied}");
+    assert!(denied.contains("\"net\": \"hard\""), "{denied}");
+    assert_eq!(
+        core.engine_stats().submitted,
+        jobs,
+        "denial did engine work"
+    );
+
+    // A deck that lints spotless passes the deny gate untouched: no
+    // lint member at all.
+    let mut clean = AnalyzeRequest::new("clean", "R1 in n1 100\nL2 n1 n2 1n\nC2 n2 0 1p\n");
+    clean.lint = LintMode::Deny;
+    let served = core.analyze(clean);
+    assert!(served.contains("\"status\": \"ok\""), "{served}");
+    assert!(!served.contains("\"lint\""), "{served}");
+
+    // lint=off skips the analyzer entirely, findings or not.
+    let mut off = AnalyzeRequest::new("off", LINE_DECK);
+    off.lint = LintMode::Off;
+    let unchecked = core.analyze(off);
+    assert!(unchecked.contains("\"status\": \"ok\""), "{unchecked}");
+    assert!(!unchecked.contains("\"lint\""), "{unchecked}");
+
+    // The lint verb reports the full diagnostics without engine work.
+    let jobs = core.engine_stats().submitted;
+    let report = core.lint(&LintRequest {
+        name: "probe-deck".to_owned(),
+        deck: LINE_DECK.to_owned(),
+    });
+    assert!(report.contains("\"type\": \"lint\""), "{report}");
+    assert!(report.contains("\"deck\": \"probe-deck\""), "{report}");
+    assert!(report.contains("\"code\": \"L201\""), "{report}");
+    assert_eq!(core.engine_stats().submitted, jobs, "lint did engine work");
+
+    // The denial is counted in the final stats.
+    core.drain();
+    assert!(
+        core.final_stats().contains("\"lint_denied\": 1"),
+        "{}",
+        core.final_stats()
+    );
 }
 
 #[test]

@@ -56,6 +56,7 @@ use crate::{NodeId, RlcSection, RlcTree, TreeError};
 pub struct Netlist {
     tree: RlcTree,
     names: HashMap<String, NodeId>,
+    header: Option<String>,
 }
 
 impl Netlist {
@@ -70,13 +71,21 @@ impl Netlist {
         let mut series: Vec<SeriesElement> = Vec::new();
         let mut shunt: HashMap<String, Capacitance> = HashMap::new();
         let mut input: Option<String> = None;
+        let mut header: Option<String> = None;
+        let mut seen_card = false;
 
         for (lineno, raw) in deck.lines().enumerate() {
             let line = raw.trim();
             let lineno = lineno + 1;
             if line.is_empty() || line.starts_with('*') || line.starts_with(';') {
+                // The first `*` comment before any card or directive is the
+                // deck's header; it survives [`Netlist::canonical_deck`].
+                if header.is_none() && !seen_card && line.starts_with('*') {
+                    header = Some(line.to_owned());
+                }
                 continue;
             }
+            seen_card = true;
             let fields: Vec<&str> = line.split_whitespace().collect();
             let card = fields[0];
             let lower = card.to_ascii_lowercase();
@@ -147,13 +156,14 @@ impl Netlist {
             }
         }
 
-        Self::assemble(series, shunt, input)
+        Self::assemble(series, shunt, input, header)
     }
 
     fn assemble(
         series: Vec<SeriesElement>,
         mut shunt: HashMap<String, Capacitance>,
         input: Option<String>,
+        header: Option<String>,
     ) -> Result<Self, TreeError> {
         if series.is_empty() {
             return Err(TreeError::NotATree {
@@ -235,12 +245,43 @@ impl Netlist {
                 ),
             });
         }
-        Ok(Self { tree, names })
+        Ok(Self {
+            tree,
+            names,
+            header,
+        })
     }
 
     /// The reconstructed tree.
     pub fn tree(&self) -> &RlcTree {
         &self.tree
+    }
+
+    /// The deck-level header: the first `*` comment line preceding any card
+    /// or directive, verbatim (leading `*` included), or `None` when the
+    /// deck has none.
+    pub fn header(&self) -> Option<&str> {
+        self.header.as_deref()
+    }
+
+    /// The canonical form of this netlist *with the deck header preserved*.
+    ///
+    /// [`RlcTree::canonical_deck`] deliberately drops every comment — two
+    /// decks differing only in prose must share one cache identity — so a
+    /// header would be lost by a parse → canonicalize round trip through
+    /// the bare tree. This method restores it: the output is the tree's
+    /// canonical deck with the original header as its first line. The
+    /// mapping between the two forms is therefore exact:
+    ///
+    /// ```text
+    /// netlist.canonical_deck() == "{header}\n" + netlist.tree().canonical_deck()
+    /// ```
+    ///
+    /// (identical when the deck had no header). Re-parsing the result
+    /// preserves both the tree and the header, so this form is a fixpoint
+    /// too — exercised in `tests/canonical_roundtrip.rs`.
+    pub fn canonical_deck(&self) -> String {
+        emit_deck(&self.tree, self.header.as_deref())
     }
 
     /// Consumes the netlist, returning the tree.
@@ -301,6 +342,12 @@ impl RlcTree {
     ///   `0.5p`, `5e-1p`, and `5e-13` all become the same token;
     /// * whitespace is a single space, comments are dropped, and the deck
     ///   is framed by exactly `.input in` and `.end`.
+    ///
+    /// Dropping comments includes the deck-level `*` header — a bare tree
+    /// carries no text, and cache identity must not depend on prose. A
+    /// caller that wants the header to survive canonicalization should go
+    /// through [`Netlist::canonical_deck`], which prepends the parsed
+    /// header back onto exactly this output.
     ///
     /// For trees in the parser's image (each section purely R or purely L),
     /// canonicalization is lossless: `parse(t.canonical_deck())` rebuilds
@@ -690,6 +737,54 @@ C3 0 a 3p
         assert!(deck.contains("R0 in n0 0"));
         let parsed = Netlist::parse(&deck).unwrap();
         assert_eq!(parsed.tree().len(), 1);
+    }
+
+    #[test]
+    fn header_comment_survives_canonicalization() {
+        let deck = "* clk spine, M7, extracted 2024-11-02\n.input in\nR1 in n1 25\nC1 n1 0 0.5p\n";
+        let parsed = Netlist::parse(deck).unwrap();
+        assert_eq!(
+            parsed.header(),
+            Some("* clk spine, M7, extracted 2024-11-02")
+        );
+
+        let canonical = parsed.canonical_deck();
+        assert!(
+            canonical.starts_with("* clk spine, M7, extracted 2024-11-02\n.input in\n"),
+            "{canonical}"
+        );
+        // The documented mapping: header line + the tree's canonical form.
+        assert_eq!(
+            canonical,
+            format!(
+                "* clk spine, M7, extracted 2024-11-02\n{}",
+                parsed.tree().canonical_deck()
+            )
+        );
+        // Re-parsing preserves both tree and header, and is a fixpoint.
+        let again = Netlist::parse(&canonical).unwrap();
+        assert_eq!(again.header(), parsed.header());
+        assert_eq!(again.tree(), parsed.tree());
+        assert_eq!(again.canonical_deck(), canonical);
+    }
+
+    #[test]
+    fn header_capture_takes_only_the_leading_comment() {
+        // No comment at all.
+        let parsed = Netlist::parse("R1 in n1 25\nC1 n1 0 0.5p\n").unwrap();
+        assert_eq!(parsed.header(), None);
+        assert_eq!(parsed.canonical_deck(), parsed.tree().canonical_deck());
+
+        // Comments after the first card are not headers; `;` never is.
+        let deck = "; lint: off\n.input in\nR1 in n1 25\n* trailing note\nC1 n1 0 0.5p\n";
+        let parsed = Netlist::parse(deck).unwrap();
+        assert_eq!(parsed.header(), None);
+
+        // Blank lines before the header are fine; only the first `*` line
+        // is kept.
+        let deck = "\n* first\n* second\n.input in\nR1 in n1 25\nC1 n1 0 0.5p\n";
+        let parsed = Netlist::parse(deck).unwrap();
+        assert_eq!(parsed.header(), Some("* first"));
     }
 
     #[test]

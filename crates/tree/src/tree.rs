@@ -111,7 +111,10 @@ impl RlcTree {
     }
 
     fn push(&mut self, section: RlcSection, parent: Option<NodeId>) -> NodeId {
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("tree exceeds u32 nodes"));
+        let Ok(index) = u32::try_from(self.nodes.len()) else {
+            panic!("tree exceeds u32::MAX nodes");
+        };
+        let id = NodeId(index);
         self.nodes.push(Node {
             section,
             parent,
@@ -413,7 +416,9 @@ impl RlcTree {
         for old in other.preorder() {
             let new_id = match other.parent(old) {
                 Some(p) => {
-                    let mapped = map[p.index()].expect("preorder maps parents first");
+                    let Some(mapped) = map[p.index()] else {
+                        unreachable!("preorder visits parents before children");
+                    };
                     self.add_section(mapped, *other.section(old))
                 }
                 None => {

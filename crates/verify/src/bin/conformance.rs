@@ -1,9 +1,11 @@
 //! Command-line conformance runner.
 //!
-//! Generates a seeded corpus, measures every net with the exact-simulation
-//! oracle, evaluates all delay models, runs the fault-injection plan, and
-//! writes the `rlc-verify/1` JSON report. Exits non-zero when a gated
-//! model exceeds its tolerance or a fault contract is violated.
+//! Generates a seeded corpus, screens it through the `rlc-lint` static
+//! analyzer, measures every net with the exact-simulation oracle,
+//! evaluates all delay models, runs the fault-injection plan, and writes
+//! the `rlc-verify/1` JSON report. Exits non-zero when the corpus fails
+//! the lint screen, a gated model exceeds its tolerance, or a fault
+//! contract is violated.
 //!
 //! ```text
 //! cargo run --release -p rlc-verify --bin conformance -- --seed 42
@@ -13,7 +15,7 @@
 
 use std::process::ExitCode;
 
-use rlc_verify::{Conformance, CorpusSpec, FaultPlan, ModelKind};
+use rlc_verify::{screen_corpus, Conformance, CorpusSpec, FaultPlan, ModelKind, TreeCorpus};
 
 struct Args {
     seed: u64,
@@ -79,6 +81,21 @@ fn main() -> ExitCode {
         "conformance: seed {} | {} nets | up to {} sections",
         spec.seed, spec.nets, spec.max_sections
     );
+
+    // Lint screen: the generator must never emit a net the pipeline
+    // would reject, and sub-threshold ζ steering must surface as L201.
+    let screen = screen_corpus(&TreeCorpus::generate(&spec));
+    eprintln!(
+        "lint screen: {} nets | {} spotless | {} warned (underdamped) | {} violations",
+        screen.nets.len(),
+        screen.spotless(),
+        screen.warned(),
+        screen.violations.len()
+    );
+    for violation in &screen.violations {
+        eprintln!("  VIOLATION: {violation}");
+    }
+
     let report = Conformance::default().run(&spec);
     eprintln!(
         "oracle measured {} nets ({} skipped)",
@@ -145,7 +162,7 @@ fn main() -> ExitCode {
         eed.worst_seed,
     );
 
-    if report.passed() && faults.passed() {
+    if screen.passed() && report.passed() && faults.passed() {
         eprintln!("conformance: PASS");
         ExitCode::SUCCESS
     } else {

@@ -88,6 +88,32 @@ impl Fault {
         }
     }
 
+    /// The stable `rlc-lint` code that statically predicts this fault,
+    /// or `None` for the one fault with nothing to lint (the worker
+    /// panic, which is injected behaviour, not deck content).
+    ///
+    /// This is the contract `rlc-engine`'s
+    /// [`Batch::precheck`](rlc_engine::Batch::precheck) relies on: every
+    /// deck-, file-, or tree-shaped fault is flagged *before* a worker
+    /// touches it.
+    pub fn lint_code(self) -> Option<&'static str> {
+        match self {
+            // Non-finite and negative element values.
+            Fault::NanValue
+            | Fault::InfValue
+            | Fault::NegativeResistance
+            | Fault::NegativeCapacitance => Some("L102"),
+            // A card cut off mid-line.
+            Fault::TruncatedDeck => Some("L101"),
+            // No series elements — deck- and tree-shaped spellings of
+            // the same emptiness.
+            Fault::EmptyDeck | Fault::EmptyTree => Some("L001"),
+            // Unreadable input.
+            Fault::MissingFile => Some("L301"),
+            Fault::WorkerPanic => None,
+        }
+    }
+
     /// Whether `err` is the typed error this fault must produce.
     pub fn matches(self, err: &EngineError) -> bool {
         match self {

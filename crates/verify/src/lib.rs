@@ -23,7 +23,12 @@
 //!   panics into the batch [`rlc_engine::Engine`], asserting that every
 //!   fault lands in a typed [`rlc_engine::EngineError`] slot without
 //!   contaminating sibling nets and without breaking byte-identical
-//!   reports across worker counts.
+//!   reports across worker counts. Every lintable fault class also maps
+//!   to a stable `rlc-lint` code ([`Fault::lint_code`]).
+//! * [`screen_corpus`] — runs the `rlc-lint` static analyzer over a
+//!   generated corpus as a differential check on the generator: every
+//!   net must lint error-free, and nets steered below ζ = 0.5 must
+//!   carry the `L201` underdamped-sink warning.
 //!
 //! The `conformance` binary drives all of this from the command line:
 //!
@@ -35,8 +40,10 @@ mod conformance;
 mod corpus;
 mod fault;
 mod oracle;
+mod screen;
 
 pub use conformance::{Conformance, ConformanceReport, ErrorStats, ModelKind, NetOutcome};
 pub use corpus::{build_net, CorpusNet, CorpusSpec, Regime, Shape, TreeCorpus};
 pub use fault::{Fault, FaultCheck, FaultPlan, FaultReport};
 pub use oracle::{Oracle, OracleError, OracleMeasurement};
+pub use screen::{screen_corpus, ScreenReport, ScreenedNet};

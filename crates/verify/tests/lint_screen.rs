@@ -1,0 +1,102 @@
+//! The lint/corpus/fault agreement contracts (ISSUE 5 satellite):
+//!
+//! * every net `TreeCorpus`'s generator can produce lints **error-free**
+//!   (the static analyzer never rejects a net the pipeline can serve),
+//!   and fires `L201` exactly when some sink sits below ζ = 0.5;
+//! * each of the nine [`FaultPlan`] fault classes maps to its one stable
+//!   lint code through `rlc-engine`'s batch pre-check.
+
+use proptest::prelude::*;
+use rlc_engine::Batch;
+use rlc_lint::lint_tree;
+use rlc_verify::{build_net, screen_corpus, CorpusSpec, Fault, Regime, TreeCorpus};
+
+/// The minimum sink ζ of a tree, computed the same way the analyzer's
+/// model stage does (paper eq. 29 over `rlc_moments::tree_sums`).
+fn min_sink_zeta(tree: &rlc_tree::RlcTree) -> f64 {
+    let sums = rlc_moments::tree_sums(tree);
+    tree.leaves()
+        .filter_map(|leaf| {
+            let t_rc = sums.rc(leaf).as_seconds();
+            let t_lc = sums.lc(leaf).as_seconds_squared();
+            (t_rc > 0.0 && t_lc > 0.0).then(|| t_rc / (2.0 * t_lc.sqrt()))
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_nets_lint_clean_and_l201_tracks_zeta(
+        seed in 0u64..1_000_000,
+        which in 0u32..3,
+    ) {
+        let regime = Regime::ALL[which as usize];
+        let net = build_net(seed, regime, 12);
+        let report = lint_tree(&net.tree);
+        prop_assert!(
+            report.is_clean(),
+            "generated net {} lints with errors: {:?}",
+            net.name,
+            report.codes()
+        );
+        let fired = report.codes().contains(&"L201");
+        let expected = min_sink_zeta(&net.tree) < 0.5;
+        prop_assert!(
+            fired == expected,
+            "net {}: min sink zeta {} but L201 fired = {}",
+            net.name,
+            min_sink_zeta(&net.tree),
+            fired
+        );
+    }
+}
+
+#[test]
+fn every_fault_class_maps_to_its_stable_lint_code() {
+    for fault in Fault::ALL {
+        let mut batch = Batch::new();
+        fault.inject(&mut batch, &format!("fault-{}", fault.name()));
+        let reports = batch.precheck();
+        assert_eq!(reports.len(), 1, "{fault}");
+        match (fault.lint_code(), &reports[0]) {
+            // The worker panic is injected behaviour, not deck content —
+            // nothing to lint.
+            (None, None) => assert_eq!(fault, Fault::WorkerPanic),
+            (Some(code), Some(report)) => {
+                assert!(
+                    !report.is_clean(),
+                    "{fault}: lint must flag the fault, got {report:?}"
+                );
+                assert!(
+                    report.codes().contains(&code),
+                    "{fault}: expected {code}, got {:?}",
+                    report.codes()
+                );
+            }
+            (want, got) => panic!("{fault}: lint_code {want:?} vs precheck {got:?}"),
+        }
+    }
+}
+
+#[test]
+fn screen_report_accounts_for_every_net() {
+    let corpus = TreeCorpus::generate(&CorpusSpec {
+        seed: 42,
+        nets: 24,
+        max_sections: 12,
+    });
+    let screen = screen_corpus(&corpus);
+    assert!(screen.passed(), "{:?}", screen.violations);
+    assert_eq!(screen.nets.len(), corpus.len());
+    assert_eq!(
+        screen.warned()
+            + screen
+                .nets
+                .iter()
+                .filter(|n| n.report.warnings() == 0)
+                .count(),
+        corpus.len()
+    );
+}

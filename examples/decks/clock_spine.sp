@@ -1,0 +1,12 @@
+* 2 mm clock spine splitting into two 1 mm branches (M7 copper)
+.input in
+R1 in t 50
+L1 t t2 2n
+C1 t2 0 0.4p
+R2 t2 a 60
+L2 a a2 1n
+C2 a2 0 0.8p
+R3 t2 b 60
+L3 b b2 1n
+C3 b2 0 0.8p
+.end

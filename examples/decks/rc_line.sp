@@ -1,0 +1,9 @@
+* 1 mm minimum-width RC line; inductance negligible at this geometry
+.input in
+R1 in n1 40
+C1 n1 0 0.3p
+R2 n1 n2 40
+C2 n2 0 0.3p
+R3 n2 n3 40
+C3 n3 0 0.3p
+.end

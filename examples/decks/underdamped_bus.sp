@@ -1,0 +1,7 @@
+* wide low-resistance bus: the far sink rings below the zeta = 0.5 guardrail
+.input in
+R1 in n1 25
+C1 n1 0 0.5p
+L2 n1 n2 5n
+C2 n2 0 1p
+.end

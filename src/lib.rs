@@ -21,6 +21,7 @@
 //! | [`opt`] | `rlc-opt` | repeater insertion, wire sizing, skew, inductance FOM |
 //! | [`engine`] | `rlc-engine` | concurrent batch timing, incremental re-analysis |
 //! | [`serve`] | `rlc-serve` | networked timing service: protocol, cache, admission |
+//! | [`lint`] | `rlc-lint` | deck static analysis: stable rule codes, lint gate |
 //!
 //! # Quick start
 //!
@@ -47,6 +48,7 @@
 pub use eed;
 pub use rlc_awe as awe;
 pub use rlc_engine as engine;
+pub use rlc_lint as lint;
 pub use rlc_moments as moments;
 pub use rlc_numeric as numeric;
 pub use rlc_opt as opt;
