@@ -7,11 +7,47 @@ use std::sync::mpsc;
 use std::time::Instant;
 
 use eed::{Damping, TreeAnalysis};
+use rlc_obs::{Histogram, HistogramSnapshot, TimeSource};
 use rlc_tree::netlist::Netlist;
 use rlc_tree::{NodeId, RlcTree};
 use rlc_units::Time;
 
 use crate::EngineError;
+
+/// Always-on per-run telemetry for the one-shot batch engine: per-net
+/// execution time and the remaining-queue depth each worker observed at
+/// pickup. The caller owns the sink and reads it after
+/// [`Engine::run_with_telemetry`] returns, so one sink can also
+/// accumulate across several runs (histogram merges are associative).
+#[derive(Debug, Default)]
+pub struct BatchTelemetry {
+    time: TimeSource,
+    exec: Histogram,
+    depth: Histogram,
+}
+
+impl BatchTelemetry {
+    /// An empty sink whose reported durations come from `time`.
+    pub fn new(time: TimeSource) -> Self {
+        Self {
+            time,
+            exec: Histogram::new(),
+            depth: Histogram::new(),
+        }
+    }
+
+    /// Per-net execution time, nanoseconds (quantized by the sink's
+    /// [`TimeSource`]).
+    pub fn exec(&self) -> HistogramSnapshot {
+        self.exec.snapshot()
+    }
+
+    /// Jobs still unclaimed at each pickup (unitless). Depends only on
+    /// the corpus size and pickup order, not on wall time.
+    pub fn depth(&self) -> HistogramSnapshot {
+        self.depth.snapshot()
+    }
+}
 
 /// Which closed-form timing model a worker evaluates for a net.
 ///
@@ -384,6 +420,16 @@ impl Engine {
     /// netlist, empty net, panicking analysis) land in that net's slot;
     /// the rest of the batch is unaffected.
     pub fn run(&self, batch: &Batch) -> BatchReport {
+        self.run_with_telemetry(batch, None)
+    }
+
+    /// [`run`](Self::run), additionally recording per-net execution time
+    /// and queue depth into `telemetry` when a sink is supplied.
+    pub fn run_with_telemetry(
+        &self,
+        batch: &Batch,
+        telemetry: Option<&BatchTelemetry>,
+    ) -> BatchReport {
         let _span = rlc_obs::span!("engine.batch");
         rlc_obs::counter!("engine.batch.runs");
         let jobs = &batch.jobs;
@@ -413,10 +459,18 @@ impl Engine {
                             break;
                         }
                         rlc_obs::value!("engine.queue.depth", (n - i - 1) as f64);
+                        if let Some(sink) = telemetry {
+                            sink.depth.record((n - i - 1) as u64);
+                        }
                         let t0 = Instant::now();
                         let (name, source) = &jobs[i];
                         let result = analyze_one(name, source, TimingModel::Eed);
-                        busy_ns += t0.elapsed().as_nanos();
+                        let net_ns = t0.elapsed().as_nanos();
+                        if let Some(sink) = telemetry {
+                            let raw = u64::try_from(net_ns).unwrap_or(u64::MAX);
+                            sink.exec.record(sink.time.measured_ns(raw));
+                        }
+                        busy_ns += net_ns;
                         completed += 1;
                         rlc_obs::counter!("engine.jobs.completed");
                         if result.is_err() {
@@ -693,6 +747,19 @@ mod tests {
         assert_eq!(solo, pooled);
         assert!(solo.contains("\"schema\": \"rlc-engine/1\""));
         assert!(solo.contains("\"status\": \"error\""));
+    }
+
+    #[test]
+    fn run_with_telemetry_counts_every_net() {
+        let batch = small_corpus();
+        let sink = BatchTelemetry::new(TimeSource::Logical { quantum_ns: 8 });
+        let report = Engine::with_workers(2).run_with_telemetry(&batch, Some(&sink));
+        assert_eq!(report.nets.len(), 3);
+        assert_eq!(sink.exec().count(), 3);
+        assert_eq!(sink.depth().count(), 3);
+        // Logical time: every net's execution lands in the quantum bucket.
+        let bucket = rlc_obs::telemetry::bucket_index(8);
+        assert_eq!(sink.exec().buckets[bucket], 3);
     }
 
     #[test]

@@ -75,7 +75,11 @@
 //! ```
 //! use rlc_engine::{EngineService, ServiceConfig};
 //!
-//! let service = EngineService::start(ServiceConfig { workers: 2, capacity: 8 });
+//! let service = EngineService::start(ServiceConfig {
+//!     workers: 2,
+//!     capacity: 8,
+//!     ..ServiceConfig::default()
+//! });
 //! let ticket = service.submit("line", "R1 in n1 25\nC1 n1 0 0.5p\n").unwrap();
 //! assert!(ticket.wait().is_ok());
 //! let stats = service.shutdown(); // drains in-flight jobs first
@@ -87,7 +91,12 @@ mod error;
 mod incremental;
 mod service;
 
-pub use batch::{net_json, Batch, BatchReport, Engine, NetTiming, SinkSummary, TimingModel};
+pub use batch::{
+    net_json, Batch, BatchReport, BatchTelemetry, Engine, NetTiming, SinkSummary, TimingModel,
+};
 pub use error::EngineError;
 pub use incremental::{EditCheckpoint, IncrementalAnalysis};
-pub use service::{EngineService, JobSpec, JobTicket, ServiceConfig, ServiceStats};
+pub use service::{
+    EngineService, EngineTelemetrySnapshot, JobSpec, JobTicket, JobTiming, ServiceConfig,
+    ServiceStats,
+};

@@ -28,6 +28,7 @@
 //! let service = EngineService::start(ServiceConfig {
 //!     workers: 2,
 //!     capacity: 8,
+//!     ..ServiceConfig::default()
 //! });
 //! let ticket = service
 //!     .submit("line", "R1 in n1 25\nC1 n1 0 0.5p\n")
@@ -61,6 +62,7 @@ use std::sync::{Arc, Condvar, Mutex};
 #[cfg(not(loom))]
 use std::thread;
 
+use rlc_obs::{Histogram, HistogramSnapshot, TimeSource};
 use rlc_tree::RlcTree;
 
 use crate::batch::{analyze_one, NetSource, NetTiming, TimingModel};
@@ -76,6 +78,11 @@ pub struct ServiceConfig {
     /// bound is independent of how fast workers pick jobs up (and overload
     /// behaviour is deterministic for any worker count).
     pub capacity: usize,
+    /// Reported-duration source for the service's always-on telemetry.
+    /// [`TimeSource::Wall`] in production; [`TimeSource::Logical`] makes
+    /// the latency histograms byte-deterministic for a given job sequence
+    /// at any worker count (DESIGN.md §13).
+    pub time: TimeSource,
 }
 
 impl Default for ServiceConfig {
@@ -83,8 +90,48 @@ impl Default for ServiceConfig {
         Self {
             workers: 0,
             capacity: 64,
+            time: TimeSource::Wall,
         }
     }
+}
+
+/// Raw per-job wall timings, delivered alongside every result. These are
+/// *unquantized* nanoseconds for flight-recorder use; the service's own
+/// histograms (see [`EngineService::telemetry`]) apply the configured
+/// [`TimeSource`] instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobTiming {
+    /// Admission to worker pickup, raw wall nanoseconds.
+    pub queue_ns: u64,
+    /// Worker pickup to result delivery (including any injected hold),
+    /// raw wall nanoseconds.
+    pub exec_ns: u64,
+    /// Outstanding jobs (queued + in-flight) at admission, this job
+    /// included. Counted at admission rather than pickup, so the value
+    /// does not depend on how quickly workers drain the queue.
+    pub depth: u64,
+}
+
+/// Always-on service telemetry: latency and depth histograms recorded by
+/// the admission path and the workers.
+#[derive(Debug)]
+struct ServiceTelemetry {
+    time: TimeSource,
+    queue_wait: Histogram,
+    exec: Histogram,
+    depth: Histogram,
+}
+
+/// A point-in-time copy of the service histograms (already quantized by
+/// the configured [`TimeSource`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTelemetrySnapshot {
+    /// Admission-to-pickup wait per job, nanoseconds.
+    pub queue_wait: HistogramSnapshot,
+    /// Pickup-to-delivery execution time per job, nanoseconds.
+    pub exec: HistogramSnapshot,
+    /// Outstanding jobs observed at each admission (unitless).
+    pub depth: HistogramSnapshot,
 }
 
 /// What one submitted job analyzes, and under which policy knobs.
@@ -173,10 +220,14 @@ struct QueueState {
 
 struct Job {
     spec: JobSpec,
-    tx: mpsc::Sender<Result<NetTiming, EngineError>>,
+    admitted: Instant,
+    /// Outstanding jobs at admission, this one included.
+    depth: u64,
+    tx: mpsc::Sender<(Result<NetTiming, EngineError>, JobTiming)>,
 }
 
 struct Shared {
+    telemetry: ServiceTelemetry,
     state: Mutex<QueueState>,
     /// Signals workers that a job arrived or admission closed.
     job_ready: Condvar,
@@ -227,6 +278,12 @@ impl EngineService {
             config.workers
         };
         let shared = Arc::new(Shared {
+            telemetry: ServiceTelemetry {
+                time: config.time,
+                queue_wait: Histogram::new(),
+                exec: Histogram::new(),
+                depth: Histogram::new(),
+            },
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 in_flight: 0,
@@ -309,7 +366,14 @@ impl EngineService {
                     capacity: self.shared.capacity,
                 });
             }
-            state.jobs.push_back(Job { spec, tx });
+            let depth = (state.jobs.len() + state.in_flight + 1) as u64;
+            self.shared.telemetry.depth.record(depth);
+            state.jobs.push_back(Job {
+                spec,
+                admitted: Instant::now(),
+                depth,
+                tx,
+            });
             rlc_obs::value!("engine.service.queue.depth", state.jobs.len() as f64);
         }
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
@@ -348,6 +412,16 @@ impl EngineService {
         self.stats()
     }
 
+    /// A point-in-time copy of the service histograms, quantized by the
+    /// configured [`TimeSource`].
+    pub fn telemetry(&self) -> EngineTelemetrySnapshot {
+        EngineTelemetrySnapshot {
+            queue_wait: self.shared.telemetry.queue_wait.snapshot(),
+            exec: self.shared.telemetry.exec.snapshot(),
+            depth: self.shared.telemetry.depth.snapshot(),
+        }
+    }
+
     /// A point-in-time copy of the service counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
@@ -374,7 +448,7 @@ impl Drop for EngineService {
 #[derive(Debug)]
 pub struct JobTicket {
     name: String,
-    rx: mpsc::Receiver<Result<NetTiming, EngineError>>,
+    rx: mpsc::Receiver<(Result<NetTiming, EngineError>, JobTiming)>,
 }
 
 impl JobTicket {
@@ -385,10 +459,21 @@ impl JobTicket {
 
     /// Blocks until the worker delivers this job's result.
     pub fn wait(self) -> Result<NetTiming, EngineError> {
-        self.rx
-            .recv()
-            .unwrap_or(Err(EngineError::ShuttingDown { net: self.name }))
+        self.wait_timed().0
     }
+
+    /// Blocks like [`wait`](Self::wait), additionally returning the job's
+    /// raw wall timings (zeroed if the service died before delivering).
+    pub fn wait_timed(self) -> (Result<NetTiming, EngineError>, JobTiming) {
+        self.rx.recv().unwrap_or((
+            Err(EngineError::ShuttingDown { net: self.name }),
+            JobTiming::default(),
+        ))
+    }
+}
+
+fn saturating_ns(duration: Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn worker_loop(shared: &Shared) {
@@ -408,6 +493,8 @@ fn worker_loop(shared: &Shared) {
         };
 
         let _span = rlc_obs::span!("engine.service/job");
+        let picked = Instant::now();
+        let queue_ns = saturating_ns(picked.duration_since(job.admitted));
         if let Some(hold) = job.spec.hold {
             thread::sleep(hold);
         }
@@ -416,6 +503,18 @@ fn worker_loop(shared: &Shared) {
                 net: job.spec.name.clone(),
             }),
             _ => analyze_one(&job.spec.name, &job.spec.source, job.spec.model),
+        };
+        let exec_ns = saturating_ns(picked.elapsed());
+        let time = shared.telemetry.time;
+        shared
+            .telemetry
+            .queue_wait
+            .record(time.measured_ns(queue_ns));
+        shared.telemetry.exec.record(time.measured_ns(exec_ns));
+        let timing = JobTiming {
+            queue_ns,
+            exec_ns,
+            depth: job.depth,
         };
         shared.completed.fetch_add(1, Ordering::Relaxed);
         rlc_obs::counter!("engine.service.completed");
@@ -430,7 +529,7 @@ fn worker_loop(shared: &Shared) {
         // a submitter unblocked by this result can never be rejected on a
         // stale in-flight count. The submitter may also have given up on
         // the ticket; a closed channel still counts as delivery.
-        let _ = job.tx.send(result);
+        let _ = job.tx.send((result, timing));
         if state.jobs.is_empty() && state.in_flight == 0 {
             shared.idle.notify_all();
         }
@@ -448,6 +547,7 @@ mod tests {
         let service = EngineService::start(ServiceConfig {
             workers: 2,
             capacity: 4,
+            ..ServiceConfig::default()
         });
         let ticket = service.submit("line", DECK).expect("capacity free");
         assert_eq!(ticket.name(), "line");
@@ -465,6 +565,7 @@ mod tests {
         let service = EngineService::start(ServiceConfig {
             workers: 1,
             capacity: 4,
+            ..ServiceConfig::default()
         });
         let bad = service.submit("bad", "R1 in n1 oops\n").expect("admitted");
         let good = service.submit("good", DECK).expect("admitted");
@@ -483,6 +584,7 @@ mod tests {
         let service = EngineService::start(ServiceConfig {
             workers: 1,
             capacity: 2,
+            ..ServiceConfig::default()
         });
         let ticket = service
             .submit_spec(JobSpec::deck("line", DECK).model(TimingModel::Elmore))
@@ -502,6 +604,7 @@ mod tests {
         let service = EngineService::start(ServiceConfig {
             workers: 1,
             capacity: 2,
+            ..ServiceConfig::default()
         });
         let ticket = service
             .submit_spec(
@@ -525,11 +628,43 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_jobs_and_quantizes_logically() {
+        let service = EngineService::start(ServiceConfig {
+            workers: 1,
+            capacity: 4,
+            time: TimeSource::Logical { quantum_ns: 16 },
+        });
+        for _ in 0..3 {
+            let (result, timing) = service
+                .submit("line", DECK)
+                .expect("capacity free")
+                .wait_timed();
+            assert!(result.is_ok());
+            assert_eq!(timing.depth, 1, "serial submissions never queue");
+        }
+        let telemetry = service.telemetry();
+        assert_eq!(telemetry.queue_wait.count(), 3);
+        assert_eq!(telemetry.exec.count(), 3);
+        // Logical time maps every measurement into the quantum's bucket.
+        let quantum_bucket = rlc_obs::telemetry::bucket_index(16);
+        assert_eq!(telemetry.exec.buckets[quantum_bucket], 3);
+        assert_eq!(telemetry.queue_wait.buckets[quantum_bucket], 3);
+        // Depth is unitless and unaffected by the time source.
+        assert_eq!(telemetry.depth.count(), 3);
+        assert_eq!(
+            telemetry.depth.buckets[rlc_obs::telemetry::bucket_index(1)],
+            3
+        );
+        drop(service);
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = EngineService::start(ServiceConfig {
             workers: 1,
             capacity: 0,
+            ..ServiceConfig::default()
         });
     }
 }

@@ -31,6 +31,7 @@ fn racing_submitters_conserve_the_admission_slot() {
         let service = Arc::new(EngineService::start(ServiceConfig {
             workers: 1,
             capacity: 1,
+            ..ServiceConfig::default()
         }));
         let racer = {
             let service = Arc::clone(&service);
@@ -80,6 +81,7 @@ fn close_submit_handoff_never_strands_accepted_work() {
         let service = Arc::new(EngineService::start(ServiceConfig {
             workers: 1,
             capacity: 2,
+            ..ServiceConfig::default()
         }));
         let early = service
             .submit("early", DECK)

@@ -28,6 +28,7 @@ fn overload_is_typed_and_deterministic_across_worker_counts() {
         let service = EngineService::start(ServiceConfig {
             workers,
             capacity: 4,
+            ..ServiceConfig::default()
         });
         let tickets: Vec<_> = (0..4)
             .map(|i| {
@@ -62,6 +63,7 @@ fn overload_recovers_after_completion() {
     let service = EngineService::start(ServiceConfig {
         workers: 1,
         capacity: 1,
+        ..ServiceConfig::default()
     });
     let first = service.submit_spec(held("first", 50)).expect("admitted");
     assert!(matches!(
@@ -83,6 +85,7 @@ fn drain_completes_accepted_work_and_rejects_late_submissions() {
     let service = EngineService::start(ServiceConfig {
         workers: 2,
         capacity: 8,
+        ..ServiceConfig::default()
     });
     // Two held jobs occupy both workers; two more wait in the queue.
     let tickets: Vec<_> = (0..4)
@@ -122,6 +125,7 @@ fn idle_shutdown_is_clean() {
     let service = EngineService::start(ServiceConfig {
         workers: 3,
         capacity: 2,
+        ..ServiceConfig::default()
     });
     service.drain();
     service.drain();

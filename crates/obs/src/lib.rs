@@ -29,6 +29,15 @@
 //! and [`Snapshot::to_text`] a human-readable table. The figure binaries in
 //! `rlc-bench` dump one JSON report per figure next to each CSV.
 //!
+//! # Always-on serving telemetry
+//!
+//! Unlike the feature-gated registry above, the [`telemetry`] module is
+//! compiled unconditionally: atomic [`Counter`]s, log-scale
+//! [`Histogram`]s with deterministic merge, request-scoped
+//! [`TraceContext`]s, and a bounded [`FlightRecorder`]. The serving stack
+//! (`rlc-serve`, `rlc-engine`) uses these to back the `metrics` and
+//! `trace` wire verbs (`rlc-trace/1`, DESIGN.md §13).
+//!
 //! # Examples
 //!
 //! ```
@@ -46,9 +55,14 @@
 //! ```
 
 pub mod json;
+pub mod telemetry;
 
 #[cfg(feature = "obs")]
 mod registry;
+
+pub use telemetry::{
+    Counter, FlightRecorder, Histogram, HistogramSnapshot, TimeSource, TraceContext, TraceRecord,
+};
 
 /// Aggregate of one [`value!`] stream.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,91 @@
+//! Property tests for the always-on telemetry primitives: histogram
+//! merge is associative and commutative with the empty snapshot as
+//! identity, bucket assignment is monotone in the sample, quantiles land
+//! on bucket bounds, and the `rlc-trace/1` histogram rendering
+//! round-trips through the crate's own JSON parser.
+
+use proptest::prelude::*;
+use rlc_obs::telemetry::{bucket_bound, bucket_index, BUCKETS};
+use rlc_obs::{json, Histogram, HistogramSnapshot};
+
+/// Samples spread across the full log₂ scale: small integers (depths),
+/// mid-range nanoseconds, and overflow-bucket extremes.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(prop_oneof![0u64..16, 1u64..1_000_000, any::<u64>(),], 0..64)
+}
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative_associative_with_identity(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&HistogramSnapshot::default()), sa);
+        // Merge conserves the sample count.
+        prop_assert_eq!(sa.merge(&sb).count(), sa.count() + sb.count());
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(a in samples(), b in samples()) {
+        // The property the deterministic report rests on: it cannot
+        // matter which worker observed which sample.
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(snapshot_of(&a).merge(&snapshot_of(&b)), snapshot_of(&both));
+    }
+
+    #[test]
+    fn bucket_assignment_is_monotone_and_bounded(s in any::<u64>(), t in any::<u64>()) {
+        let (lo, hi) = (s.min(t), s.max(t));
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        let i = bucket_index(s);
+        prop_assert!(i < BUCKETS);
+        // The sample really lies inside its bucket's edges.
+        if let Some(bound) = bucket_bound(i) {
+            prop_assert!(s <= bound, "sample {s} above its bucket bound {bound}");
+        }
+        if i > 0 {
+            let below = bucket_bound(i - 1).expect("non-overflow predecessor");
+            prop_assert!(s > below, "sample {s} not above the previous bound {below}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_bucket_bounds(samples in samples(), q in 0.01f64..1.0) {
+        let snap = snapshot_of(&samples);
+        let value = snap.quantile(q);
+        if samples.is_empty() {
+            prop_assert_eq!(value, 0);
+        } else {
+            prop_assert!(
+                value == u64::MAX || (0..BUCKETS).any(|i| bucket_bound(i) == Some(value)),
+                "quantile {value} is not a bucket bound"
+            );
+            prop_assert!(snap.quantile(q) <= snap.quantile(1.0));
+        }
+    }
+
+    #[test]
+    fn rendering_round_trips_through_the_json_parser(samples in samples()) {
+        let snap = snapshot_of(&samples);
+        let rendered = snap.to_json();
+        let doc = json::parse(&rendered).expect("rendering is valid JSON");
+        prop_assert_eq!(HistogramSnapshot::from_json(&doc), Some(snap));
+        prop_assert_eq!(
+            doc.get("count").and_then(json::Value::as_u64),
+            Some(snap.count())
+        );
+    }
+}

@@ -3,15 +3,20 @@
 //! ```text
 //! serve [--listen ADDR] [--stdio] [--smoke]
 //!       [--workers N] [--queue N] [--cache-capacity N] [--cache-ttl-ms MS]
+//!       [--metrics-interval SECS]
 //! ```
 //!
 //! Default mode listens on `127.0.0.1:7199` and speaks the `rlc-serve/1`
 //! line protocol (see `crates/serve/src/protocol.rs` and DESIGN.md §11).
 //! `--stdio` serves a single session over stdin/stdout. `--smoke` runs
 //! the self-contained conformance smoke used by CI: it exercises the
-//! warm-cache, lint-gate, overload, deadline, and drain contracts at
-//! worker counts 1/2/4/8 and fails unless every transcript is
-//! byte-identical.
+//! warm-cache, lint-gate, overload, deadline, drain, and telemetry
+//! contracts at worker counts 1/2/4/8 and fails unless every transcript
+//! — including the `metrics` snapshot — is byte-identical.
+//!
+//! `--metrics-interval SECS` makes the listening daemon print the
+//! cumulative `rlc-trace/1` metrics report to stderr every SECS seconds
+//! (the same document the `metrics` verb returns; see DESIGN.md §13).
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -19,12 +24,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rlc_obs::TimeSource;
 use rlc_serve::{
-    serve_stdio, AnalyzeRequest, CacheConfig, LintMode, LintRequest, ServeConfig, ServeCore, Server,
+    serve_stdio, AnalyzeRequest, CacheConfig, LintMode, LintRequest, ProtocolError, ServeConfig,
+    ServeCore, Server, TelemetryConfig,
 };
 
 const USAGE: &str = "usage: serve [--listen ADDR] [--stdio] [--smoke]
              [--workers N] [--queue N] [--cache-capacity N] [--cache-ttl-ms MS]
+             [--metrics-interval SECS]
 
 modes (default: --listen 127.0.0.1:7199)
   --listen ADDR       accept rlc-serve/1 connections on ADDR
@@ -35,7 +43,12 @@ sizing
   --workers N         engine worker threads (0 = machine-sized)
   --queue N           bound on outstanding engine jobs (default 64)
   --cache-capacity N  result-cache entries (0 disables; default 128)
-  --cache-ttl-ms MS   result-cache time-to-live (default: no expiry)";
+  --cache-ttl-ms MS   result-cache time-to-live (default: no expiry)
+
+telemetry
+  --metrics-interval SECS
+                      in listen mode, print the rlc-trace/1 metrics
+                      report to stderr every SECS seconds (0 = off)";
 
 enum Mode {
     Listen(String),
@@ -49,7 +62,9 @@ fn main() -> ExitCode {
         workers: 0,
         queue_capacity: 64,
         cache: CacheConfig::default(),
+        telemetry: TelemetryConfig::default(),
     };
+    let mut metrics_interval = Duration::ZERO;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |flag: &str| {
@@ -73,6 +88,8 @@ fn main() -> ExitCode {
             }
             "--cache-ttl-ms" => parse_usize(&mut take, "--cache-ttl-ms")
                 .map(|ms| config.cache.ttl = Some(Duration::from_millis(ms as u64))),
+            "--metrics-interval" => parse_usize(&mut take, "--metrics-interval")
+                .map(|secs| metrics_interval = Duration::from_secs(secs as u64)),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -88,7 +105,7 @@ fn main() -> ExitCode {
     let outcome = match mode {
         Mode::Stdio => serve_stdio(config, &mut io::stdin().lock(), &mut io::stdout().lock())
             .map_err(|e| format!("stdio session failed: {e}")),
-        Mode::Listen(addr) => listen(&addr, config),
+        Mode::Listen(addr) => listen(&addr, config, metrics_interval),
         Mode::Smoke => smoke(),
     };
     match outcome {
@@ -110,9 +127,18 @@ fn parse_usize(
         .map_err(|_| format!("{flag} needs an unsigned integer, got {value:?}"))
 }
 
-fn listen(addr: &str, config: ServeConfig) -> Result<(), String> {
+fn listen(addr: &str, config: ServeConfig, metrics_interval: Duration) -> Result<(), String> {
     let server = Server::bind(addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!("rlc-serve/1 listening on {}", server.local_addr());
+    if !metrics_interval.is_zero() {
+        // Detached heartbeat: the thread does not keep the process alive
+        // once the accept loop returns and main exits.
+        let core = server.core();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(metrics_interval);
+            eprintln!("{}", core.metrics_report());
+        });
+    }
     let stats = server
         .run()
         .map_err(|e| format!("accept loop failed: {e}"))?;
@@ -131,6 +157,17 @@ const SMOKE_CAPACITY: usize = 4;
 
 /// One circuit, two exact spellings (whitespace, node names, labels, and
 /// value notation differ; every value parses to the identical f64).
+/// Telemetry config for the smoke: the logical time source maps every
+/// measured interval to one quantum, so the `metrics` snapshot depends
+/// only on *which* stages ran *how often* — byte-identical across
+/// worker counts and machines (DESIGN.md §13).
+fn smoke_telemetry() -> TelemetryConfig {
+    TelemetryConfig {
+        time: TimeSource::Logical { quantum_ns: 1024 },
+        ..TelemetryConfig::default()
+    }
+}
+
 const WARM_DECK: &str = "R1 in n1 25\nC1 n1 0 0.5p\nL2 n1 n2 5n\nC2 n2 0 1p\n";
 const WARM_DECK_RESPELLED: &str =
     "* same circuit, different spelling\n.input  s\nRa s  x 2.5e1\nCa x 0 0.5p\nLb x y 5.0n\nCb y 0 1p\n.end\n";
@@ -173,6 +210,9 @@ fn smoke() -> Result<(), String> {
     println!(
         "smoke ok: warm-cache analyze did zero engine jobs; lint, overload, deadline and drain rejections all typed"
     );
+    println!(
+        "smoke ok: rlc-trace/1 metrics counted every outcome class and stayed byte-deterministic"
+    );
     Ok(())
 }
 
@@ -185,6 +225,7 @@ fn smoke_one(workers: usize) -> Result<String, String> {
             capacity: 32,
             ttl: None,
         },
+        telemetry: smoke_telemetry(),
     }));
     let mut transcript: Vec<String> = Vec::new();
 
@@ -339,13 +380,52 @@ fn smoke_one(workers: usize) -> Result<String, String> {
         fail("the final report should count the lint denial", &stats)
     })?;
 
+    // 7. Telemetry: every outcome class above left a mark. A framing
+    //    error rounds out the set, then the `metrics` snapshot must
+    //    carry the rlc-trace/1 schema tag and count each outcome; under
+    //    the logical time source the whole document is deterministic,
+    //    so it joins the byte-compared transcript. The `trace` verb
+    //    reports raw wall-clock breakdowns — structurally checked only,
+    //    never byte-compared (DESIGN.md §13).
+    let bad = core.bad_request(&ProtocolError {
+        message: "smoke framing probe".to_owned(),
+    });
+    expect(bad.contains("\"kind\": \"bad_request\""), || {
+        fail("a framing error should be a typed bad_request", &bad)
+    })?;
+    let metrics = core.metrics();
+    expect(metrics.contains("\"schema\": \"rlc-trace/1\""), || {
+        fail("metrics should carry the rlc-trace/1 schema tag", &metrics)
+    })?;
+    for (outcome, count) in [
+        ("\"ok\": 7", "warm miss, lint verb, four sleepers, probe"),
+        ("\"cache_hit\": 2", "the repeat and the respelled alias"),
+        ("\"lint_denied\": 1", "the deny-gated deck"),
+        ("\"overloaded\": 1", "the overflow submission"),
+        ("\"deadline\": 1", "the stale request"),
+        ("\"error\": 1", "the malformed deck"),
+        ("\"shutting_down\": 1", "the post-drain submission"),
+        ("\"bad_request\": 1", "the framing probe"),
+    ] {
+        expect(metrics.contains(outcome), || {
+            format!("workers={workers}: metrics should show {outcome} ({count}), got {metrics}")
+        })?;
+    }
+    let trace = core.trace(3);
+    expect(
+        trace.contains("\"schema\": \"rlc-trace/1\"")
+            && trace.contains("\"recent\": [")
+            && trace.contains("\"slowest\": ["),
+        || fail("trace should report recent and slowest requests", &trace),
+    )?;
+
     transcript.extend([r1, r2, r3, r_denied, r_lint, r4, r5]);
     transcript.extend(sleeper_lines);
-    transcript.extend([r6, probe, late, stats]);
+    transcript.extend([r6, probe, late, bad, metrics, stats]);
 
-    // 7. The same contracts hold over an actual socket: miss, hit,
-    //    lint verb, deny gate, probe, then shutdown — whose response
-    //    must equal the final report the accept loop returns.
+    // 8. The same contracts hold over an actual socket: miss, hit,
+    //    lint verb, deny gate, probe, metrics, then shutdown — whose
+    //    response must equal the final report the accept loop returns.
     let server = Server::bind(
         ("127.0.0.1", 0),
         ServeConfig {
@@ -355,6 +435,7 @@ fn smoke_one(workers: usize) -> Result<String, String> {
                 capacity: 32,
                 ttl: None,
             },
+            telemetry: smoke_telemetry(),
         },
     )
     .map_err(|e| format!("workers={workers}: cannot bind smoke server: {e}"))?;
@@ -371,6 +452,7 @@ fn smoke_one(workers: usize) -> Result<String, String> {
             "lint name=tcp\nR1 in n1 25\nC1 n1 0 0.5p\n.\n",
             "analyze name=tcpgated lint=deny\nR1 in n1 25\nC1 n1 0 0.5p\nL2 n1 n2 5n\nC2 n2 0 1p\n.\n",
             "probe\n",
+            "metrics\n",
             "shutdown\n",
         ] {
             writer.write_all(request.as_bytes())?;
@@ -398,10 +480,19 @@ fn smoke_one(workers: usize) -> Result<String, String> {
         tcp[3].contains("\"kind\": \"lint_denied\"") && tcp[3].contains("\"code\": \"L201\""),
         || fail("TCP lint=deny should reject the underdamped deck", &tcp[3]),
     )?;
-    expect(tcp[5] == final_report, || {
+    expect(
+        tcp[5].contains("\"type\": \"metrics\"") && tcp[5].contains("\"schema\": \"rlc-trace/1\""),
+        || {
+            fail(
+                "TCP metrics should answer with an rlc-trace/1 report",
+                &tcp[5],
+            )
+        },
+    )?;
+    expect(tcp[6] == final_report, || {
         format!(
             "workers={workers}: shutdown response {:?} differs from the accept loop's final report {final_report:?}",
-            tcp[5]
+            tcp[6]
         )
     })?;
     transcript.extend(tcp);

@@ -33,9 +33,15 @@
 //! per-net errors), scoped to the connection that sent them; only framing
 //! violations terminate a connection.
 //!
-//! See [`protocol`] for the wire grammar and DESIGN.md §11 for the
+//! Every request is also traced by the always-on [`telemetry`] subsystem:
+//! per-stage latency histograms, typed outcome counters, and a bounded
+//! flight recorder, exposed over the wire as the `metrics` (deterministic
+//! `rlc-trace/1` snapshot) and `trace` (recent/slowest request
+//! breakdowns) verbs.
+//!
+//! See [`protocol`] for the wire grammar and DESIGN.md §11/§13 for the
 //! protocol's contract (cache-key derivation, overload semantics,
-//! response schemas).
+//! response schemas, telemetry determinism rules).
 //!
 //! # Example
 //!
@@ -58,7 +64,9 @@
 pub mod cache;
 pub mod protocol;
 mod server;
+pub mod telemetry;
 
 pub use cache::{fnv1a_64, CacheConfig, CacheStats, ResultCache};
 pub use protocol::{AnalyzeRequest, LintMode, LintRequest, ProtocolError, ReadOutcome, Request};
 pub use server::{serve_stdio, ServeConfig, ServeCore, Server};
+pub use telemetry::{ServeTelemetry, TelemetryConfig};

@@ -6,7 +6,7 @@
 //! ```text
 //! request  = header LF [ deck ]
 //! header   = verb *( SP field )
-//! verb     = "analyze" | "lint" | "probe" | "shutdown"
+//! verb     = "analyze" | "lint" | "probe" | "metrics" | "trace" | "shutdown"
 //! field    = key "=" value               ; no spaces inside a field
 //! deck     = *( line LF ) "." LF        ; analyze and lint; "." ends the deck
 //! ```
@@ -20,14 +20,20 @@
 //! the deck — netlist directives like `.input` are longer than one
 //! character, so the sentinel never collides with deck content. `lint`
 //! accepts only `name=<label>` and returns the full `rlc-lint` report for
-//! the deck without admitting any engine work.
+//! the deck without admitting any engine work. `metrics` takes no fields
+//! and returns the cumulative `rlc-trace/1` telemetry report; `trace`
+//! accepts `last=<u64>` (default all retained) and returns the
+//! flight-recorder breakdown of recent and slowest requests (see
+//! [`crate::telemetry`]).
 //!
 //! Every response is a single line of JSON with a `"proto": "rlc-serve/1"`
 //! and a `"type"` member: `result` (the engine verdict for one net, ok
 //! *or* per-net error), `error` (the request never reached a worker:
 //! `overloaded`, `shutting_down`, `lint_denied`, `bad_request`), `lint`
-//! (the static-analysis report), `probe` (live counters) or `stats` (the
-//! final report flushed at shutdown).
+//! (the static-analysis report), `probe` (live counters), `metrics` /
+//! `trace` (telemetry reports, `"report"` member tagged
+//! `"schema": "rlc-trace/1"`) or `stats` (the final report flushed at
+//! shutdown).
 
 use std::fmt;
 use std::io::{self, BufRead};
@@ -146,6 +152,15 @@ pub enum Request {
     Lint(LintRequest),
     /// Report live service counters.
     Probe,
+    /// Report the cumulative `rlc-trace/1` telemetry snapshot.
+    Metrics,
+    /// Report the flight recorder's per-request stage breakdowns for the
+    /// last `last` requests (`0` = all retained) plus the slowest since
+    /// startup.
+    Trace {
+        /// How many recent requests to include; `0` means all retained.
+        last: usize,
+    },
     /// Stop accepting, drain in-flight nets, reply with the final stats.
     Shutdown,
 }
@@ -206,15 +221,31 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<ReadOutcome> {
     let mut parts = header.split_whitespace();
     let verb = parts.next().expect("header line is non-blank");
     match verb {
-        "probe" | "shutdown" => {
+        "probe" | "metrics" | "shutdown" => {
             if parts.next().is_some() {
                 return malformed(format!("{verb} takes no fields"));
             }
-            Ok(ReadOutcome::Request(if verb == "probe" {
-                Request::Probe
-            } else {
-                Request::Shutdown
+            Ok(ReadOutcome::Request(match verb {
+                "probe" => Request::Probe,
+                "metrics" => Request::Metrics,
+                _ => Request::Shutdown,
             }))
+        }
+        "trace" => {
+            let mut last = 0usize;
+            for field in parts {
+                let Some((key, value)) = field.split_once('=') else {
+                    return malformed(format!("field {field:?} is not key=value"));
+                };
+                match key {
+                    "last" => match value.parse() {
+                        Ok(n) => last = n,
+                        Err(_) => return malformed(format!("last {value:?} is not a u64")),
+                    },
+                    other => return malformed(format!("unknown field {other:?}")),
+                }
+            }
+            Ok(ReadOutcome::Request(Request::Trace { last }))
         }
         "analyze" => {
             let mut request = AnalyzeRequest::new("net", "");
@@ -342,6 +373,15 @@ mod tests {
     #[test]
     fn control_verbs_and_eof() {
         assert_eq!(read("probe\n"), ReadOutcome::Request(Request::Probe));
+        assert_eq!(read("metrics\n"), ReadOutcome::Request(Request::Metrics));
+        assert_eq!(
+            read("trace\n"),
+            ReadOutcome::Request(Request::Trace { last: 0 })
+        );
+        assert_eq!(
+            read("trace last=5\n"),
+            ReadOutcome::Request(Request::Trace { last: 5 })
+        );
         assert_eq!(read("shutdown\n"), ReadOutcome::Request(Request::Shutdown));
         assert_eq!(read(""), ReadOutcome::Eof);
         assert_eq!(read("\n  \n"), ReadOutcome::Eof);
@@ -366,6 +406,9 @@ mod tests {
         for (input, needle) in [
             ("launch\n", "unknown verb"),
             ("probe now\n", "takes no fields"),
+            ("metrics now\n", "takes no fields"),
+            ("trace last=-1\n", "not a u64"),
+            ("trace depth=3\n", "unknown field"),
             ("analyze name\n.\n", "not key=value"),
             ("analyze model=spice\n.\n", "unknown model"),
             ("analyze lint=strict\n.\n", "unknown lint mode"),

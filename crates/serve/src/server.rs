@@ -30,7 +30,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use rlc_engine::{net_json, EngineError, EngineService, JobSpec, ServiceConfig, ServiceStats};
+use rlc_engine::{
+    net_json, EngineError, EngineService, EngineTelemetrySnapshot, JobSpec, ServiceConfig,
+    ServiceStats,
+};
 use rlc_lint::LintReport;
 use rlc_obs::json;
 use rlc_tree::netlist::Netlist;
@@ -39,8 +42,10 @@ use crate::cache::{CacheConfig, CacheStats, ResultCache};
 use crate::protocol::{
     read_request, AnalyzeRequest, LintMode, LintRequest, ProtocolError, ReadOutcome, Request,
 };
+use crate::telemetry::{ServeTelemetry, TelemetryConfig};
 
-/// Sizing of a serving stack: engine pool, admission bound, cache policy.
+/// Sizing of a serving stack: engine pool, admission bound, cache policy,
+/// telemetry policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeConfig {
     /// Engine worker threads; `0` sizes to the machine.
@@ -49,6 +54,10 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Result-cache policy.
     pub cache: CacheConfig,
+    /// Telemetry policy (always-on by default; see [`TelemetryConfig`]).
+    /// The configured [`TimeSource`](rlc_obs::TimeSource) is shared with
+    /// the engine service so all histograms quantize identically.
+    pub telemetry: TelemetryConfig,
 }
 
 impl ServeConfig {
@@ -61,18 +70,20 @@ impl ServeConfig {
             } else {
                 self.queue_capacity
             },
+            time: self.telemetry.time,
         }
     }
 }
 
 /// Transport-independent request handling: engine pool + result cache +
-/// request counters.
+/// request counters + telemetry.
 pub struct ServeCore {
     service: EngineService,
     cache: Mutex<ResultCache>,
     requests: AtomicU64,
     bad_requests: AtomicU64,
     lint_denied: AtomicU64,
+    telemetry: ServeTelemetry,
 }
 
 impl ServeCore {
@@ -84,12 +95,18 @@ impl ServeCore {
             requests: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             lint_denied: AtomicU64::new(0),
+            telemetry: ServeTelemetry::new(config.telemetry),
         }
     }
 
     /// Live engine counters (admissions, completions, rejections).
     pub fn engine_stats(&self) -> ServiceStats {
         self.service.stats()
+    }
+
+    /// Live engine latency/depth histograms.
+    pub fn engine_telemetry(&self) -> EngineTelemetrySnapshot {
+        self.service.telemetry()
     }
 
     /// Live cache counters.
@@ -107,21 +124,34 @@ impl ServeCore {
     /// trees; a parse failure renders the same [`EngineError::Netlist`]
     /// the engine itself would report for the deck.
     pub fn analyze(&self, request: AnalyzeRequest) -> String {
+        self.analyze_with_read(request, None)
+    }
+
+    /// [`analyze`](Self::analyze) with the transport's raw read-stage
+    /// measurement attached to the request's trace.
+    pub(crate) fn analyze_with_read(
+        &self,
+        request: AnalyzeRequest,
+        read_ns: Option<u64>,
+    ) -> String {
         let _span = rlc_obs::span!("serve/analyze");
+        let mut trace = self.telemetry.begin("analyze", read_ns);
         self.requests.fetch_add(1, Ordering::Relaxed);
         rlc_obs::counter!("serve.request");
         // Lint before the cache lookup: the report depends only on the
         // deck text, so hits and misses carry identical annotations and
         // the deny gate cannot be dodged by a warm cache.
-        let report = match request.lint {
+        let report = trace.time("lint", || match request.lint {
             LintMode::Off => None,
             LintMode::Warn | LintMode::Deny => Some(rlc_lint::lint_deck(&request.deck)),
-        };
+        });
         match (request.lint, &report) {
             (LintMode::Deny, Some(report)) if !report.passes(true) => {
                 self.lint_denied.fetch_add(1, Ordering::Relaxed);
                 rlc_obs::counter!("serve.lint.denied");
-                return lint_denied_response(&request.name, report);
+                let line = trace.time("render", || lint_denied_response(&request.name, report));
+                self.telemetry.finish(trace, "lint_denied");
+                return line;
             }
             _ => {}
         }
@@ -129,27 +159,43 @@ impl ServeCore {
             .filter(|r| !r.is_spotless())
             .map(|r| r.annotation_json());
         let annotation = annotation.as_deref();
-        let tree = match Netlist::parse(&request.deck) {
-            Ok(netlist) => netlist.into_tree(),
+        // Parse + canonicalize: the canonical deck is the cache address.
+        let parsed = trace.time("parse", || {
+            Netlist::parse(&request.deck).map(|netlist| {
+                let tree = netlist.into_tree();
+                let key = ResultCache::key(request.model.id(), &tree.canonical_deck());
+                (tree, key)
+            })
+        });
+        let (tree, key) = match parsed {
+            Ok(parsed) => parsed,
             Err(source) => {
                 let error = EngineError::Netlist {
                     net: request.name,
                     source,
                 };
-                return result_response("miss", &net_json(&Err(error)), annotation);
+                let line = trace.time("render", || {
+                    result_response("miss", &net_json(&Err(error)), annotation)
+                });
+                self.telemetry.finish(trace, "error");
+                return line;
             }
         };
-        let key = ResultCache::key(request.model.id(), &tree.canonical_deck());
-        if let Some(mut timing) = self
-            .cache
-            .lock()
-            .expect("cache lock")
-            .get(&key, Instant::now())
-        {
+        let cached = trace.time("cache", || {
+            self.cache
+                .lock()
+                .expect("cache lock")
+                .get(&key, Instant::now())
+        });
+        if let Some(mut timing) = cached {
             // Content-addressed: the cached circuit answers under the
             // requester's label.
             timing.name = request.name;
-            return result_response("hit", &net_json(&Ok(timing)), annotation);
+            let line = trace.time("render", || {
+                result_response("hit", &net_json(&Ok(timing)), annotation)
+            });
+            self.telemetry.finish(trace, "cache_hit");
+            return line;
         }
         let mut spec = JobSpec::tree(&request.name, tree).model(request.model);
         if let Some(ms) = request.deadline_ms {
@@ -159,9 +205,19 @@ impl ServeCore {
             spec = spec.hold(Duration::from_millis(ms));
         }
         match self.service.submit_spec(spec) {
-            Err(rejection) => admission_response(&rejection),
+            Err(rejection) => {
+                let outcome = match &rejection {
+                    EngineError::Overloaded { .. } => "overloaded",
+                    _ => "shutting_down",
+                };
+                let line = trace.time("render", || admission_response(&rejection));
+                self.telemetry.finish(trace, outcome);
+                line
+            }
             Ok(ticket) => {
-                let result = ticket.wait();
+                let (result, timing) = ticket.wait_timed();
+                trace.add_stage("admission", timing.queue_ns);
+                trace.add_stage("engine", timing.exec_ns);
                 if let Ok(timing) = &result {
                     self.cache.lock().expect("cache lock").insert(
                         key,
@@ -169,7 +225,17 @@ impl ServeCore {
                         Instant::now(),
                     );
                 }
-                result_response("miss", &net_json(&result), annotation)
+                let outcome = match &result {
+                    Ok(_) => "ok",
+                    Err(EngineError::DeadlineExceeded { .. }) => "deadline",
+                    Err(EngineError::ShuttingDown { .. }) => "shutting_down",
+                    Err(_) => "error",
+                };
+                let line = trace.time("render", || {
+                    result_response("miss", &net_json(&result), annotation)
+                });
+                self.telemetry.finish(trace, outcome);
+                line
             }
         }
     }
@@ -177,34 +243,120 @@ impl ServeCore {
     /// Handles a `lint` request: the full `rlc-lint` report for one deck.
     /// Never touches the cache or the engine pool.
     pub fn lint(&self, request: &LintRequest) -> String {
+        self.lint_with_read(request, None)
+    }
+
+    pub(crate) fn lint_with_read(&self, request: &LintRequest, read_ns: Option<u64>) -> String {
         let _span = rlc_obs::span!("serve/lint");
+        let mut trace = self.telemetry.begin("lint", read_ns);
         self.requests.fetch_add(1, Ordering::Relaxed);
         rlc_obs::counter!("serve.request");
-        let report = rlc_lint::lint_deck(&request.deck);
-        format!(
-            "{{\"proto\": \"rlc-serve/1\", \"type\": \"lint\", \"report\": {}}}",
-            report.to_json_object(&request.name)
-        )
+        let report = trace.time("lint", || rlc_lint::lint_deck(&request.deck));
+        let line = trace.time("render", || {
+            format!(
+                "{{\"proto\": \"rlc-serve/1\", \"type\": \"lint\", \"report\": {}}}",
+                report.to_json_object(&request.name)
+            )
+        });
+        self.telemetry.finish(trace, "ok");
+        line
     }
 
     /// Handles a probe, returning the live-counters response line.
     pub fn probe(&self) -> String {
+        self.probe_with_read(None)
+    }
+
+    pub(crate) fn probe_with_read(&self, read_ns: Option<u64>) -> String {
+        let mut trace = self.telemetry.begin("probe", read_ns);
         self.requests.fetch_add(1, Ordering::Relaxed);
         rlc_obs::counter!("serve.request");
-        format!(
-            "{{\"proto\": \"rlc-serve/1\", \"type\": \"probe\", {}}}",
-            self.stats_body()
+        let line = trace.time("render", || {
+            format!(
+                "{{\"proto\": \"rlc-serve/1\", \"type\": \"probe\", {}}}",
+                self.stats_body()
+            )
+        });
+        self.telemetry.finish(trace, "ok");
+        line
+    }
+
+    /// Handles a `metrics` request: the cumulative `rlc-trace/1`
+    /// telemetry report. The snapshot is taken *before* this request's
+    /// own counters are recorded, so the report describes exactly the
+    /// requests finished before it — which is what keeps the output
+    /// byte-deterministic for a given request sequence.
+    pub fn metrics(&self) -> String {
+        self.metrics_with_read(None)
+    }
+
+    pub(crate) fn metrics_with_read(&self, read_ns: Option<u64>) -> String {
+        let mut trace = self.telemetry.begin("metrics", read_ns);
+        let report = self.metrics_report();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        rlc_obs::counter!("serve.request");
+        let line = trace.time("render", || {
+            format!("{{\"proto\": \"rlc-serve/1\", \"type\": \"metrics\", \"report\": {report}}}")
+        });
+        self.telemetry.finish(trace, "ok");
+        line
+    }
+
+    /// The bare `rlc-trace/1` cumulative report (the `"report"` member of
+    /// a `metrics` response): outcome counters, per-stage latency
+    /// histograms, engine and cache statistics. Also what the
+    /// `--metrics-interval` heartbeat prints.
+    pub fn metrics_report(&self) -> String {
+        self.telemetry.report(
+            self.requests.load(Ordering::Relaxed),
+            self.bad_requests.load(Ordering::Relaxed),
+            self.lint_denied.load(Ordering::Relaxed),
+            &self.service.stats(),
+            &self.service.telemetry(),
+            &self.cache_stats(),
         )
+    }
+
+    /// Handles a `trace` request: per-request stage breakdowns from the
+    /// flight recorder (raw nanoseconds — excluded from the determinism
+    /// guarantees). `last = 0` means all retained recent requests.
+    pub fn trace(&self, last: usize) -> String {
+        self.trace_with_read(last, None)
+    }
+
+    pub(crate) fn trace_with_read(&self, last: usize, read_ns: Option<u64>) -> String {
+        let mut trace = self.telemetry.begin("trace", read_ns);
+        let body = self.telemetry.trace_body(last);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        rlc_obs::counter!("serve.request");
+        let line = trace.time("render", || {
+            format!("{{\"proto\": \"rlc-serve/1\", \"type\": \"trace\", \"report\": {body}}}")
+        });
+        self.telemetry.finish(trace, "ok");
+        line
     }
 
     /// Records and answers a framing violation.
     pub fn bad_request(&self, error: &ProtocolError) -> String {
+        self.bad_request_with_read(error, None)
+    }
+
+    pub(crate) fn bad_request_with_read(
+        &self,
+        error: &ProtocolError,
+        read_ns: Option<u64>,
+    ) -> String {
+        let mut trace = self.telemetry.begin("bad_request", read_ns);
         self.bad_requests.fetch_add(1, Ordering::Relaxed);
         rlc_obs::counter!("serve.request.bad");
-        format!(
-            "{{\"proto\": \"rlc-serve/1\", \"type\": \"error\", \"kind\": \"bad_request\", \"message\": {}}}",
-            json::quote(&error.message)
-        )
+        let line = trace.time("render", || {
+            format!(
+                "{{\"proto\": \"rlc-serve/1\", \"type\": \"error\", \"kind\": \"bad_request\", \"message\": {}}}",
+                json::quote(&error.message)
+            )
+        });
+        self.telemetry.finish(trace, "bad_request");
+        line
     }
 
     /// Stops admission and blocks until every accepted job has delivered
@@ -305,12 +457,27 @@ fn serve_streams<R: BufRead, W: Write>(
     output: &mut W,
 ) -> io::Result<bool> {
     loop {
-        let (line, done) = match read_request(input)? {
+        // The read stage spans from "ready for a request" to "request
+        // framed", so it includes any wait for the peer to speak.
+        let read_start = Instant::now();
+        let outcome = read_request(input)?;
+        let read_ns = Some(u64::try_from(read_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        let (line, done) = match outcome {
             ReadOutcome::Eof => return Ok(false),
-            ReadOutcome::Malformed(error) => (core.bad_request(&error), Some(false)),
-            ReadOutcome::Request(Request::Probe) => (core.probe(), None),
-            ReadOutcome::Request(Request::Analyze(request)) => (core.analyze(request), None),
-            ReadOutcome::Request(Request::Lint(request)) => (core.lint(&request), None),
+            ReadOutcome::Malformed(error) => {
+                (core.bad_request_with_read(&error, read_ns), Some(false))
+            }
+            ReadOutcome::Request(Request::Probe) => (core.probe_with_read(read_ns), None),
+            ReadOutcome::Request(Request::Metrics) => (core.metrics_with_read(read_ns), None),
+            ReadOutcome::Request(Request::Trace { last }) => {
+                (core.trace_with_read(last, read_ns), None)
+            }
+            ReadOutcome::Request(Request::Analyze(request)) => {
+                (core.analyze_with_read(request, read_ns), None)
+            }
+            ReadOutcome::Request(Request::Lint(request)) => {
+                (core.lint_with_read(&request, read_ns), None)
+            }
             ReadOutcome::Request(Request::Shutdown) => {
                 core.drain();
                 (core.final_stats(), Some(true))
@@ -379,6 +546,13 @@ impl Server {
     /// The bound address (useful with an ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// A handle on the shared core, e.g. for the `--metrics-interval`
+    /// heartbeat thread to read [`ServeCore::metrics_report`] while the
+    /// accept loop runs.
+    pub fn core(&self) -> Arc<ServeCore> {
+        Arc::clone(&self.core)
     }
 
     /// Accepts connections until a peer sends `shutdown`, then stops

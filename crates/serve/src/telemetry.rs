@@ -1,0 +1,392 @@
+//! Always-on request telemetry: per-stage latency histograms, typed
+//! outcome counters, and the flight recorder behind the `metrics` and
+//! `trace` wire verbs.
+//!
+//! Every request handled by [`ServeCore`](crate::ServeCore) opens a
+//! [`RequestTrace`] carrying a stable request id, records its stage
+//! timings (`read` → `parse` → `lint` → `cache` → `admission` →
+//! `engine` → `render`), and closes with one of the typed [`OUTCOMES`].
+//! Recording costs one atomic `fetch_add` per stage plus one short
+//! mutex-guarded flight-recorder append after the response is already
+//! rendered.
+//!
+//! # Determinism
+//!
+//! The `rlc-trace/1` report rendered by [`ServeTelemetry::report`] is
+//! all-integer and must be byte-identical for a given request sequence at
+//! any worker count. Two rules make that possible (DESIGN.md §13):
+//!
+//! * every duration is quantized through the configured [`TimeSource`]
+//!   *before* it reaches a histogram — under [`TimeSource::Logical`] the
+//!   bucket counts depend only on how many times each stage ran;
+//! * raw wall nanoseconds survive only inside [`TraceRecord`]s (the
+//!   `trace` verb's flight recorder), which is explicitly excluded from
+//!   the determinism guarantee.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rlc_engine::{EngineTelemetrySnapshot, ServiceStats};
+use rlc_obs::{Counter, FlightRecorder, Histogram, TimeSource, TraceContext, TraceRecord};
+
+use crate::cache::CacheStats;
+
+/// Stage names, in report order. `read` is measured by the transport
+/// loop, `admission`/`engine` come from the engine's per-job timings, the
+/// rest are measured inside the request handlers.
+pub const STAGES: [&str; 7] = [
+    "read",
+    "parse",
+    "lint",
+    "cache",
+    "admission",
+    "engine",
+    "render",
+];
+
+/// Typed request outcome classes, in report order.
+pub const OUTCOMES: [&str; 8] = [
+    "ok",
+    "cache_hit",
+    "lint_denied",
+    "overloaded",
+    "shutting_down",
+    "deadline",
+    "error",
+    "bad_request",
+];
+
+fn stage_index(name: &str) -> Option<usize> {
+    STAGES.iter().position(|s| *s == name)
+}
+
+fn outcome_index(name: &str) -> Option<usize> {
+    OUTCOMES.iter().position(|o| *o == name)
+}
+
+/// Policy knobs for a [`ServeTelemetry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Reported-duration source. [`TimeSource::Wall`] in production;
+    /// [`TimeSource::Logical`] for byte-deterministic reports.
+    pub time: TimeSource,
+    /// Ring-buffer size of the flight recorder (last N requests).
+    pub recent_capacity: usize,
+    /// Slowest-since-startup retention of the flight recorder.
+    pub slowest_capacity: usize,
+    /// Escape hatch for the overhead bench: `false` skips all recording.
+    /// Telemetry is *always compiled in* and defaults to on — this knob
+    /// exists so `serve_throughput` can measure the instrumented path
+    /// against the uninstrumented one in the same process.
+    pub enabled: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            time: TimeSource::Wall,
+            recent_capacity: 64,
+            slowest_capacity: 8,
+            enabled: true,
+        }
+    }
+}
+
+/// One in-progress request's trace. A no-op shell when telemetry is
+/// disabled, so handler code never branches on the config.
+#[derive(Debug)]
+pub struct RequestTrace(Option<TraceContext>);
+
+impl RequestTrace {
+    /// Runs `f`, recording its duration under `stage` (always runs `f`).
+    pub fn time<R>(&mut self, stage: &'static str, f: impl FnOnce() -> R) -> R {
+        match &mut self.0 {
+            Some(ctx) => ctx.time(stage, f),
+            None => f(),
+        }
+    }
+
+    /// Records an externally measured stage duration (raw nanoseconds).
+    pub fn add_stage(&mut self, stage: &'static str, raw_ns: u64) {
+        if let Some(ctx) = &mut self.0 {
+            ctx.add_stage(stage, raw_ns);
+        }
+    }
+}
+
+/// The serving stack's cumulative telemetry: outcome counters, stage
+/// histograms, and the flight recorder.
+#[derive(Debug)]
+pub struct ServeTelemetry {
+    config: TelemetryConfig,
+    next_id: AtomicU64,
+    outcomes: [Counter; OUTCOMES.len()],
+    stages: [Histogram; STAGES.len()],
+    /// Open-to-finish request time (one sample per request; under
+    /// [`TimeSource::Logical`] a request reports one quantum total,
+    /// independent of its stage count).
+    total: Histogram,
+    recorder: FlightRecorder,
+}
+
+impl ServeTelemetry {
+    /// An empty telemetry sink under `config`.
+    pub fn new(config: TelemetryConfig) -> Self {
+        Self {
+            config,
+            next_id: AtomicU64::new(0),
+            outcomes: std::array::from_fn(|_| Counter::new()),
+            stages: std::array::from_fn(|_| Histogram::new()),
+            total: Histogram::new(),
+            recorder: FlightRecorder::new(config.recent_capacity, config.slowest_capacity),
+        }
+    }
+
+    /// Whether recording is active (see [`TelemetryConfig::enabled`]).
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Opens a trace for a request handling `verb`, assigning the next
+    /// request id in arrival order. `read_ns` is the transport's raw
+    /// read-stage measurement, when it made one.
+    pub fn begin(&self, verb: &'static str, read_ns: Option<u64>) -> RequestTrace {
+        if !self.config.enabled {
+            return RequestTrace(None);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut ctx = TraceContext::new(id, verb);
+        if let Some(raw) = read_ns {
+            ctx.add_stage("read", raw);
+        }
+        RequestTrace(Some(ctx))
+    }
+
+    /// Closes a trace with a typed outcome: quantizes its stage timings
+    /// into the histograms, bumps the outcome counter, and files the raw
+    /// record with the flight recorder.
+    pub fn finish(&self, trace: RequestTrace, outcome: &'static str) {
+        let Some(ctx) = trace.0 else { return };
+        let record = ctx.finish(outcome);
+        let time = self.config.time;
+        for (stage, raw_ns) in record.stages.iter() {
+            if let Some(i) = stage_index(stage) {
+                self.stages[i].record(time.measured_ns(*raw_ns));
+            }
+        }
+        self.total.record(time.measured_ns(record.total_ns));
+        if let Some(i) = outcome_index(outcome) {
+            self.outcomes[i].incr();
+        }
+        self.recorder.record(record);
+    }
+
+    /// Renders the deterministic `rlc-trace/1` cumulative report:
+    /// request/outcome counters, per-stage latency histograms (explicit
+    /// bucket bounds), and the engine/cache statistics. Integers only.
+    pub fn report(
+        &self,
+        requests: u64,
+        bad_requests: u64,
+        lint_denied: u64,
+        engine: &ServiceStats,
+        engine_telemetry: &EngineTelemetrySnapshot,
+        cache: &CacheStats,
+    ) -> String {
+        let mut out = format!(
+            "{{\"schema\": \"rlc-trace/1\", \"requests\": {requests}, \
+             \"bad_requests\": {bad_requests}, \"lint_denied\": {lint_denied}, \
+             \"outcomes\": {{"
+        );
+        for (i, name) in OUTCOMES.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}\"{name}\": {}", self.outcomes[i].get());
+        }
+        out.push_str("}, \"stages\": {");
+        for (i, name) in STAGES.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{sep}\"{name}\": {}",
+                self.stages[i].snapshot().to_json()
+            );
+        }
+        let _ = write!(out, "}}, \"total\": {}", self.total.snapshot().to_json());
+        let _ = write!(
+            out,
+            ", \"engine\": {{\"submitted\": {}, \"completed\": {}, \"failed\": {}, \
+             \"rejected_overload\": {}, \"rejected_shutdown\": {}, \
+             \"queue_wait\": {}, \"exec\": {}, \"depth\": {}}}",
+            engine.submitted,
+            engine.completed,
+            engine.failed,
+            engine.rejected_overload,
+            engine.rejected_shutdown,
+            engine_telemetry.queue_wait.to_json(),
+            engine_telemetry.exec.to_json(),
+            engine_telemetry.depth.to_json(),
+        );
+        let _ = write!(
+            out,
+            ", \"cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}, \"expired\": {}}}}}",
+            cache.entries, cache.hits, cache.misses, cache.evictions, cache.expired,
+        );
+        out
+    }
+
+    /// Renders the `trace` verb's report: the last `last` requests
+    /// (oldest first; `0` means all retained) plus the slowest since
+    /// startup. Carries **raw** nanoseconds — excluded from the
+    /// determinism guarantees.
+    pub fn trace_body(&self, last: usize) -> String {
+        let render = |records: Vec<TraceRecord>| {
+            let mut out = String::new();
+            for (i, record) in records.iter().enumerate() {
+                let sep = if i == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}{}", record.to_json());
+            }
+            out
+        };
+        format!(
+            "{{\"schema\": \"rlc-trace/1\", \"recent\": [{}], \"slowest\": [{}]}}",
+            render(self.recorder.recent(last)),
+            render(self.recorder.slowest()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_obs::json;
+
+    fn logical() -> ServeTelemetry {
+        ServeTelemetry::new(TelemetryConfig {
+            time: TimeSource::Logical { quantum_ns: 32 },
+            ..TelemetryConfig::default()
+        })
+    }
+
+    #[test]
+    fn stage_and_outcome_tables_are_consistent() {
+        for (i, name) in STAGES.iter().enumerate() {
+            assert_eq!(stage_index(name), Some(i));
+        }
+        for (i, name) in OUTCOMES.iter().enumerate() {
+            assert_eq!(outcome_index(name), Some(i));
+        }
+        assert_eq!(stage_index("warp"), None);
+        assert_eq!(outcome_index("warp"), None);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let telemetry = ServeTelemetry::new(TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::default()
+        });
+        let mut trace = telemetry.begin("analyze", Some(5));
+        assert_eq!(trace.time("parse", || 2 + 2), 4, "closure still runs");
+        telemetry.finish(trace, "ok");
+        let report = telemetry.report(
+            0,
+            0,
+            0,
+            &ServiceStats::default(),
+            &EngineTelemetrySnapshot {
+                queue_wait: Default::default(),
+                exec: Default::default(),
+                depth: Default::default(),
+            },
+            &CacheStats::default(),
+        );
+        let doc = json::parse(&report).expect("valid JSON");
+        let ok = doc
+            .get("outcomes")
+            .and_then(|o| o.get("ok"))
+            .and_then(json::Value::as_u64);
+        assert_eq!(ok, Some(0));
+    }
+
+    #[test]
+    fn report_counts_outcomes_and_quantizes_stages() {
+        let telemetry = logical();
+        let mut a = telemetry.begin("analyze", Some(1_000));
+        a.time("parse", || ());
+        a.add_stage("engine", 999_999);
+        telemetry.finish(a, "ok");
+        let b = telemetry.begin("analyze", None);
+        telemetry.finish(b, "overloaded");
+        let report = telemetry.report(
+            2,
+            0,
+            0,
+            &ServiceStats::default(),
+            &EngineTelemetrySnapshot {
+                queue_wait: Default::default(),
+                exec: Default::default(),
+                depth: Default::default(),
+            },
+            &CacheStats::default(),
+        );
+        let doc = json::parse(&report).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some("rlc-trace/1")
+        );
+        let outcome = |name: &str| {
+            doc.get("outcomes")
+                .and_then(|o| o.get(name))
+                .and_then(json::Value::as_u64)
+        };
+        assert_eq!(outcome("ok"), Some(1));
+        assert_eq!(outcome("overloaded"), Some(1));
+        assert_eq!(outcome("error"), Some(0));
+        // Logical time: every recorded stage lands on the 32 ns bucket
+        // bound regardless of the raw measurement.
+        let engine_p50 = doc
+            .get("stages")
+            .and_then(|s| s.get("engine"))
+            .and_then(|h| h.get("p50"))
+            .and_then(json::Value::as_u64);
+        assert_eq!(engine_p50, Some(32));
+        let total_count = doc
+            .get("total")
+            .and_then(|t| t.get("count"))
+            .and_then(json::Value::as_u64);
+        assert_eq!(total_count, Some(2));
+    }
+
+    #[test]
+    fn trace_body_carries_ids_and_raw_stages() {
+        let telemetry = logical();
+        let mut a = telemetry.begin("analyze", None);
+        a.add_stage("engine", 123_456);
+        telemetry.finish(a, "ok");
+        let b = telemetry.begin("probe", None);
+        telemetry.finish(b, "ok");
+        let doc = json::parse(&telemetry.trace_body(0)).expect("valid JSON");
+        let recent = doc.get("recent").and_then(json::Value::as_array).unwrap();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].get("id").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(recent[1].get("id").and_then(json::Value::as_u64), Some(2));
+        assert_eq!(
+            recent[1].get("verb").and_then(json::Value::as_str),
+            Some("probe")
+        );
+        // Raw nanoseconds survive in the flight recorder only.
+        let stages = recent[0]
+            .get("stages")
+            .and_then(json::Value::as_array)
+            .unwrap();
+        let engine = stages[0].as_array().unwrap();
+        assert_eq!(engine[0].as_str(), Some("engine"));
+        assert_eq!(engine[1].as_u64(), Some(123_456));
+        // last=1 trims to the most recent.
+        let doc = json::parse(&telemetry.trace_body(1)).expect("valid JSON");
+        let recent = doc.get("recent").and_then(json::Value::as_array).unwrap();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].get("id").and_then(json::Value::as_u64), Some(2));
+    }
+}

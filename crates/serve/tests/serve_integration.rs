@@ -67,6 +67,7 @@ fn direct_engine_response(name: &str, deck: &str, model: TimingModel) -> String 
             let service = EngineService::start(ServiceConfig {
                 workers: 1,
                 capacity: 2,
+                ..ServiceConfig::default()
             });
             let result = service
                 .submit_spec(JobSpec::deck(name, deck).model(model))
@@ -112,6 +113,7 @@ fn run_workload(workers: usize) -> (BTreeMap<usize, Vec<String>>, String) {
                 capacity: 0,
                 ttl: None,
             },
+            ..ServeConfig::default()
         },
     )
     .expect("bind ephemeral");
@@ -196,6 +198,7 @@ fn cache_hits_do_zero_engine_work_and_answer_under_the_callers_name() {
         workers: 2,
         queue_capacity: 8,
         cache: CacheConfig::default(),
+        ..ServeConfig::default()
     });
     let miss = core.analyze(AnalyzeRequest::new("first", LINE_DECK));
     assert!(miss.contains("\"cache\": \"miss\""), "{miss}");
@@ -233,6 +236,7 @@ fn model_selection_is_part_of_the_cache_key() {
         workers: 1,
         queue_capacity: 4,
         cache: CacheConfig::default(),
+        ..ServeConfig::default()
     });
     let mut eed = AnalyzeRequest::new("net", LINE_DECK);
     eed.model = TimingModel::Eed;
@@ -257,6 +261,7 @@ fn lint_gate_denies_underdamped_decks_but_warn_serves_them() {
         workers: 1,
         queue_capacity: 4,
         cache: CacheConfig::default(),
+        ..ServeConfig::default()
     });
 
     // LINE_DECK's sink is underdamped (ζ ≈ 0.265 < 0.5 → L201). The
@@ -326,6 +331,7 @@ fn admission_failures_are_typed_and_scoped() {
             capacity: 0,
             ttl: None,
         },
+        ..ServeConfig::default()
     }));
     // Pin the single worker, then overflow the single-slot queue.
     let pinned = {
@@ -417,4 +423,78 @@ fn stdio_session_flushes_the_final_report_on_eof() {
     assert!(lines[1].contains("\"type\": \"probe\""), "{text}");
     assert!(lines[2].contains("\"type\": \"stats\""), "{text}");
     assert!(lines[2].contains("\"requests\": 2"), "{text}");
+}
+
+/// Eviction and TTL-expiry counters flow from the cache through the
+/// `stats` report and the `metrics` verb. Three distinct circuits through
+/// a 2-entry cache force one LRU eviction; re-requesting the victim
+/// misses, re-inserts, and evicts again.
+#[test]
+fn eviction_counters_reach_stats_and_metrics() {
+    let core = ServeCore::new(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache: CacheConfig {
+            capacity: 2,
+            ttl: None,
+        },
+        ..ServeConfig::default()
+    });
+    let deck = |seed: u32| format!("R1 in n1 {seed}\nC1 n1 0 0.5p\n");
+    for seed in [10, 20, 30] {
+        assert!(
+            core.analyze(AnalyzeRequest::new("churn", deck(seed)))
+                .contains("\"cache\": \"miss\""),
+            "distinct circuits must miss"
+        );
+    }
+    let stats = core.cache_stats();
+    assert_eq!(stats.evictions, 1, "third insert evicts the LRU entry");
+    assert_eq!(stats.entries, 2);
+    // The evicted first circuit misses again, and its re-insert evicts
+    // the (now least recently used) second circuit.
+    assert!(core
+        .analyze(AnalyzeRequest::new("churn", deck(10)))
+        .contains("\"cache\": \"miss\""));
+    assert_eq!(core.cache_stats().evictions, 2);
+
+    let metrics = core.metrics();
+    assert!(metrics.contains("\"evictions\": 2"), "{metrics}");
+    assert!(metrics.contains("\"misses\": 4"), "{metrics}");
+    core.drain();
+    let report = core.final_stats();
+    assert!(report.contains("\"evictions\": 2"), "{report}");
+}
+
+/// A zero TTL lapses by the time of the next lookup: the repeat request
+/// misses, the stale entry is dropped eagerly, and the `expired` counter
+/// reaches both report surfaces.
+#[test]
+fn ttl_expiry_counters_reach_stats_and_metrics() {
+    let core = ServeCore::new(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache: CacheConfig {
+            capacity: 8,
+            ttl: Some(Duration::ZERO),
+        },
+        ..ServeConfig::default()
+    });
+    assert!(core
+        .analyze(AnalyzeRequest::new("ttl", LINE_DECK))
+        .contains("\"cache\": \"miss\""));
+    assert!(
+        core.analyze(AnalyzeRequest::new("ttl", LINE_DECK))
+            .contains("\"cache\": \"miss\""),
+        "a lapsed entry must not serve"
+    );
+    let stats = core.cache_stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.hits, 0);
+
+    let metrics = core.metrics();
+    assert!(metrics.contains("\"expired\": 1"), "{metrics}");
+    core.drain();
+    let report = core.final_stats();
+    assert!(report.contains("\"expired\": 1"), "{report}");
 }

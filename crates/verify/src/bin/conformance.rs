@@ -78,8 +78,11 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "conformance: seed {} | {} nets | up to {} sections",
-        spec.seed, spec.nets, spec.max_sections
+        "conformance: trace {} | seed {} | {} nets | up to {} sections",
+        spec.trace_id(),
+        spec.seed,
+        spec.nets,
+        spec.max_sections
     );
 
     // Lint screen: the generator must never emit a net the pipeline

@@ -171,6 +171,7 @@ impl ConformanceReport {
         use rlc_obs::json::{number, quote};
 
         let mut out = String::from("{\n  \"schema\": \"rlc-verify/1\",\n");
+        let _ = writeln!(out, "  \"trace_id\": {},", quote(&self.spec.trace_id()));
         let _ = write!(
             out,
             "  \"seed\": {}, \"nets\": {}, \"max_sections\": {},\n  \"measured\": {}, \"skipped\": [",
@@ -428,6 +429,16 @@ mod tests {
         assert_eq!(
             doc.get("schema").and_then(|v| v.as_str()),
             Some("rlc-verify/1")
+        );
+        // The trace id depends only on the spec: same corpus, same tag.
+        assert_eq!(
+            doc.get("trace_id").and_then(|v| v.as_str()),
+            Some(report.spec.trace_id().as_str())
+        );
+        assert_ne!(
+            report.spec.trace_id(),
+            CorpusSpec::with_seed(report.spec.seed + 1).trace_id(),
+            "different corpora get different trace ids"
         );
         assert_eq!(
             doc.get("models").and_then(|v| v.as_array()).map(<[_]>::len),

@@ -94,6 +94,26 @@ impl CorpusSpec {
             max_sections: 24,
         }
     }
+
+    /// The stable trace id tagging every run of this spec: the FNV-1a
+    /// hash (the workspace's content-addressing hash, cf.
+    /// `rlc_serve::fnv1a_64`) of the spec parameters. Two reports carry
+    /// the same trace id iff they came from the same corpus, so
+    /// conformance runs can be correlated across serve telemetry,
+    /// CI logs, and archived `rlc-verify/1` reports without ever
+    /// depending on wall clocks or hosts.
+    pub fn trace_id(&self) -> String {
+        let text = format!(
+            "rlc-verify/1:{}:{}:{}",
+            self.seed, self.nets, self.max_sections
+        );
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{hash:#018x}")
+    }
 }
 
 /// One generated net, with enough metadata to replay it exactly.
