@@ -47,6 +47,18 @@ impl BatchTelemetry {
     pub fn depth(&self) -> HistogramSnapshot {
         self.depth.snapshot()
     }
+
+    /// Records one pickup-depth observation (shared with the coupled-group
+    /// runner in `crate::couple`).
+    pub(crate) fn record_depth(&self, depth: u64) {
+        self.depth.record(depth);
+    }
+
+    /// Records one raw-nanosecond execution time, quantized by the sink's
+    /// [`TimeSource`].
+    pub(crate) fn record_exec(&self, raw_ns: u64) {
+        self.exec.record(self.time.measured_ns(raw_ns));
+    }
 }
 
 /// Which closed-form timing model a worker evaluates for a net.

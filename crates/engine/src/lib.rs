@@ -87,6 +87,7 @@
 //! ```
 
 mod batch;
+mod couple;
 mod error;
 mod incremental;
 mod service;
@@ -94,9 +95,10 @@ mod service;
 pub use batch::{
     net_json, Batch, BatchReport, BatchTelemetry, Engine, NetTiming, SinkSummary, TimingModel,
 };
+pub use couple::{group_json, CoupleBatch, CoupleReport};
 pub use error::EngineError;
 pub use incremental::{EditCheckpoint, IncrementalAnalysis};
 pub use service::{
-    EngineService, EngineTelemetrySnapshot, JobSpec, JobTicket, JobTiming, ServiceConfig,
-    ServiceStats,
+    CoupleSpec, CoupleTicket, EngineService, EngineTelemetrySnapshot, JobSpec, JobTicket,
+    JobTiming, ServiceConfig, ServiceStats,
 };

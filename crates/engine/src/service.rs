@@ -62,10 +62,13 @@ use std::sync::{Arc, Condvar, Mutex};
 #[cfg(not(loom))]
 use std::thread;
 
+use rlc_couple::GroupTiming;
 use rlc_obs::{Histogram, HistogramSnapshot, TimeSource};
+use rlc_tree::coupled::CoupledGroup;
 use rlc_tree::RlcTree;
 
 use crate::batch::{analyze_one, NetSource, NetTiming, TimingModel};
+use crate::couple::{analyze_one_couple, CoupleSource};
 use crate::EngineError;
 
 /// Sizing of an [`EngineService`].
@@ -196,6 +199,53 @@ impl JobSpec {
     }
 }
 
+/// What one submitted coupled-group job analyzes: the crosstalk analogue
+/// of [`JobSpec`]. Coupled jobs share the same worker pool, admission
+/// bound, and telemetry as single-net jobs — a group is simply a larger
+/// unit of work.
+#[derive(Debug, Clone)]
+pub struct CoupleSpec {
+    name: String,
+    source: CoupleSource,
+    deadline: Option<Instant>,
+    hold: Option<Duration>,
+}
+
+impl CoupleSpec {
+    /// A job that parses and analyzes a coupled deck
+    /// (see [`rlc_tree::coupled`]).
+    pub fn deck(name: impl Into<String>, deck: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            source: CoupleSource::Deck(deck.into()),
+            deadline: None,
+            hold: None,
+        }
+    }
+
+    /// A job over an already-parsed group (no parsing on the worker).
+    pub fn group(name: impl Into<String>, group: CoupledGroup) -> Self {
+        Self {
+            name: name.into(),
+            source: CoupleSource::Group(group),
+            deadline: None,
+            hold: None,
+        }
+    }
+
+    /// Sets an absolute deadline; see [`JobSpec::deadline`].
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Fault-injection hold; see [`JobSpec::hold`].
+    pub fn hold(mut self, hold: Duration) -> Self {
+        self.hold = Some(hold);
+        self
+    }
+}
+
 /// Monotonic counters describing a service's lifetime so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -219,11 +269,29 @@ struct QueueState {
 }
 
 struct Job {
-    spec: JobSpec,
+    name: String,
+    deadline: Option<Instant>,
+    hold: Option<Duration>,
     admitted: Instant,
     /// Outstanding jobs at admission, this one included.
     depth: u64,
-    tx: mpsc::Sender<(Result<NetTiming, EngineError>, JobTiming)>,
+    payload: Payload,
+}
+
+/// The job-kind-specific half of a [`Job`]: what to analyze and where the
+/// typed result goes. Each kind delivers through its own channel type, so
+/// tickets stay strongly typed while the queue, workers, and admission
+/// policy are shared.
+enum Payload {
+    Net {
+        source: NetSource,
+        model: TimingModel,
+        tx: mpsc::Sender<(Result<NetTiming, EngineError>, JobTiming)>,
+    },
+    Couple {
+        source: CoupleSource,
+        tx: mpsc::Sender<(Result<GroupTiming, EngineError>, JobTiming)>,
+    },
 }
 
 struct Shared {
@@ -347,6 +415,65 @@ impl EngineService {
     pub fn submit_spec(&self, spec: JobSpec) -> Result<JobTicket, EngineError> {
         let (tx, rx) = mpsc::channel();
         let name = spec.name.clone();
+        self.admit(Job {
+            name: spec.name,
+            deadline: spec.deadline,
+            hold: spec.hold,
+            admitted: Instant::now(),
+            depth: 0,
+            payload: Payload::Net {
+                source: spec.source,
+                model: spec.model,
+                tx,
+            },
+        })?;
+        Ok(JobTicket { name, rx })
+    }
+
+    /// Submits a coupled deck; shorthand for
+    /// [`submit_couple_spec`](Self::submit_couple_spec) with
+    /// [`CoupleSpec::deck`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Overloaded`] when the queue is at capacity,
+    /// [`EngineError::ShuttingDown`] once a drain has begun.
+    pub fn submit_couple(
+        &self,
+        name: impl Into<String>,
+        deck: impl Into<String>,
+    ) -> Result<CoupleTicket, EngineError> {
+        self.submit_couple_spec(CoupleSpec::deck(name, deck))
+    }
+
+    /// Submits a coupled-group job, applying the same admission policy as
+    /// [`submit_spec`](Self::submit_spec) — both kinds share the one
+    /// bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Overloaded`] when the queue is at capacity,
+    /// [`EngineError::ShuttingDown`] once a drain has begun.
+    pub fn submit_couple_spec(&self, spec: CoupleSpec) -> Result<CoupleTicket, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        let name = spec.name.clone();
+        self.admit(Job {
+            name: spec.name,
+            deadline: spec.deadline,
+            hold: spec.hold,
+            admitted: Instant::now(),
+            depth: 0,
+            payload: Payload::Couple {
+                source: spec.source,
+                tx,
+            },
+        })?;
+        Ok(CoupleTicket { name, rx })
+    }
+
+    /// The admission policy, shared by every job kind: reject when
+    /// draining or at capacity, otherwise queue and wake one worker.
+    fn admit(&self, mut job: Job) -> Result<(), EngineError> {
         {
             let mut state = self.shared.state.lock().expect("service lock");
             if !state.accepting {
@@ -354,7 +481,7 @@ impl EngineService {
                     .rejected_shutdown
                     .fetch_add(1, Ordering::Relaxed);
                 rlc_obs::counter!("engine.service.rejected.shutdown");
-                return Err(EngineError::ShuttingDown { net: name });
+                return Err(EngineError::ShuttingDown { net: job.name });
             }
             if state.jobs.len() + state.in_flight >= self.shared.capacity {
                 self.shared
@@ -362,24 +489,21 @@ impl EngineService {
                     .fetch_add(1, Ordering::Relaxed);
                 rlc_obs::counter!("engine.service.rejected.overload");
                 return Err(EngineError::Overloaded {
-                    net: name,
+                    net: job.name,
                     capacity: self.shared.capacity,
                 });
             }
             let depth = (state.jobs.len() + state.in_flight + 1) as u64;
             self.shared.telemetry.depth.record(depth);
-            state.jobs.push_back(Job {
-                spec,
-                admitted: Instant::now(),
-                depth,
-                tx,
-            });
+            job.depth = depth;
+            job.admitted = Instant::now();
+            state.jobs.push_back(job);
             rlc_obs::value!("engine.service.queue.depth", state.jobs.len() as f64);
         }
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         rlc_obs::counter!("engine.service.submitted");
         self.shared.job_ready.notify_one();
-        Ok(JobTicket { name, rx })
+        Ok(())
     }
 
     /// Stops admission without waiting: subsequent submissions are
@@ -472,6 +596,35 @@ impl JobTicket {
     }
 }
 
+/// Receipt for one accepted coupled-group job; the crosstalk analogue of
+/// [`JobTicket`].
+#[derive(Debug)]
+pub struct CoupleTicket {
+    name: String,
+    rx: mpsc::Receiver<(Result<GroupTiming, EngineError>, JobTiming)>,
+}
+
+impl CoupleTicket {
+    /// The submitted group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks until the worker delivers this group's result.
+    pub fn wait(self) -> Result<GroupTiming, EngineError> {
+        self.wait_timed().0
+    }
+
+    /// Blocks like [`wait`](Self::wait), additionally returning the job's
+    /// raw wall timings (zeroed if the service died before delivering).
+    pub fn wait_timed(self) -> (Result<GroupTiming, EngineError>, JobTiming) {
+        self.rx.recv().unwrap_or((
+            Err(EngineError::ShuttingDown { net: self.name }),
+            JobTiming::default(),
+        ))
+    }
+}
+
 fn saturating_ns(duration: Duration) -> u64 {
     u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
 }
@@ -495,14 +648,33 @@ fn worker_loop(shared: &Shared) {
         let _span = rlc_obs::span!("engine.service/job");
         let picked = Instant::now();
         let queue_ns = saturating_ns(picked.duration_since(job.admitted));
-        if let Some(hold) = job.spec.hold {
+        if let Some(hold) = job.hold {
             thread::sleep(hold);
         }
-        let result = match job.spec.deadline {
-            Some(deadline) if Instant::now() > deadline => Err(EngineError::DeadlineExceeded {
-                net: job.spec.name.clone(),
-            }),
-            _ => analyze_one(&job.spec.name, &job.spec.source, job.spec.model),
+        let expired = matches!(job.deadline, Some(deadline) if Instant::now() > deadline);
+        // Each job kind computes its own typed result; everything around it
+        // (timing, counters, atomic delivery) is kind-agnostic.
+        let outcome = match job.payload {
+            Payload::Net { source, model, tx } => {
+                let result = if expired {
+                    Err(EngineError::DeadlineExceeded {
+                        net: job.name.clone(),
+                    })
+                } else {
+                    analyze_one(&job.name, &source, model)
+                };
+                Outcome::Net(result, tx)
+            }
+            Payload::Couple { source, tx } => {
+                let result = if expired {
+                    Err(EngineError::DeadlineExceeded {
+                        net: job.name.clone(),
+                    })
+                } else {
+                    analyze_one_couple(&job.name, &source)
+                };
+                Outcome::Couple(result, tx)
+            }
         };
         let exec_ns = saturating_ns(picked.elapsed());
         let time = shared.telemetry.time;
@@ -518,7 +690,7 @@ fn worker_loop(shared: &Shared) {
         };
         shared.completed.fetch_add(1, Ordering::Relaxed);
         rlc_obs::counter!("engine.service.completed");
-        if result.is_err() {
+        if outcome.is_err() {
             shared.failed.fetch_add(1, Ordering::Relaxed);
             rlc_obs::counter!("engine.service.failed");
         }
@@ -529,9 +701,43 @@ fn worker_loop(shared: &Shared) {
         // a submitter unblocked by this result can never be rejected on a
         // stale in-flight count. The submitter may also have given up on
         // the ticket; a closed channel still counts as delivery.
-        let _ = job.tx.send((result, timing));
+        outcome.deliver(timing);
         if state.jobs.is_empty() && state.in_flight == 0 {
             shared.idle.notify_all();
+        }
+    }
+}
+
+/// A computed result paired with its typed delivery channel, so the
+/// kind-agnostic tail of the worker loop can count failures and deliver
+/// without caring which job kind ran.
+enum Outcome {
+    Net(
+        Result<NetTiming, EngineError>,
+        mpsc::Sender<(Result<NetTiming, EngineError>, JobTiming)>,
+    ),
+    Couple(
+        Result<GroupTiming, EngineError>,
+        mpsc::Sender<(Result<GroupTiming, EngineError>, JobTiming)>,
+    ),
+}
+
+impl Outcome {
+    fn is_err(&self) -> bool {
+        match self {
+            Outcome::Net(result, _) => result.is_err(),
+            Outcome::Couple(result, _) => result.is_err(),
+        }
+    }
+
+    fn deliver(self, timing: JobTiming) {
+        match self {
+            Outcome::Net(result, tx) => {
+                let _ = tx.send((result, timing));
+            }
+            Outcome::Couple(result, tx) => {
+                let _ = tx.send((result, timing));
+            }
         }
     }
 }
@@ -656,6 +862,60 @@ mod tests {
             3
         );
         drop(service);
+    }
+
+    #[test]
+    fn couple_jobs_share_the_pool_with_net_jobs() {
+        let service = EngineService::start(ServiceConfig {
+            workers: 2,
+            capacity: 8,
+            ..ServiceConfig::default()
+        });
+        let net = service.submit("line", DECK).expect("admitted");
+        let couple = service
+            .submit_couple(
+                "bus",
+                ".net v\nR1 in n1 25\nC1 n1 0 0.5p\n.net a\nR1 in m1 25\nC1 m1 0 0.5p\nK1 v.n1 a.m1 0.1p\n",
+            )
+            .expect("admitted");
+        assert_eq!(couple.name(), "bus");
+        assert!(net.wait().is_ok());
+        let timing = couple.wait().expect("analyzes fine");
+        assert_eq!(timing.name, "bus");
+        assert_eq!(timing.victims.len(), 2);
+        assert_eq!(timing.couplings, 1);
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn couple_failures_and_deadlines_are_typed() {
+        let service = EngineService::start(ServiceConfig {
+            workers: 1,
+            capacity: 4,
+            ..ServiceConfig::default()
+        });
+        let bad = service
+            .submit_couple("bad", ".net v\nR1 in n1 oops\n")
+            .expect("admitted");
+        assert!(matches!(
+            bad.wait().unwrap_err(),
+            EngineError::Netlist { .. }
+        ));
+        let stale = service
+            .submit_couple_spec(
+                CoupleSpec::deck("stale", ".net v\nR1 in n1 25\nC1 n1 0 0.5p\n")
+                    .deadline(Instant::now() - Duration::from_millis(1)),
+            )
+            .expect("admitted");
+        assert!(matches!(
+            stale.wait().unwrap_err(),
+            EngineError::DeadlineExceeded { .. }
+        ));
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 2);
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub struct LintConfig {
     pub inductance_henries: (f64, f64),
     /// Plausible capacitance magnitudes in F. Default `1e-18 ..= 1e-9`.
     pub capacitance_farads: (f64, f64),
+    /// Warn (`L405`) when a net of a coupled deck has more distinct
+    /// aggressors than this. The decoupled Miller analysis compounds its
+    /// per-aggressor pessimism, so wide fan-in windows deserve scrutiny.
+    /// Default `8`.
+    pub max_aggressors: usize,
 }
 
 impl Default for LintConfig {
@@ -58,6 +63,7 @@ impl Default for LintConfig {
             resistance_ohms: (1e-3, 1e5),
             inductance_henries: (1e-15, 1e-6),
             capacitance_farads: (1e-18, 1e-9),
+            max_aggressors: 8,
         }
     }
 }
@@ -121,11 +127,30 @@ pub fn lint_tree_with(tree: &RlcTree, config: &LintConfig) -> LintReport {
     LintReport::new(diagnostics)
 }
 
+/// True when the deck uses the coupled-group grammar: any non-comment
+/// line opening with a `.net` card. Mirrors what `CoupledGroup::parse`
+/// would treat as a block declaration, so file-level routing agrees with
+/// the parser the report predicts.
+pub(crate) fn deck_is_coupled(deck: &str) -> bool {
+    deck.lines().any(|line| {
+        let line = line.trim();
+        !line.starts_with('*')
+            && line
+                .split_whitespace()
+                .next()
+                .is_some_and(|card| card.eq_ignore_ascii_case(".net"))
+    })
+}
+
 /// Reads and lints a deck file. An unreadable file yields a report with a
 /// single [`Rule::UnreadableDeck`] error instead of an `io::Error`, so
 /// batch callers can fold I/O problems into the same report stream.
+/// Decks using the coupled-group grammar (`.net` blocks, see
+/// [`crate::lint_coupled_deck`]) are routed to the coupled analyzer, so
+/// directory sweeps may mix single-net and coupled decks freely.
 pub fn lint_path(path: &std::path::Path, config: &LintConfig) -> LintReport {
     match std::fs::read_to_string(path) {
+        Ok(deck) if deck_is_coupled(&deck) => crate::coupled::lint_coupled_deck_with(&deck, config),
         Ok(deck) => lint_deck_with(&deck, config),
         Err(err) => LintReport::new(vec![Diagnostic::deck(
             Rule::UnreadableDeck,
@@ -392,7 +417,7 @@ fn check_value<T: std::str::FromStr<Err = rlc_units::ParseQuantityError>>(
 
 /// The spellings of a non-finite float literal that `f64`'s grammar would
 /// accept but the quantity grammar rejects at the syntax stage.
-fn is_nan_spelling(raw: &str) -> bool {
+pub(crate) fn is_nan_spelling(raw: &str) -> bool {
     let head = raw.trim().trim_start_matches(['-', '+']);
     let head = head.get(..3).unwrap_or(head);
     head.eq_ignore_ascii_case("nan") || head.eq_ignore_ascii_case("inf")

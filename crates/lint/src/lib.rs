@@ -3,7 +3,7 @@
 //! `rlc-lint` inspects a deck *without* simulating it and produces a
 //! [`LintReport`]: a deterministic list of [`Diagnostic`]s with stable rule
 //! codes (`L001`…), fixed severities, and source spans pointing at the
-//! offending deck line. The rules come in three tiers (see [`Tier`]):
+//! offending deck line. The rules come in four tiers (see [`Tier`]):
 //!
 //! * **structural** — the element graph must be a tree rooted at the input
 //!   (cycles, unreachable elements, misplaced capacitors, missing loads);
@@ -12,13 +12,19 @@
 //! * **model-regime** — per-sink damping factors `ζ = T_RC/(2√T_LC)`
 //!   (paper eq. 29) computed in O(n) via [`rlc_moments::tree_sums`], used
 //!   to flag decks the two-pole model grades poorly on (ζ < 0.5) and
-//!   deep-RC decks where a first-order model would do (`L202`).
+//!   deep-RC decks where a first-order model would do (`L202`);
+//! * **coupling** — coupled-deck defects (`L4xx`): `K` cards naming
+//!   unknown nets or nodes, self-coupling, non-positive coupling caps,
+//!   duplicate `.net` names, and implausibly wide aggressor fan-in (see
+//!   [`lint_coupled_deck`]).
 //!
 //! The contract downstream gates rely on: **a deck lints error-free iff
-//! `Netlist::parse` accepts it**. Warnings and infos never block parsing;
-//! errors always predict a parse failure. `rlc-serve` uses this to reject
-//! work before it costs an admission slot, `rlc-engine` offers it as a
-//! batch pre-check, and `rlc-verify` screens its generated corpus with it.
+//! `Netlist::parse` accepts it** (for coupled decks: iff
+//! `CoupledGroup::parse` accepts it). Warnings and infos never block
+//! parsing; errors always predict a parse failure. `rlc-serve` uses this
+//! to reject work before it costs an admission slot, `rlc-engine` offers
+//! it as a batch pre-check, and `rlc-verify` screens its generated corpus
+//! with it.
 //!
 //! Reports render two ways: human `file:line: L00x severity: message`
 //! lines, and the byte-stable `rlc-lint/1` JSON document (sorted decks,
@@ -41,9 +47,11 @@
 //! ```
 
 mod analyze;
+mod coupled;
 mod report;
 mod rules;
 
 pub use analyze::{lint_deck, lint_deck_with, lint_path, lint_tree, lint_tree_with, LintConfig};
+pub use coupled::{lint_coupled_deck, lint_coupled_deck_with, lint_coupled_group};
 pub use report::{render_document, Diagnostic, LintReport};
 pub use rules::{Rule, Severity, Tier};

@@ -47,12 +47,16 @@ pub enum Tier {
     ModelRegime,
     /// Problems reading the deck before any analysis (CLI file mode).
     Io,
+    /// Coupled-deck constructs: `.net` blocks and `K` coupling capacitors
+    /// (see `rlc_tree::coupled`).
+    Coupling,
 }
 
 /// Every rule the analyzer can fire, with its stable code.
 ///
 /// The `L0xx` block is structural, `L1xx` physical, `L2xx` model-regime,
-/// `L3xx` I/O. See [`Rule::code`], [`Rule::severity`], [`Rule::tier`].
+/// `L3xx` I/O, `L4xx` coupling. See [`Rule::code`], [`Rule::severity`],
+/// [`Rule::tier`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Rule {
@@ -102,6 +106,23 @@ pub enum Rule {
     DeepRcNet,
     /// The deck file could not be read.
     UnreadableDeck,
+    /// A `K` card references a net no `.net` block declares.
+    UnknownCouplingNet,
+    /// A `K` card joins a net to itself; coupling is between *different*
+    /// nets (intra-net capacitance belongs on a `C` card).
+    SelfCoupling,
+    /// A coupling capacitor value is zero, negative, or non-finite.
+    NonPositiveCouplingCap,
+    /// A `K` card references a node that is not a section node of its net
+    /// (unknown name, or the pinned input node).
+    DanglingCouplingNode,
+    /// A net is coupled to more distinct aggressors than the configured
+    /// limit; the decoupled Miller analysis compounds pessimism per
+    /// aggressor, so wide fan-in estimates deserve scrutiny.
+    TooManyAggressors,
+    /// Two `.net` blocks share a name, so coupling references are
+    /// ambiguous.
+    DuplicateNet,
 }
 
 impl Rule {
@@ -125,9 +146,15 @@ impl Rule {
         Rule::UnderdampedSink,
         Rule::DeepRcNet,
         Rule::UnreadableDeck,
+        Rule::UnknownCouplingNet,
+        Rule::SelfCoupling,
+        Rule::NonPositiveCouplingCap,
+        Rule::DanglingCouplingNode,
+        Rule::TooManyAggressors,
+        Rule::DuplicateNet,
     ];
 
-    /// The stable wire code, `L001`..`L301`.
+    /// The stable wire code, `L001`..`L406`.
     pub fn code(self) -> &'static str {
         match self {
             Rule::EmptyDeck => "L001",
@@ -148,6 +175,12 @@ impl Rule {
             Rule::UnderdampedSink => "L201",
             Rule::DeepRcNet => "L202",
             Rule::UnreadableDeck => "L301",
+            Rule::UnknownCouplingNet => "L401",
+            Rule::SelfCoupling => "L402",
+            Rule::NonPositiveCouplingCap => "L403",
+            Rule::DanglingCouplingNode => "L404",
+            Rule::TooManyAggressors => "L405",
+            Rule::DuplicateNet => "L406",
         }
     }
 
@@ -163,14 +196,20 @@ impl Rule {
             | Rule::OrphanCapacitor
             | Rule::MalformedCard
             | Rule::BadValue
-            | Rule::UnreadableDeck => Severity::Error,
+            | Rule::UnreadableDeck
+            | Rule::UnknownCouplingNet
+            | Rule::SelfCoupling
+            | Rule::NonPositiveCouplingCap
+            | Rule::DanglingCouplingNode
+            | Rule::DuplicateNet => Severity::Error,
             Rule::DuplicateLabel
             | Rule::LoadFreeLeaf
             | Rule::DuplicateInput
             | Rule::DegenerateSink
             | Rule::ZeroLoadNet
             | Rule::ImplausibleValue
-            | Rule::UnderdampedSink => Severity::Warning,
+            | Rule::UnderdampedSink
+            | Rule::TooManyAggressors => Severity::Warning,
             Rule::DeepRcNet => Severity::Info,
         }
     }
@@ -195,6 +234,12 @@ impl Rule {
             | Rule::ImplausibleValue => Tier::Physical,
             Rule::UnderdampedSink | Rule::DeepRcNet => Tier::ModelRegime,
             Rule::UnreadableDeck => Tier::Io,
+            Rule::UnknownCouplingNet
+            | Rule::SelfCoupling
+            | Rule::NonPositiveCouplingCap
+            | Rule::DanglingCouplingNode
+            | Rule::TooManyAggressors
+            | Rule::DuplicateNet => Tier::Coupling,
         }
     }
 
@@ -219,6 +264,12 @@ impl Rule {
             Rule::UnderdampedSink => "sink damping factor below the model-fidelity floor",
             Rule::DeepRcNet => "deep-RC net; first-order Elmore/Wyatt model suffices",
             Rule::UnreadableDeck => "deck file cannot be read",
+            Rule::UnknownCouplingNet => "coupling references an undeclared net",
+            Rule::SelfCoupling => "coupling joins a net to itself",
+            Rule::NonPositiveCouplingCap => "coupling capacitor value not finite and positive",
+            Rule::DanglingCouplingNode => "coupling references a node outside its net's tree",
+            Rule::TooManyAggressors => "net coupled to more aggressors than the configured limit",
+            Rule::DuplicateNet => "two .net blocks share a name",
         }
     }
 }
@@ -252,6 +303,7 @@ mod tests {
                 Tier::Physical => "1",
                 Tier::ModelRegime => "2",
                 Tier::Io => "3",
+                Tier::Coupling => "4",
             };
             assert_eq!(
                 block,

@@ -7,7 +7,8 @@
 //! pre-check relies on it to predict per-net failures.
 
 use proptest::prelude::*;
-use rlc_lint::lint_deck;
+use rlc_lint::{lint_coupled_deck, lint_deck};
+use rlc_tree::coupled::CoupledGroup;
 use rlc_tree::netlist::Netlist;
 
 /// A generator of decks spanning the interesting space: mostly valid
@@ -53,6 +54,61 @@ fn decks() -> impl Strategy<Value = String> {
         })
 }
 
+/// A generator of *coupled* decks: 1–3 `.net` blocks built from the same
+/// per-net section chains as [`decks`], with `K` cards and mutations that
+/// hit every coupled-scanner path (`.net` grammar, reference resolution,
+/// coupling values, per-net chunk faults).
+fn coupled_decks() -> impl Strategy<Value = String> {
+    let section = (0u32..4, 1u32..100, 1u32..100);
+    let net = proptest::collection::vec(section, 1..6);
+    (
+        proptest::collection::vec(net, 1..4),
+        0u32..16, // mutation selector
+    )
+        .prop_map(|(nets, mutation)| {
+            let mut deck = String::new();
+            for (n, sections) in nets.iter().enumerate() {
+                deck.push_str(&format!(".net net{n}\n"));
+                for (i, (kind, series, cap)) in sections.iter().enumerate() {
+                    let parent = if i == 0 {
+                        "in".to_owned()
+                    } else {
+                        format!("m{}", i - 1)
+                    };
+                    let me = format!("m{i}");
+                    if kind % 2 == 0 {
+                        deck.push_str(&format!("R{i} {parent} {me} {series}\n"));
+                    } else {
+                        deck.push_str(&format!("L{i} {parent} {me} {series}n\n"));
+                    }
+                    deck.push_str(&format!("C{i} {me} 0 {cap}f\n"));
+                }
+            }
+            if nets.len() > 1 {
+                deck.push_str("K1 net0.m0 net1.m0 0.05p\n");
+            }
+            match mutation {
+                0 => deck.push_str("K9 net0.m0 ghost.m0 0.1p\n"),
+                1 => deck.push_str("K9 net0.m0 net0.m0 0.1p\n"),
+                2 => deck.push_str("K9 net0.m0 net0.zz 0.1p\n"),
+                3 => deck.push_str("K9 net0.m0 0.1p\n"),
+                4 => deck.push_str("K9 net0.m0 nodot 0.1p\n"),
+                5 => deck.push_str("K9 net0.m0 net0.m0 0\n"),
+                6 => deck.push_str("K9 net0.m0 net0.m0 NaN\n"),
+                7 => deck.push_str("K9 net0.m0 net0.m0 1e999\n"),
+                8 => deck.push_str("K9 net0.m0 net0.m0 oops\n"),
+                9 => deck.push_str(".net\n"),
+                10 => deck.push_str(".net two words\n"),
+                11 => deck.push_str(".net dotted.name\n"),
+                12 => deck.push_str(".net net0\nR1 in n1 10\nC1 n1 0 1p\n"),
+                13 => deck.push_str("Rbad m0\n"),
+                14 => deck = format!("Rearly in n1 10\n{deck}"),
+                _ => {} // leave the deck valid
+            }
+            deck
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -67,5 +123,22 @@ proptest! {
     #[test]
     fn reports_are_deterministic(deck in decks()) {
         prop_assert_eq!(lint_deck(&deck), lint_deck(&deck));
+    }
+
+    #[test]
+    fn coupled_lints_error_free_iff_the_parser_accepts(deck in coupled_decks()) {
+        let report = lint_coupled_deck(&deck);
+        let parsed = CoupledGroup::parse(&deck);
+        let agree = report.is_clean() == parsed.is_ok();
+        prop_assert!(
+            agree,
+            "coupled lint/parse disagree on {deck:?}: {report:?} vs {:?}",
+            parsed.err()
+        );
+    }
+
+    #[test]
+    fn coupled_reports_are_deterministic(deck in coupled_decks()) {
+        prop_assert_eq!(lint_coupled_deck(&deck), lint_coupled_deck(&deck));
     }
 }

@@ -26,8 +26,8 @@ use std::time::{Duration, Instant};
 
 use rlc_obs::TimeSource;
 use rlc_serve::{
-    serve_stdio, AnalyzeRequest, CacheConfig, LintMode, LintRequest, ProtocolError, ServeConfig,
-    ServeCore, Server, TelemetryConfig,
+    serve_stdio, AnalyzeRequest, CacheConfig, CoupleRequest, LintMode, LintRequest, ProtocolError,
+    ServeConfig, ServeCore, Server, TelemetryConfig,
 };
 
 const USAGE: &str = "usage: serve [--listen ADDR] [--stdio] [--smoke]
@@ -172,6 +172,22 @@ const WARM_DECK: &str = "R1 in n1 25\nC1 n1 0 0.5p\nL2 n1 n2 5n\nC2 n2 0 1p\n";
 const WARM_DECK_RESPELLED: &str =
     "* same circuit, different spelling\n.input  s\nRa s  x 2.5e1\nCa x 0 0.5p\nLb x y 5.0n\nCb y 0 1p\n.end\n";
 
+/// One coupled group, two exact spellings (same rules as the warm deck).
+const COUPLED_DECK: &str = "\
+.net victim
+R1 in n1 100
+L1 n1 n2 1n
+C1 n2 0 1p
+.net agg
+R1 in m1 40
+C1 m1 0 0.3p
+K1 victim.n2 agg.m1 0.1p
+";
+const COUPLED_DECK_RESPELLED: &str = "* same group, respelled\n\
+.net victim\nRa in  x 1e2\nLb x y 1n\nCc y 0 1000f\n\
+.net agg\nRz in q 4.0e1\nCq q 0 0.30p\n\
+K9 victim.y agg.q 1e-13\n";
+
 fn expect(condition: bool, message: impl FnOnce() -> String) -> Result<(), String> {
     if condition {
         Ok(())
@@ -208,7 +224,7 @@ fn smoke() -> Result<(), String> {
         reference.len()
     );
     println!(
-        "smoke ok: warm-cache analyze did zero engine jobs; lint, overload, deadline and drain rejections all typed"
+        "smoke ok: warm-cache analyze and couple did zero engine jobs; lint, overload, deadline and drain rejections all typed"
     );
     println!(
         "smoke ok: rlc-trace/1 metrics counted every outcome class and stayed byte-deterministic"
@@ -299,6 +315,33 @@ fn smoke_one(workers: usize) -> Result<String, String> {
     expect(
         r4.contains("\"type\": \"result\"") && r4.contains("\"status\": \"error\""),
         || fail("malformed deck should report a typed result error", &r4),
+    )?;
+
+    // 3b. Coupled groups ride the same pool and cache: a crosstalk miss
+    //     whose verdict is the rlc-couple/1 report, a respelled group
+    //     answered from the cache with zero engine work, and a typed
+    //     per-group error for a group that does not parse.
+    let c1 = core.couple(CoupleRequest::new("bus", COUPLED_DECK));
+    expect(
+        c1.contains("\"cache\": \"miss\"")
+            && c1.contains("\"schema\": \"rlc-couple/1\"")
+            && c1.contains("\"status\": \"ok\"")
+            && c1.contains("\"noise_peak\""),
+        || fail("first couple should miss with a crosstalk report", &c1),
+    )?;
+    let jobs_before = core.engine_stats().submitted;
+    let c2 = core.couple(CoupleRequest::new("bus2", COUPLED_DECK_RESPELLED));
+    expect(
+        c2.contains("\"cache\": \"hit\"") && c2.contains("\"name\": \"bus2\""),
+        || fail("respelled group should hit under the caller's name", &c2),
+    )?;
+    expect(core.engine_stats().submitted == jobs_before, || {
+        format!("workers={workers}: warm-cache couple must not reach the engine")
+    })?;
+    let c3 = core.couple(CoupleRequest::new("cbroken", ".net a\nR1 in n1 oops\n"));
+    expect(
+        c3.contains("\"schema\": \"rlc-couple/1\"") && c3.contains("\"status\": \"error\""),
+        || fail("malformed group should report a typed couple error", &c3),
     )?;
 
     // 4. Overload: pin the service with SMOKE_CAPACITY held jobs, then
@@ -399,11 +442,15 @@ fn smoke_one(workers: usize) -> Result<String, String> {
     })?;
     for (outcome, count) in [
         ("\"ok\": 7", "warm miss, lint verb, four sleepers, probe"),
-        ("\"cache_hit\": 2", "the repeat and the respelled alias"),
+        ("\"couple\": 1", "the coupled-group miss"),
+        (
+            "\"cache_hit\": 3",
+            "the repeat, the respelled alias, the respelled group",
+        ),
         ("\"lint_denied\": 1", "the deny-gated deck"),
         ("\"overloaded\": 1", "the overflow submission"),
         ("\"deadline\": 1", "the stale request"),
-        ("\"error\": 1", "the malformed deck"),
+        ("\"error\": 2", "the malformed deck and the malformed group"),
         ("\"shutting_down\": 1", "the post-drain submission"),
         ("\"bad_request\": 1", "the framing probe"),
     ] {
@@ -419,7 +466,7 @@ fn smoke_one(workers: usize) -> Result<String, String> {
         || fail("trace should report recent and slowest requests", &trace),
     )?;
 
-    transcript.extend([r1, r2, r3, r_denied, r_lint, r4, r5]);
+    transcript.extend([r1, r2, r3, r_denied, r_lint, r4, c1, c2, c3, r5]);
     transcript.extend(sleeper_lines);
     transcript.extend([r6, probe, late, bad, metrics, stats]);
 

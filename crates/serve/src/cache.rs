@@ -65,18 +65,23 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-struct Entry {
+struct Entry<T> {
     /// Full key (`model id` + canonical deck) — the collision guard.
     key: String,
-    timing: NetTiming,
+    timing: T,
     inserted: Instant,
     last_used: Instant,
 }
 
-/// An LRU + TTL cache from canonical circuit to [`NetTiming`].
-pub struct ResultCache {
+/// An LRU + TTL cache from canonical circuit to a timing verdict.
+///
+/// Generic over the cached value so the same policy machinery serves both
+/// single-net results ([`NetTiming`], the default) and coupled-group
+/// results (`rlc_couple::GroupTiming`); the value type never influences
+/// the key, so the two uses must live in *separate* cache instances.
+pub struct ResultCache<T = NetTiming> {
     config: CacheConfig,
-    entries: HashMap<u64, Entry>,
+    entries: HashMap<u64, Entry<T>>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -84,6 +89,15 @@ pub struct ResultCache {
 }
 
 impl ResultCache {
+    /// Builds the full cache key for a circuit under a model. Lives on the
+    /// default instantiation so call sites need no turbofish; the key
+    /// layout is shared by every value type.
+    pub fn key(model_id: &str, canonical_deck: &str) -> String {
+        format!("{model_id}\n{canonical_deck}")
+    }
+}
+
+impl<T: Clone> ResultCache<T> {
     /// An empty cache under `config`.
     pub fn new(config: CacheConfig) -> Self {
         Self {
@@ -94,11 +108,6 @@ impl ResultCache {
             evictions: 0,
             expired: 0,
         }
-    }
-
-    /// Builds the full cache key for a circuit under a model.
-    pub fn key(model_id: &str, canonical_deck: &str) -> String {
-        format!("{model_id}\n{canonical_deck}")
     }
 
     /// Point-in-time counters.
@@ -123,7 +132,7 @@ impl ResultCache {
     }
 
     /// Looks `key` up at time `now`, refreshing its LRU position on a hit.
-    pub fn get(&mut self, key: &str, now: Instant) -> Option<NetTiming> {
+    pub fn get(&mut self, key: &str, now: Instant) -> Option<T> {
         if self.config.capacity == 0 {
             self.misses += 1;
             rlc_obs::counter!("serve.cache.miss");
@@ -174,7 +183,7 @@ impl ResultCache {
 
     /// Inserts (or refreshes) `key` at time `now`, evicting the least
     /// recently used entry if the cache is full.
-    pub fn insert(&mut self, key: String, timing: NetTiming, now: Instant) {
+    pub fn insert(&mut self, key: String, timing: T, now: Instant) {
         if self.config.capacity == 0 {
             return;
         }

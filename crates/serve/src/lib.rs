@@ -67,6 +67,8 @@ mod server;
 pub mod telemetry;
 
 pub use cache::{fnv1a_64, CacheConfig, CacheStats, ResultCache};
-pub use protocol::{AnalyzeRequest, LintMode, LintRequest, ProtocolError, ReadOutcome, Request};
+pub use protocol::{
+    AnalyzeRequest, CoupleRequest, LintMode, LintRequest, ProtocolError, ReadOutcome, Request,
+};
 pub use server::{serve_stdio, ServeConfig, ServeCore, Server};
 pub use telemetry::{ServeTelemetry, TelemetryConfig};

@@ -6,9 +6,9 @@
 //! ```text
 //! request  = header LF [ deck ]
 //! header   = verb *( SP field )
-//! verb     = "analyze" | "lint" | "probe" | "metrics" | "trace" | "shutdown"
+//! verb     = "analyze" | "couple" | "lint" | "probe" | "metrics" | "trace" | "shutdown"
 //! field    = key "=" value               ; no spaces inside a field
-//! deck     = *( line LF ) "." LF        ; analyze and lint; "." ends the deck
+//! deck     = *( line LF ) "." LF        ; analyze, couple, lint; "." ends the deck
 //! ```
 //!
 //! Blank lines between requests are ignored. `analyze` accepts the fields
@@ -18,7 +18,11 @@
 //! hold, see [`JobSpec::hold`](rlc_engine::JobSpec::hold)); the deck body
 //! is the netlist format of [`rlc_tree::netlist`]. A lone `.` terminates
 //! the deck — netlist directives like `.input` are longer than one
-//! character, so the sentinel never collides with deck content. `lint`
+//! character, so the sentinel never collides with deck content. `couple`
+//! accepts `name=<label>`, `lint=off|warn|deny`, `deadline_ms=<u64>` and
+//! `sleep_ms=<u64>` with the same meanings; its deck body is the *coupled*
+//! format of [`rlc_tree::coupled`] (`.net` blocks joined by `K` cards) and
+//! its result is the group's `rlc-couple/1` crosstalk report. `lint`
 //! accepts only `name=<label>` and returns the full `rlc-lint` report for
 //! the deck without admitting any engine work. `metrics` takes no fields
 //! and returns the cumulative `rlc-trace/1` telemetry report; `trace`
@@ -133,6 +137,38 @@ impl AnalyzeRequest {
     }
 }
 
+/// One `couple` request: a coupled deck (`.net` blocks + `K` cards, see
+/// [`rlc_tree::coupled`]) plus its policy knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoupleRequest {
+    /// Group label echoed in the response (`name=`; default `"group"`).
+    pub name: String,
+    /// Lint gating (`lint=`; default [`LintMode::Warn`]), run through the
+    /// coupled-deck linter (`rlc_lint::lint_coupled_deck`).
+    pub lint: LintMode,
+    /// Relative deadline in milliseconds (`deadline_ms=`), as for
+    /// [`AnalyzeRequest::deadline_ms`].
+    pub deadline_ms: Option<u64>,
+    /// Fault-injection hold in milliseconds (`sleep_ms=`), as for
+    /// [`AnalyzeRequest::sleep_ms`].
+    pub sleep_ms: Option<u64>,
+    /// The coupled deck body (without the terminating `.` line).
+    pub deck: String,
+}
+
+impl CoupleRequest {
+    /// A couple request for `deck` with every knob at its default.
+    pub fn new(name: impl Into<String>, deck: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            lint: LintMode::default(),
+            deadline_ms: None,
+            sleep_ms: None,
+            deck: deck.into(),
+        }
+    }
+}
+
 /// One `lint` request: report the deck's static-analysis findings without
 /// admitting any engine work.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +184,8 @@ pub struct LintRequest {
 pub enum Request {
     /// Analyze one netlist deck.
     Analyze(AnalyzeRequest),
+    /// Analyze one coupled group of nets for crosstalk.
+    Couple(CoupleRequest),
     /// Lint one netlist deck without analyzing it.
     Lint(LintRequest),
     /// Report live service counters.
@@ -290,6 +328,41 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<ReadOutcome> {
                 Err(outcome) => Ok(outcome),
             }
         }
+        "couple" => {
+            let mut request = CoupleRequest::new("group", "");
+            for field in parts {
+                let Some((key, value)) = field.split_once('=') else {
+                    return malformed(format!("field {field:?} is not key=value"));
+                };
+                match key {
+                    "name" => request.name = value.to_owned(),
+                    "lint" => match LintMode::from_id(value) {
+                        Some(mode) => request.lint = mode,
+                        None => {
+                            return malformed(format!(
+                                "unknown lint mode {value:?} (expected off, warn or deny)"
+                            ))
+                        }
+                    },
+                    "deadline_ms" => match value.parse() {
+                        Ok(ms) => request.deadline_ms = Some(ms),
+                        Err(_) => return malformed(format!("deadline_ms {value:?} is not a u64")),
+                    },
+                    "sleep_ms" => match value.parse() {
+                        Ok(ms) => request.sleep_ms = Some(ms),
+                        Err(_) => return malformed(format!("sleep_ms {value:?} is not a u64")),
+                    },
+                    other => return malformed(format!("unknown field {other:?}")),
+                }
+            }
+            match read_deck(reader)? {
+                Ok(deck) => {
+                    request.deck = deck;
+                    Ok(ReadOutcome::Request(Request::Couple(request)))
+                }
+                Err(outcome) => Ok(outcome),
+            }
+        }
         "lint" => {
             let mut request = LintRequest {
                 name: "net".to_owned(),
@@ -348,6 +421,30 @@ mod tests {
         };
         assert_eq!(req.name, "net");
         assert_eq!(req.model, TimingModel::Eed);
+        assert_eq!(req.lint, LintMode::Warn);
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn couple_with_fields_and_deck() {
+        let outcome = read(
+            "couple name=bus lint=deny deadline_ms=250 sleep_ms=5\n.net a\nR1 in n1 25\nC1 n1 0 0.5p\n.net b\nR1 in m1 40\nC1 m1 0 0.3p\nK1 a.n1 b.m1 0.1p\n.\n",
+        );
+        let ReadOutcome::Request(Request::Couple(req)) = outcome else {
+            panic!("expected couple, got {outcome:?}");
+        };
+        assert_eq!(req.name, "bus");
+        assert_eq!(req.lint, LintMode::Deny);
+        assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(req.sleep_ms, Some(5));
+        assert!(req.deck.contains("K1 a.n1 b.m1 0.1p"));
+        assert!(!req.deck.contains("\n.\n"), "sentinel is consumed");
+
+        let outcome = read("couple\n.net a\nR1 in n1 25\n.\n");
+        let ReadOutcome::Request(Request::Couple(req)) = outcome else {
+            panic!("expected couple, got {outcome:?}");
+        };
+        assert_eq!(req.name, "group");
         assert_eq!(req.lint, LintMode::Warn);
         assert_eq!(req.deadline_ms, None);
     }
@@ -415,6 +512,12 @@ mod tests {
             ("analyze deadline_ms=-3\n.\n", "not a u64"),
             ("analyze color=red\n.\n", "unknown field"),
             ("analyze\nR1 in n1 25\n", "unterminated deck"),
+            ("couple name\n.\n", "not key=value"),
+            ("couple model=eed\n.\n", "unknown field"),
+            ("couple lint=strict\n.\n", "unknown lint mode"),
+            ("couple deadline_ms=soon\n.\n", "not a u64"),
+            ("couple sleep_ms=-1\n.\n", "not a u64"),
+            ("couple\n.net a\nR1 in n1 25\n", "unterminated deck"),
             ("lint model=eed\n.\n", "unknown field"),
             ("lint\nR1 in n1 25\n", "unterminated deck"),
         ] {

@@ -30,17 +30,20 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use rlc_couple::GroupTiming;
 use rlc_engine::{
-    net_json, EngineError, EngineService, EngineTelemetrySnapshot, JobSpec, ServiceConfig,
-    ServiceStats,
+    group_json, net_json, CoupleSpec, EngineError, EngineService, EngineTelemetrySnapshot, JobSpec,
+    NetTiming, ServiceConfig, ServiceStats,
 };
 use rlc_lint::LintReport;
 use rlc_obs::json;
+use rlc_tree::coupled::CoupledGroup;
 use rlc_tree::netlist::Netlist;
 
 use crate::cache::{CacheConfig, CacheStats, ResultCache};
 use crate::protocol::{
-    read_request, AnalyzeRequest, LintMode, LintRequest, ProtocolError, ReadOutcome, Request,
+    read_request, AnalyzeRequest, CoupleRequest, LintMode, LintRequest, ProtocolError, ReadOutcome,
+    Request,
 };
 use crate::telemetry::{ServeTelemetry, TelemetryConfig};
 
@@ -79,7 +82,12 @@ impl ServeConfig {
 /// request counters + telemetry.
 pub struct ServeCore {
     service: EngineService,
-    cache: Mutex<ResultCache>,
+    cache: Mutex<ResultCache<NetTiming>>,
+    /// Coupled-group results live in their own cache instance: the value
+    /// types differ and a `"couple"` model id already separates the key
+    /// spaces, but splitting the instances also keeps group results from
+    /// competing with single-net results for LRU residency.
+    couple_cache: Mutex<ResultCache<GroupTiming>>,
     requests: AtomicU64,
     bad_requests: AtomicU64,
     lint_denied: AtomicU64,
@@ -92,6 +100,7 @@ impl ServeCore {
         Self {
             service: EngineService::start(config.service_config()),
             cache: Mutex::new(ResultCache::new(config.cache)),
+            couple_cache: Mutex::new(ResultCache::new(config.cache)),
             requests: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             lint_denied: AtomicU64::new(0),
@@ -109,9 +118,18 @@ impl ServeCore {
         self.service.telemetry()
     }
 
-    /// Live cache counters.
+    /// Live cache counters, summed over the single-net and coupled-group
+    /// caches (one cache subsystem as far as reports are concerned).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock").stats()
+        let net = self.cache.lock().expect("cache lock").stats();
+        let couple = self.couple_cache.lock().expect("couple cache lock").stats();
+        CacheStats {
+            hits: net.hits + couple.hits,
+            misses: net.misses + couple.misses,
+            evictions: net.evictions + couple.evictions,
+            expired: net.expired + couple.expired,
+            entries: net.entries + couple.entries,
+        }
     }
 
     /// Handles one analyze request, returning the response line.
@@ -233,6 +251,123 @@ impl ServeCore {
                 };
                 let line = trace.time("render", || {
                     result_response("miss", &net_json(&result), annotation)
+                });
+                self.telemetry.finish(trace, outcome);
+                line
+            }
+        }
+    }
+
+    /// Handles one coupled-group request, returning the response line.
+    ///
+    /// The pipeline mirrors [`analyze`](Self::analyze) stage for stage,
+    /// swapping in the coupled substrate: the deck is linted with
+    /// [`rlc_lint::lint_coupled_deck`], parsed as a
+    /// [`CoupledGroup`], content-addressed by its *canonical coupled deck*
+    /// under the `"couple"` model id, and analyzed on the shared engine
+    /// pool via [`CoupleSpec`]. The `"group"` member of the response is
+    /// exactly [`rlc_engine::group_json`] of the engine's verdict — the
+    /// single-line `rlc-couple/1` report, byte-identical for any worker
+    /// count.
+    pub fn couple(&self, request: CoupleRequest) -> String {
+        self.couple_with_read(request, None)
+    }
+
+    pub(crate) fn couple_with_read(&self, request: CoupleRequest, read_ns: Option<u64>) -> String {
+        let _span = rlc_obs::span!("serve/couple");
+        let mut trace = self.telemetry.begin("couple", read_ns);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        rlc_obs::counter!("serve.request");
+        let report = trace.time("lint", || match request.lint {
+            LintMode::Off => None,
+            LintMode::Warn | LintMode::Deny => Some(rlc_lint::lint_coupled_deck(&request.deck)),
+        });
+        match (request.lint, &report) {
+            (LintMode::Deny, Some(report)) if !report.passes(true) => {
+                self.lint_denied.fetch_add(1, Ordering::Relaxed);
+                rlc_obs::counter!("serve.lint.denied");
+                let line = trace.time("render", || lint_denied_response(&request.name, report));
+                self.telemetry.finish(trace, "lint_denied");
+                return line;
+            }
+            _ => {}
+        }
+        let annotation = report
+            .filter(|r| !r.is_spotless())
+            .map(|r| r.annotation_json());
+        let annotation = annotation.as_deref();
+        let parsed = trace.time("parse", || {
+            CoupledGroup::parse(&request.deck).map(|group| {
+                let key = ResultCache::key("couple", &group.canonical_deck());
+                (group, key)
+            })
+        });
+        let (group, key) = match parsed {
+            Ok(parsed) => parsed,
+            Err(source) => {
+                let error = EngineError::Netlist {
+                    net: request.name,
+                    source,
+                };
+                let line = trace.time("render", || {
+                    couple_response("miss", &group_json(&Err(error)), annotation)
+                });
+                self.telemetry.finish(trace, "error");
+                return line;
+            }
+        };
+        let cached = trace.time("cache", || {
+            self.couple_cache
+                .lock()
+                .expect("couple cache lock")
+                .get(&key, Instant::now())
+        });
+        if let Some(mut timing) = cached {
+            // Content-addressed: the cached group answers under the
+            // requester's label.
+            timing.name = request.name;
+            let line = trace.time("render", || {
+                couple_response("hit", &group_json(&Ok(timing)), annotation)
+            });
+            self.telemetry.finish(trace, "cache_hit");
+            return line;
+        }
+        let mut spec = CoupleSpec::group(&request.name, group);
+        if let Some(ms) = request.deadline_ms {
+            spec = spec.deadline(Instant::now() + Duration::from_millis(ms));
+        }
+        if let Some(ms) = request.sleep_ms {
+            spec = spec.hold(Duration::from_millis(ms));
+        }
+        match self.service.submit_couple_spec(spec) {
+            Err(rejection) => {
+                let outcome = match &rejection {
+                    EngineError::Overloaded { .. } => "overloaded",
+                    _ => "shutting_down",
+                };
+                let line = trace.time("render", || admission_response(&rejection));
+                self.telemetry.finish(trace, outcome);
+                line
+            }
+            Ok(ticket) => {
+                let (result, timing) = ticket.wait_timed();
+                trace.add_stage("admission", timing.queue_ns);
+                trace.add_stage("engine", timing.exec_ns);
+                if let Ok(timing) = &result {
+                    self.couple_cache.lock().expect("couple cache lock").insert(
+                        key,
+                        timing.clone(),
+                        Instant::now(),
+                    );
+                }
+                let outcome = match &result {
+                    Ok(_) => "couple",
+                    Err(EngineError::DeadlineExceeded { .. }) => "deadline",
+                    Err(EngineError::ShuttingDown { .. }) => "shutting_down",
+                    Err(_) => "error",
+                };
+                let line = trace.time("render", || {
+                    couple_response("miss", &group_json(&result), annotation)
                 });
                 self.telemetry.finish(trace, outcome);
                 line
@@ -400,6 +535,19 @@ impl ServeCore {
     }
 }
 
+/// A `couple` result line: like [`result_response`] but the verdict is the
+/// group's `rlc-couple/1` object under `"group"`.
+fn couple_response(cache: &str, group: &str, lint: Option<&str>) -> String {
+    match lint {
+        Some(annotation) => format!(
+            "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"{cache}\", \"group\": {group}, \"lint\": {annotation}}}"
+        ),
+        None => format!(
+            "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"{cache}\", \"group\": {group}}}"
+        ),
+    }
+}
+
 fn result_response(cache: &str, net: &str, lint: Option<&str>) -> String {
     match lint {
         Some(annotation) => format!(
@@ -474,6 +622,9 @@ fn serve_streams<R: BufRead, W: Write>(
             }
             ReadOutcome::Request(Request::Analyze(request)) => {
                 (core.analyze_with_read(request, read_ns), None)
+            }
+            ReadOutcome::Request(Request::Couple(request)) => {
+                (core.couple_with_read(request, read_ns), None)
             }
             ReadOutcome::Request(Request::Lint(request)) => {
                 (core.lint_with_read(&request, read_ns), None)

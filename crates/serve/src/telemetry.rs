@@ -44,9 +44,13 @@ pub const STAGES: [&str; 7] = [
     "render",
 ];
 
-/// Typed request outcome classes, in report order.
-pub const OUTCOMES: [&str; 8] = [
+/// Typed request outcome classes, in report order. `ok` counts successful
+/// single-net analyses; `couple` counts successful coupled-group analyses
+/// that ran on the engine (a couple answered from the cache counts as
+/// `cache_hit`, like any other hit).
+pub const OUTCOMES: [&str; 9] = [
     "ok",
+    "couple",
     "cache_hit",
     "lint_denied",
     "overloaded",

@@ -16,7 +16,8 @@ use std::time::Duration;
 
 use rlc_engine::{net_json, Batch, Engine, EngineService, JobSpec, ServiceConfig, TimingModel};
 use rlc_serve::{
-    serve_stdio, AnalyzeRequest, CacheConfig, LintMode, LintRequest, ServeConfig, ServeCore, Server,
+    serve_stdio, AnalyzeRequest, CacheConfig, CoupleRequest, LintMode, LintRequest, ServeConfig,
+    ServeCore, Server,
 };
 
 const LINE_DECK: &str = "R1 in n1 25\nC1 n1 0 0.5p\nL2 n1 n2 5n\nC2 n2 0 1p\n";
@@ -497,4 +498,148 @@ fn ttl_expiry_counters_reach_stats_and_metrics() {
     core.drain();
     let report = core.final_stats();
     assert!(report.contains("\"expired\": 1"), "{report}");
+}
+
+/// A two-net coupled group: an overdamped victim line capacitively coupled
+/// to a short RC aggressor.
+const COUPLED_DECK: &str = "\
+.net victim
+R1 in n1 100
+L1 n1 n2 1n
+C1 n2 0 1p
+.net agg
+R1 in m1 40
+C1 m1 0 0.3p
+K1 victim.n2 agg.m1 0.1p
+";
+
+/// The `couple` verb's full transcript — crosstalk result, per-group
+/// parse error, coupling-reference error, final stats — is byte-identical
+/// at every worker count, exactly like `analyze`.
+#[test]
+fn couple_transcripts_are_byte_identical_across_worker_counts() {
+    let input = format!(
+        "couple name=bus\n{COUPLED_DECK}.\n\
+         couple name=bad\n.net a\nR1 in n1 oops\n.\n\
+         couple name=ghostly\n.net a\nR1 in n1 10\nC1 n1 0 1p\nK1 a.n1 ghost.n1 0.1p\n.\n\
+         shutdown\n"
+    );
+    let mut transcripts = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut output = Vec::new();
+        serve_stdio(
+            ServeConfig {
+                workers,
+                queue_capacity: 32,
+                cache: CacheConfig {
+                    capacity: 0,
+                    ttl: None,
+                },
+                ..ServeConfig::default()
+            },
+            &mut input.as_bytes(),
+            &mut output,
+        )
+        .expect("stdio session");
+        transcripts.push(String::from_utf8(output).expect("utf8 output"));
+    }
+    let first = &transcripts[0];
+    let lines: Vec<&str> = first.lines().collect();
+    assert_eq!(lines.len(), 4, "{first}");
+    assert!(lines[0].contains("\"type\": \"result\""), "{first}");
+    assert!(
+        lines[0].contains("\"group\": {\"schema\": \"rlc-couple/1\""),
+        "{first}"
+    );
+    assert!(lines[0].contains("\"name\": \"bus\""), "{first}");
+    assert!(lines[0].contains("\"victims\": ["), "{first}");
+    assert!(lines[0].contains("\"noise_peak\""), "{first}");
+    assert!(lines[1].contains("\"schema\": \"rlc-couple/1\""), "{first}");
+    assert!(lines[1].contains("\"status\": \"error\""), "{first}");
+    assert!(lines[1].contains("\"name\": \"bad\""), "{first}");
+    assert!(lines[2].contains("\"status\": \"error\""), "{first}");
+    assert!(
+        lines[2].contains("unknown net"),
+        "a dangling coupling reference is a typed per-group error: {first}"
+    );
+    assert!(lines[3].contains("\"type\": \"stats\""), "{first}");
+    assert!(
+        lines[3].contains("\"submitted\": 1"),
+        "only the well-formed group reaches the engine: {first}"
+    );
+    for (i, transcript) in transcripts.iter().enumerate().skip(1) {
+        assert_eq!(
+            transcript,
+            first,
+            "transcript differs between 1 worker and {} workers",
+            [1, 2, 4, 8][i]
+        );
+    }
+}
+
+/// Coupled-group results are content-addressed by the canonical coupled
+/// deck: a respelled group (different node names, whitespace, value and
+/// coupling-label spellings) hits the cache, does zero engine work, and
+/// answers under the caller's name. The `couple` outcome class and the
+/// summed cache counters reach the metrics report.
+#[test]
+fn couple_cache_hits_share_one_engine_run_across_respellings() {
+    let core = ServeCore::new(ServeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache: CacheConfig::default(),
+        ..ServeConfig::default()
+    });
+    let mut first = CoupleRequest::new("first", COUPLED_DECK);
+    first.lint = LintMode::Off;
+    let miss = core.couple(first);
+    assert!(miss.contains("\"cache\": \"miss\""), "{miss}");
+    assert!(miss.contains("\"schema\": \"rlc-couple/1\""), "{miss}");
+    assert!(miss.contains("\"status\": \"ok\""), "{miss}");
+    let jobs_after_miss = core.engine_stats().submitted;
+
+    // The same group, respelled: renamed nodes, scientific-notation
+    // values, a different coupling label, extra whitespace and comments.
+    let respelled = "* same group, respelled\n\
+        .net victim\nRa in  x 1e2\nLb x y 1n\nCc y 0 1000f\n\
+        .net agg\nRz in q 4.0e1\nCq q 0 0.30p\n\
+        K9 victim.y agg.q 1e-13\n";
+    let mut second = CoupleRequest::new("second", respelled);
+    second.lint = LintMode::Off;
+    let hit = core.couple(second);
+    assert!(hit.contains("\"cache\": \"hit\""), "{hit}");
+    assert!(hit.contains("\"name\": \"second\""), "{hit}");
+    assert_eq!(
+        core.engine_stats().submitted,
+        jobs_after_miss,
+        "hit did engine work"
+    );
+
+    // Beyond the group label and the cache tag, the crosstalk bytes are
+    // identical.
+    let normalize = |line: &str, name: &str, tag: &str| {
+        line.replace(&format!("\"name\": \"{name}\""), "\"name\": \"group\"")
+            .replace(&format!("\"cache\": \"{tag}\""), "\"cache\": \"x\"")
+    };
+    assert_eq!(
+        normalize(&miss, "first", "miss"),
+        normalize(&hit, "second", "hit")
+    );
+
+    let stats = core.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    let metrics = core.metrics();
+    assert!(metrics.contains("\"couple\": 1"), "{metrics}");
+    assert!(metrics.contains("\"cache_hit\": 1"), "{metrics}");
+
+    // Coupled decks honour the lint gate like any other: the coupled
+    // linter's verdict (here L401, unknown coupling net) denies.
+    let mut gated = CoupleRequest::new(
+        "gated",
+        ".net a\nR1 in n1 10\nC1 n1 0 1p\nK1 a.n1 ghost.n1 0.1p\n",
+    );
+    gated.lint = LintMode::Deny;
+    let denied = core.couple(gated);
+    assert!(denied.contains("\"kind\": \"lint_denied\""), "{denied}");
+    assert!(denied.contains("\"code\": \"L401\""), "{denied}");
 }

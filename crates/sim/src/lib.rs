@@ -43,11 +43,13 @@
 //! assert!(delay > Time::ZERO);
 //! ```
 
+pub mod coupled;
 pub mod mna;
 mod source;
 mod tree_sim;
 mod waveform;
 
+pub use coupled::simulate_coupled;
 pub use source::Source;
 pub use tree_sim::{simulate, simulate_all, Integration, SimOptions};
 pub use waveform::{MetricError, Waveform};

@@ -103,11 +103,11 @@ impl SimOptions {
 /// Effective series resistance substituted for exactly-zero-impedance
 /// sections, which would otherwise produce an infinite companion
 /// conductance. Far below any physical wire resistance.
-const ZERO_IMPEDANCE_OHMS: f64 = 1e-9;
+pub(crate) const ZERO_IMPEDANCE_OHMS: f64 = 1e-9;
 
 /// Conductance used to pin capacitor-bearing nodes to their initial
 /// voltage during consistent initialization.
-const PIN_CONDUCTANCE: f64 = 1e12;
+pub(crate) const PIN_CONDUCTANCE: f64 = 1e12;
 
 /// Circuit state at `t = 0⁺`, consistent with the input having just jumped
 /// to `u0` while every capacitor still holds 0 V and every inductor still

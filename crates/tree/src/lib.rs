@@ -46,6 +46,7 @@
 //! ```
 
 mod builder;
+pub mod coupled;
 mod error;
 pub mod netlist;
 mod section;

@@ -2,10 +2,12 @@
 //!
 //! Generates a seeded corpus, screens it through the `rlc-lint` static
 //! analyzer, measures every net with the exact-simulation oracle,
-//! evaluates all delay models, runs the fault-injection plan, and writes
-//! the `rlc-verify/1` JSON report. Exits non-zero when the corpus fails
-//! the lint screen, a gated model exceeds its tolerance, or a fault
-//! contract is violated.
+//! evaluates all delay models, runs the coupled-group conformance
+//! (`rlc-couple` vs the exact coupled simulator), runs the
+//! fault-injection plan, and writes the `rlc-verify/1` JSON report. Exits
+//! non-zero when the corpus fails the lint screen, a gated model or
+//! coupled scenario exceeds its tolerance, or a fault contract is
+//! violated.
 //!
 //! ```text
 //! cargo run --release -p rlc-verify --bin conformance -- --seed 42
@@ -15,12 +17,16 @@
 
 use std::process::ExitCode;
 
-use rlc_verify::{screen_corpus, Conformance, CorpusSpec, FaultPlan, ModelKind, TreeCorpus};
+use rlc_verify::{
+    screen_corpus, Conformance, CorpusSpec, CoupledConformance, CoupledScenario, CoupledSpec,
+    FaultPlan, ModelKind, TreeCorpus,
+};
 
 struct Args {
     seed: u64,
     nets: usize,
     max_sections: usize,
+    groups: usize,
     out: Option<String>,
 }
 
@@ -29,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         nets: 201,
         max_sections: 24,
+        groups: 102,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -50,10 +57,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-sections: {e}"))?;
             }
+            "--groups" => {
+                args.groups = value("--groups")?
+                    .parse()
+                    .map_err(|e| format!("--groups: {e}"))?;
+            }
             "--out" => args.out = Some(value("--out")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: conformance [--seed N] [--nets N] [--max-sections N] [--out FILE]"
+                    "usage: conformance [--seed N] [--nets N] [--max-sections N] [--groups N] [--out FILE]"
                         .to_owned(),
                 )
             }
@@ -99,7 +111,7 @@ fn main() -> ExitCode {
         eprintln!("  VIOLATION: {violation}");
     }
 
-    let report = Conformance::default().run(&spec);
+    let mut report = Conformance::default().run(&spec);
     eprintln!(
         "oracle measured {} nets ({} skipped)",
         report.outcomes.len(),
@@ -128,6 +140,37 @@ fn main() -> ExitCode {
     for violation in &report.violations {
         eprintln!("  VIOLATION: {violation}");
     }
+
+    // Coupled-group conformance: rlc-couple's Miller/Devgan estimates
+    // against the exact coupled simulator.
+    let coupled_spec = CoupledSpec {
+        seed: args.seed,
+        groups: args.groups,
+        ..CoupledSpec::with_seed(args.seed)
+    };
+    let coupled = CoupledConformance::default().run(&coupled_spec);
+    eprintln!(
+        "coupled oracle measured {} groups ({} skipped)",
+        coupled.outcomes.len(),
+        coupled.skipped.len()
+    );
+    for s in &coupled.stats {
+        eprintln!(
+            "  {:<20} n={:<4} mean {:>6.2}%  p95 {:>6.2}%  max {:>6.2}%  tol {:>5.1}% [{}]  worst {}",
+            s.scenario.name(),
+            s.count,
+            s.mean_abs * 100.0,
+            s.p95_abs * 100.0,
+            s.max_abs * 100.0,
+            s.scenario.tolerance() * 100.0,
+            if s.pass { "pass" } else { "FAIL" },
+            s.worst_group,
+        );
+    }
+    for violation in &coupled.violations {
+        eprintln!("  VIOLATION: {violation}");
+    }
+    report.coupled = Some(coupled);
 
     eprintln!("fault injection: standard plan, workers 1/2/4/8");
     let faults = FaultPlan::standard(spec.seed).execute();
@@ -164,6 +207,16 @@ fn main() -> ExitCode {
         eed.worst_net,
         eed.worst_seed,
     );
+    if let Some(coupled) = &report.coupled {
+        let worst = coupled.stats_for(CoupledScenario::WorstDelay);
+        eprintln!(
+            "coupled worst-case delay: {:.2}% on {} (victim {}, group seed {:#018x})",
+            worst.max_abs * 100.0,
+            worst.worst_group,
+            worst.worst_victim,
+            worst.worst_seed,
+        );
+    }
 
     if screen.passed() && report.passed() && faults.passed() {
         eprintln!("conformance: PASS");

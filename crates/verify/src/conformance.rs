@@ -147,13 +147,19 @@ pub struct ConformanceReport {
     pub stats: Vec<ErrorStats>,
     /// Hard contract violations (e.g. incremental ≠ fitted).
     pub violations: Vec<String>,
+    /// Coupled-group conformance, when the run included one (see
+    /// [`crate::CoupledConformance`]); renders as the `"coupled"` key of
+    /// the report and participates in [`ConformanceReport::passed`].
+    pub coupled: Option<crate::CoupledReport>,
 }
 
 impl ConformanceReport {
-    /// `true` when every gated model is within tolerance and no hard
-    /// contract was violated.
+    /// `true` when every gated model is within tolerance, no hard
+    /// contract was violated, and any attached coupled run passed too.
     pub fn passed(&self) -> bool {
-        self.violations.is_empty() && self.stats.iter().all(|s| s.pass)
+        self.violations.is_empty()
+            && self.stats.iter().all(|s| s.pass)
+            && self.coupled.as_ref().is_none_or(|c| c.passed())
     }
 
     /// Statistics for one model.
@@ -228,7 +234,12 @@ impl ConformanceReport {
                 .map_or_else(|| "null".to_owned(), number);
             let _ = write!(out, "], \"tolerance\": {tolerance}, \"pass\": {}}}", s.pass);
         }
-        out.push_str("\n  ],\n  \"violations\": [");
+        out.push_str("\n  ],\n  \"coupled\": ");
+        match &self.coupled {
+            Some(coupled) => coupled.render_json(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n  \"violations\": [");
         for (i, v) in self.violations.iter().enumerate() {
             let sep = if i == 0 { "" } else { ", " };
             let _ = write!(out, "{sep}{}", quote(v));
@@ -293,6 +304,7 @@ impl Conformance {
             skipped,
             stats,
             violations,
+            coupled: None,
         }
     }
 }

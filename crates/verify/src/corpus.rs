@@ -269,17 +269,18 @@ pub fn build_net(seed: u64, regime: Regime, max_sections: usize) -> CorpusNet {
 
 /// Minimal SplitMix64 PRNG (Steele, Lea & Flood 2014) — the same generator
 /// `rlc_tree::topology::random_tree` uses, kept self-contained so corpus
-/// generation has no hidden coupling to tree internals.
-struct SplitMix64 {
+/// generation has no hidden coupling to tree internals. Shared with the
+/// coupled-group generator in [`crate::coupled`].
+pub(crate) struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Self { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -288,7 +289,7 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, 1)`.
-    fn next_f64(&mut self) -> f64 {
+    pub(crate) fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 }

@@ -18,6 +18,12 @@
 //!   machine-readable `rlc-verify/1` JSON report: per-model error
 //!   statistics, an error histogram, and the worst-case net with its
 //!   replayable seed.
+//! * [`CoupledConformance`] — the coupled-net analogue of [`Conformance`]:
+//!   a seeded corpus of aggressor/victim groups ([`CoupledCorpus`]) whose
+//!   closed-form `rlc-couple` Miller/Devgan estimates are differenced
+//!   against the exact coupled simulator (`rlc_sim::simulate_coupled`)
+//!   under nominal/worst/best switching scenarios plus a quiet-victim
+//!   noise scenario, gated at the paper's 25% envelope.
 //! * [`FaultPlan`] — injects malformed decks (NaN/∞/negative values,
 //!   truncated and empty decks), missing files, empty trees, and worker
 //!   panics into the batch [`rlc_engine::Engine`], asserting that every
@@ -38,12 +44,17 @@
 
 mod conformance;
 mod corpus;
+mod coupled;
 mod fault;
 mod oracle;
 mod screen;
 
 pub use conformance::{Conformance, ConformanceReport, ErrorStats, ModelKind, NetOutcome};
 pub use corpus::{build_net, CorpusNet, CorpusSpec, Regime, Shape, TreeCorpus};
+pub use coupled::{
+    build_group, CorpusGroup, CoupledConformance, CoupledCorpus, CoupledMeasurement, CoupledOracle,
+    CoupledOutcome, CoupledReport, CoupledScenario, CoupledSpec, CoupledStats,
+};
 pub use fault::{Fault, FaultCheck, FaultPlan, FaultReport};
 pub use oracle::{Oracle, OracleError, OracleMeasurement};
 pub use screen::{screen_corpus, ScreenReport, ScreenedNet};

@@ -1,0 +1,28 @@
+* two parallel 1 mm bus bits flanking a victim; neighbours couple at the far end
+.net bit0
+.input in
+R1 in n1 60
+L1 n1 n2 1n
+C1 n2 0 0.6p
+R2 n2 n3 60
+L2 n3 n4 1n
+C2 n4 0 0.6p
+.net victim
+.input in
+R1 in n1 55
+L1 n1 n2 1n
+C1 n2 0 0.6p
+R2 n2 n3 55
+L2 n3 n4 1n
+C2 n4 0 0.7p
+.net bit1
+.input in
+R1 in n1 60
+L1 n1 n2 1n
+C1 n2 0 0.6p
+R2 n2 n3 60
+L2 n3 n4 1n
+C2 n4 0 0.6p
+K1 bit0.n4 victim.n4 0.08p
+K2 victim.n4 bit1.n4 0.08p
+.end

@@ -20,6 +20,7 @@
 //! | [`awe`] | `rlc-awe` | AWE/Padé, Wyatt, Kahng–Muddu comparators |
 //! | [`opt`] | `rlc-opt` | repeater insertion, wire sizing, skew, inductance FOM |
 //! | [`engine`] | `rlc-engine` | concurrent batch timing, incremental re-analysis |
+//! | [`couple`] | `rlc-couple` | coupled-net crosstalk: Miller delay windows, noise bounds |
 //! | [`serve`] | `rlc-serve` | networked timing service: protocol, cache, admission |
 //! | [`lint`] | `rlc-lint` | deck static analysis: stable rule codes, lint gate |
 //!
@@ -47,6 +48,7 @@
 
 pub use eed;
 pub use rlc_awe as awe;
+pub use rlc_couple as couple;
 pub use rlc_engine as engine;
 pub use rlc_lint as lint;
 pub use rlc_moments as moments;
@@ -60,9 +62,11 @@ pub use rlc_units as units;
 /// The most common imports, for `use equivalent_elmore::prelude::*`.
 pub mod prelude {
     pub use eed::{Damping, SecondOrderModel, TreeAnalysis};
+    pub use rlc_couple::{analyze_group, GroupTiming};
     pub use rlc_engine::{Batch, Engine, IncrementalAnalysis};
     pub use rlc_moments::tree_sums;
     pub use rlc_sim::{simulate, SimOptions, Source, Waveform};
+    pub use rlc_tree::coupled::CoupledGroup;
     pub use rlc_tree::wire::WireModel;
     pub use rlc_tree::{topology, NodeId, RlcSection, RlcTree, TreeBuilder};
     pub use rlc_units::{
