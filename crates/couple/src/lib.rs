@@ -64,9 +64,10 @@
 //! # Ok::<(), rlc_tree::TreeError>(())
 //! ```
 
-use eed::{Damping, TreeAnalysis};
+use eed::{Damping, SecondOrderModel};
+use rlc_moments::{forest_sums_into, ElmoreSums};
 use rlc_tree::coupled::CoupledGroup;
-use rlc_tree::{NodeId, RlcSection, RlcTree};
+use rlc_tree::{FlatForest, NodeId, RlcSection, RlcTree};
 use rlc_units::{Capacitance, Time};
 
 /// Miller factor for a quiet aggressor: the coupling capacitor appears at
@@ -276,6 +277,11 @@ impl GroupTiming {
 
 /// Folds every coupling of net `victim` onto its attach nodes as grounded
 /// capacitors scaled by the Miller `factor`, returning the decoupled tree.
+///
+/// This is the specification of the folding; [`analyze_group`] performs the
+/// same capacitance bumps in-place on a packed [`FlatForest`] instead of
+/// cloning trees, with identical arithmetic (same additions, same
+/// [`couplings_of`](CoupledGroup::couplings_of) order).
 pub fn miller_folded_tree(group: &CoupledGroup, victim: usize, factor: f64) -> RlcTree {
     let mut tree = group.nets()[victim].tree().clone();
     if factor != 0.0 {
@@ -291,24 +297,94 @@ pub fn miller_folded_tree(group: &CoupledGroup, victim: usize, factor: f64) -> R
     tree
 }
 
+/// Reusable buffers for [`analyze_group_with`]: the packed forest holding
+/// every Miller-folded tree variant of a group, plus the moment sums over
+/// it. Contents are rebuilt from scratch on every call, so one scratch can
+/// serve any sequence of groups (an engine worker keeps one per thread).
+#[derive(Debug, Clone, Default)]
+pub struct CoupleScratch {
+    forest: FlatForest,
+    sums: ElmoreSums,
+}
+
+/// Pushes net `victim`'s tree into `forest` and Miller-folds its couplings
+/// in place, returning the variant's net index within the forest.
+///
+/// Same arithmetic and coupling order as [`miller_folded_tree`], applied to
+/// the packed capacitance array instead of a cloned arena.
+fn push_folded(forest: &mut FlatForest, group: &CoupledGroup, victim: usize, factor: f64) -> usize {
+    let net = forest.push_tree(group.nets()[victim].tree());
+    if factor != 0.0 {
+        let base = forest.net_range(net).start;
+        for (this_end, _, cc) in group.couplings_of(victim) {
+            forest.bump_cap(
+                base + this_end.node.index(),
+                Capacitance::from_farads(factor * cc.as_farads()),
+            );
+        }
+    }
+    net
+}
+
+/// The second-order model at packed index `i`, or `None` for nodes with no
+/// dynamics — the packed equivalent of `TreeAnalysis::try_model`.
+fn model_at(sums: &ElmoreSums, i: usize) -> Option<SecondOrderModel> {
+    let rc = sums.rc_at(i);
+    let lc = sums.lc_at(i);
+    if rc.as_seconds() == 0.0 && lc.as_seconds_squared() == 0.0 {
+        None
+    } else {
+        Some(SecondOrderModel::from_sums(rc, lc))
+    }
+}
+
 /// Analyzes every net of `group` as a victim of its neighbours.
 ///
-/// Runs three O(n) EED passes per net (nominal / worst / best Miller
-/// folding) plus the noise bound; deterministic for a given group.
+/// Allocates a fresh [`CoupleScratch`] per call; batch callers should hold
+/// one scratch and use [`analyze_group_with`] instead.
 pub fn analyze_group(group: &CoupledGroup, name: &str) -> GroupTiming {
+    analyze_group_with(group, name, &mut CoupleScratch::default())
+}
+
+/// [`analyze_group`] over caller-provided scratch buffers.
+///
+/// Packs all `3n` Miller-folded tree variants (nominal, worst, best per
+/// net) into one [`FlatForest`] and computes every `T_RC`/`T_LC` sum with a
+/// single two-pass sweep over the packed arena, then reads the per-scenario
+/// second-order models back out of the shared sum buffers. Bit-identical to
+/// analyzing each [`miller_folded_tree`] clone separately, without the
+/// per-scenario tree clones and moment allocations.
+pub fn analyze_group_with(
+    group: &CoupledGroup,
+    name: &str,
+    scratch: &mut CoupleScratch,
+) -> GroupTiming {
     let _span = rlc_obs::span!("couple.analyze_group");
     rlc_obs::counter!("couple.analyze_group.calls");
     let nets = group.nets();
-    // Every net's nominal (quiet-neighbour) analysis doubles as the
-    // aggressor-edge model for its neighbours' noise bounds.
-    let nominal: Vec<TreeAnalysis> = (0..nets.len())
-        .map(|i| TreeAnalysis::new(&miller_folded_tree(group, i, MILLER_NOMINAL)))
-        .collect();
+    let n = nets.len();
 
-    let mut victims = Vec::with_capacity(nets.len());
+    // Forest layout: nets 0..n are the nominal (quiet-neighbour) foldings —
+    // they double as the aggressor-edge models for the noise bounds — and
+    // victim v's worst/best variants sit at net indices n + 2v and
+    // n + 2v + 1.
+    let forest = &mut scratch.forest;
+    forest.clear();
+    for v in 0..n {
+        push_folded(forest, group, v, MILLER_NOMINAL);
+    }
+    for v in 0..n {
+        push_folded(forest, group, v, MILLER_WORST);
+        push_folded(forest, group, v, MILLER_BEST);
+    }
+    forest_sums_into(forest, &mut scratch.sums);
+    let (forest, sums) = (&scratch.forest, &scratch.sums);
+
+    let mut victims = Vec::with_capacity(n);
     for (v, net) in nets.iter().enumerate() {
-        let worst = TreeAnalysis::new(&miller_folded_tree(group, v, MILLER_WORST));
-        let best = TreeAnalysis::new(&miller_folded_tree(group, v, MILLER_BEST));
+        let nominal_base = forest.net_range(v).start;
+        let worst_base = forest.net_range(n + 2 * v).start;
+        let best_base = forest.net_range(n + 2 * v + 1).start;
 
         let mut aggressors: Vec<String> = Vec::new();
         for (_, far, _) in group.couplings_of(v) {
@@ -320,14 +396,15 @@ pub fn analyze_group(group: &CoupledGroup, name: &str) -> GroupTiming {
 
         let tree = net.tree();
         let mut sinks = Vec::new();
-        for timing in nominal[v].sink_timings() {
-            let sink = timing.node;
-            let worst_delay = worst
-                .try_model(sink)
-                .map_or(timing.delay_50, |m| m.delay_50());
-            let best_delay = best
-                .try_model(sink)
-                .map_or(timing.delay_50, |m| m.delay_50());
+        for sink in tree.leaves() {
+            let Some(model) = model_at(sums, nominal_base + sink.index()) else {
+                continue;
+            };
+            let delay_50 = model.delay_50();
+            let worst_delay =
+                model_at(sums, worst_base + sink.index()).map_or(delay_50, |m| m.delay_50());
+            let best_delay =
+                model_at(sums, best_base + sink.index()).map_or(delay_50, |m| m.delay_50());
 
             // Devgan-style bound, extended for RLC: every coupling injects
             // `i ≈ Cc·dv_agg/dt` through the shared path impedance. The
@@ -341,14 +418,15 @@ pub fn analyze_group(group: &CoupledGroup, name: &str) -> GroupTiming {
             // skipped.
             let mut noise = 0.0;
             for (this_end, far, cc) in group.couplings_of(v) {
-                let Some(model) = nominal[far.net].try_model(far.node) else {
+                let far_base = forest.net_range(far.net).start;
+                let Some(agg) = model_at(sums, far_base + far.node.index()) else {
                     continue;
                 };
-                let slew = max_step_slew(model);
+                let slew = max_step_slew(&agg);
                 if !slew.is_finite() || slew <= 0.0 {
                     continue;
                 }
-                let omega_n = model.omega_n().as_radians_per_second();
+                let omega_n = agg.omega_n().as_radians_per_second();
                 let r_common = tree.common_path_resistance(sink, this_end.node);
                 let l_common = tree.common_path_inductance(sink, this_end.node);
                 noise += cc.as_farads()
@@ -357,12 +435,12 @@ pub fn analyze_group(group: &CoupledGroup, name: &str) -> GroupTiming {
 
             sinks.push(CoupledSinkTiming {
                 node: sink,
-                delay_50: timing.delay_50,
+                delay_50,
                 worst_delay,
                 best_delay,
-                rise_time: timing.rise_time,
-                zeta: timing.model.zeta(),
-                damping: timing.model.damping(),
+                rise_time: model.rise_time(),
+                zeta: model.zeta(),
+                damping: model.damping(),
                 noise_peak: noise,
             });
         }
@@ -383,6 +461,7 @@ pub fn analyze_group(group: &CoupledGroup, name: &str) -> GroupTiming {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eed::TreeAnalysis;
     use rlc_sim::{simulate, simulate_coupled, SimOptions, Source};
     use rlc_units::Time;
 
@@ -511,6 +590,32 @@ K1 v.n4 a.m4 0.2p
         let exact = wave.delay_50(1.0).expect("settles").as_picoseconds();
         let err = (sink.delay_50.as_picoseconds() - exact).abs() / exact;
         assert!(err < 0.25, "nominal EED error {err:.3}");
+    }
+
+    #[test]
+    fn packed_forest_matches_per_clone_analyses_bitwise() {
+        // The packed-arena kernel must reproduce the per-clone TreeAnalysis
+        // construction exactly — not approximately — for every scenario.
+        let group = group();
+        let timing = analyze_group(&group, "pair");
+        for (v, victim) in timing.victims.iter().enumerate() {
+            let nominal = TreeAnalysis::new(&miller_folded_tree(&group, v, MILLER_NOMINAL));
+            let worst = TreeAnalysis::new(&miller_folded_tree(&group, v, MILLER_WORST));
+            let best = TreeAnalysis::new(&miller_folded_tree(&group, v, MILLER_BEST));
+            assert!(!victim.sinks.is_empty());
+            for sink in &victim.sinks {
+                assert_eq!(sink.delay_50, nominal.delay_50(sink.node));
+                assert_eq!(sink.worst_delay, worst.delay_50(sink.node));
+                assert_eq!(sink.best_delay, best.delay_50(sink.node));
+                assert_eq!(sink.rise_time, nominal.rise_time(sink.node));
+                assert_eq!(sink.zeta, nominal.model(sink.node).zeta());
+            }
+        }
+        // Scratch reuse across different groups changes nothing.
+        let mut scratch = CoupleScratch::default();
+        let solo = CoupledGroup::parse(".net s\nR1 in n1 25\nC1 n1 0 0.5p\n").expect("parses");
+        let _ = analyze_group_with(&solo, "warmup", &mut scratch);
+        assert_eq!(analyze_group_with(&group, "pair", &mut scratch), timing);
     }
 
     #[test]

@@ -6,10 +6,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
-use eed::{Damping, TreeAnalysis};
+use eed::{Damping, SecondOrderModel};
+use rlc_moments::ElmoreSums;
 use rlc_obs::{Histogram, HistogramSnapshot, TimeSource};
 use rlc_tree::netlist::Netlist;
-use rlc_tree::{NodeId, RlcTree};
+use rlc_tree::{FlatTree, NodeId, RlcTree};
 use rlc_units::Time;
 
 use crate::EngineError;
@@ -59,6 +60,22 @@ impl BatchTelemetry {
     pub(crate) fn record_exec(&self, raw_ns: u64) {
         self.exec.record(self.time.measured_ns(raw_ns));
     }
+}
+
+/// Per-worker reusable analysis buffers: the flat SoA snapshot of the net
+/// under analysis plus its moment table.
+///
+/// Every analysis fully rewrites both buffers (`rebuild_from` +
+/// `flat_sums_into`), so one scratch per worker makes the whole batch run
+/// allocation-free after the first few nets size the buffers — the packed
+/// multi-tree arena amortized across the batch. The full-rewrite property
+/// is also what makes passing the scratch across `catch_unwind` sound: a
+/// panicked net can leave at most stale values that the next net
+/// overwrites before reading.
+#[derive(Debug, Default)]
+pub(crate) struct NetScratch {
+    flat: FlatTree,
+    sums: ElmoreSums,
 }
 
 /// Which closed-form timing model a worker evaluates for a net.
@@ -262,9 +279,9 @@ pub struct NetTiming {
     pub name: String,
     /// Number of tree sections.
     pub sections: usize,
-    /// Per-sink summaries, in arena order. Sinks without dynamics (zero
-    /// `T_RC` and `T_LC`) are omitted, as in
-    /// [`TreeAnalysis::sink_timings`].
+    /// Per-sink summaries, in ascending node order (the tree's sorted
+    /// sink-enumeration invariant). Sinks without dynamics (zero `T_RC`
+    /// and `T_LC`) are omitted, as in `TreeAnalysis::sink_timings`.
     pub sinks: Vec<SinkSummary>,
 }
 
@@ -463,6 +480,7 @@ impl Engine {
                 let cursor = &cursor;
                 scope.spawn(move || {
                     let worker_start = Instant::now();
+                    let mut scratch = NetScratch::default();
                     let mut busy_ns = 0u128;
                     let mut completed = 0u64;
                     loop {
@@ -476,7 +494,7 @@ impl Engine {
                         }
                         let t0 = Instant::now();
                         let (name, source) = &jobs[i];
-                        let result = analyze_one(name, source, TimingModel::Eed);
+                        let result = analyze_one(name, source, TimingModel::Eed, &mut scratch);
                         let net_ns = t0.elapsed().as_nanos();
                         if let Some(sink) = telemetry {
                             let raw = u64::try_from(net_ns).unwrap_or(u64::MAX);
@@ -529,10 +547,11 @@ pub(crate) fn analyze_one(
     name: &str,
     source: &NetSource,
     model: TimingModel,
+    scratch: &mut NetScratch,
 ) -> Result<NetTiming, EngineError> {
     let _span = rlc_obs::span!("engine.batch/net");
     catch_unwind(AssertUnwindSafe(|| {
-        analyze_unprotected(name, source, model)
+        analyze_unprotected(name, source, model, scratch)
     }))
     .unwrap_or_else(|payload| {
         let message = payload
@@ -551,6 +570,7 @@ fn analyze_unprotected(
     name: &str,
     source: &NetSource,
     model: TimingModel,
+    scratch: &mut NetScratch,
 ) -> Result<NetTiming, EngineError> {
     let parsed;
     let tree: &RlcTree = match source {
@@ -575,18 +595,8 @@ fn analyze_unprotected(
         });
     }
     let sinks = match model {
-        TimingModel::Eed => TreeAnalysis::new(tree)
-            .sink_timings()
-            .into_iter()
-            .map(|t| SinkSummary {
-                node: t.node,
-                delay_50: t.delay_50,
-                rise_time: t.rise_time,
-                zeta: t.model.zeta(),
-                damping: t.model.damping(),
-            })
-            .collect(),
-        TimingModel::Elmore => elmore_sinks(tree),
+        TimingModel::Eed => eed_sinks(tree, scratch),
+        TimingModel::Elmore => elmore_sinks(tree, scratch),
     };
     Ok(NetTiming {
         name: name.to_owned(),
@@ -595,12 +605,49 @@ fn analyze_unprotected(
     })
 }
 
+/// Equivalent-Elmore sink summaries via the flat kernel: one packed SoA
+/// rebuild, one pair of linear sweeps, then per-sink second-order models.
+///
+/// Flat indices equal arena indices, and the sums are bit-identical to the
+/// arena walker, so this produces byte-for-byte the same report entries as
+/// the old `TreeAnalysis::sink_timings` path (the differential and golden
+/// suites pin this). Sinks with no dynamics (zero `T_RC` and `T_LC`) are
+/// omitted, exactly as `try_model` used to.
+fn eed_sinks(tree: &RlcTree, scratch: &mut NetScratch) -> Vec<SinkSummary> {
+    scratch.flat.rebuild_from(tree);
+    rlc_moments::flat_sums_into(&scratch.flat, &mut scratch.sums);
+    let sums = &scratch.sums;
+    scratch
+        .flat
+        .leaf_ids()
+        .filter_map(|node| {
+            let rc = sums.rc(node);
+            let lc = sums.lc(node);
+            if rc.as_seconds() == 0.0 && lc.as_seconds_squared() == 0.0 {
+                return None;
+            }
+            let model = SecondOrderModel::from_sums(rc, lc);
+            Some(SinkSummary {
+                node,
+                delay_50: model.delay_50(),
+                rise_time: model.rise_time(),
+                zeta: model.zeta(),
+                damping: model.damping(),
+            })
+        })
+        .collect()
+}
+
 /// First-order RC Elmore summaries: the single-pole step response through
 /// `T_RC` gives `delay_50 = ln 2 · T_RC` and `rise = ln 9 · T_RC`. Sinks
-/// with zero `T_RC` are omitted, mirroring [`TreeAnalysis::sink_timings`].
-fn elmore_sinks(tree: &RlcTree) -> Vec<SinkSummary> {
-    let sums = rlc_moments::tree_sums(tree);
-    tree.leaves()
+/// with zero `T_RC` are omitted, mirroring [`eed_sinks`].
+fn elmore_sinks(tree: &RlcTree, scratch: &mut NetScratch) -> Vec<SinkSummary> {
+    scratch.flat.rebuild_from(tree);
+    rlc_moments::flat_sums_into(&scratch.flat, &mut scratch.sums);
+    let sums = &scratch.sums;
+    scratch
+        .flat
+        .leaf_ids()
         .filter_map(|node| {
             let t_rc = sums.rc(node);
             if t_rc.as_seconds() == 0.0 {
@@ -629,6 +676,7 @@ fn parse_deck(name: &str, deck: &str) -> Result<RlcTree, EngineError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eed::TreeAnalysis;
     use rlc_tree::{topology, RlcSection};
     use rlc_units::{Capacitance, Inductance, Resistance};
 

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
-use rlc_couple::{analyze_group, GroupTiming};
+use rlc_couple::{analyze_group_with, CoupleScratch, GroupTiming};
 use rlc_tree::coupled::CoupledGroup;
 
 use crate::batch::BatchTelemetry;
@@ -196,27 +196,33 @@ impl Engine {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let cursor = &cursor;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    if let Some(sink) = telemetry {
-                        sink.record_depth((n - i - 1) as u64);
-                    }
-                    let t0 = Instant::now();
-                    let (name, source) = &jobs[i];
-                    let result = analyze_one_couple(name, source);
-                    if let Some(sink) = telemetry {
-                        let raw = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                        sink.record_exec(raw);
-                    }
-                    rlc_obs::counter!("engine.couple.jobs.completed");
-                    if result.is_err() {
-                        rlc_obs::counter!("engine.couple.jobs.failed");
-                    }
-                    if tx.send((i, result)).is_err() {
-                        break; // collector gone; nothing left to do
+                scope.spawn(move || {
+                    // Per-worker scratch: every group rebuilds the packed
+                    // forest and sums from scratch, so reuse is purely an
+                    // allocation-count optimization.
+                    let mut scratch = CoupleScratch::default();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if let Some(sink) = telemetry {
+                            sink.record_depth((n - i - 1) as u64);
+                        }
+                        let t0 = Instant::now();
+                        let (name, source) = &jobs[i];
+                        let result = analyze_one_couple(name, source, &mut scratch);
+                        if let Some(sink) = telemetry {
+                            let raw = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            sink.record_exec(raw);
+                        }
+                        rlc_obs::counter!("engine.couple.jobs.completed");
+                        if result.is_err() {
+                            rlc_obs::counter!("engine.couple.jobs.failed");
+                        }
+                        if tx.send((i, result)).is_err() {
+                            break; // collector gone; nothing left to do
+                        }
                     }
                 });
             }
@@ -242,9 +248,16 @@ impl Engine {
 pub(crate) fn analyze_one_couple(
     name: &str,
     source: &CoupleSource,
+    scratch: &mut CoupleScratch,
 ) -> Result<GroupTiming, EngineError> {
     let _span = rlc_obs::span!("engine.couple/group");
-    catch_unwind(AssertUnwindSafe(|| couple_unprotected(name, source))).unwrap_or_else(|payload| {
+    // `AssertUnwindSafe` is sound for the scratch: `analyze_group_with`
+    // rebuilds the forest and overwrites the sums before reading either, so
+    // a previous panic cannot leave state a later job could observe.
+    catch_unwind(AssertUnwindSafe(|| {
+        couple_unprotected(name, source, scratch)
+    }))
+    .unwrap_or_else(|payload| {
         let message = payload
             .downcast_ref::<&str>()
             .map(|s| (*s).to_owned())
@@ -257,7 +270,11 @@ pub(crate) fn analyze_one_couple(
     })
 }
 
-fn couple_unprotected(name: &str, source: &CoupleSource) -> Result<GroupTiming, EngineError> {
+fn couple_unprotected(
+    name: &str,
+    source: &CoupleSource,
+    scratch: &mut CoupleScratch,
+) -> Result<GroupTiming, EngineError> {
     let parsed;
     let group: &CoupledGroup = match source {
         CoupleSource::Group(group) => group,
@@ -269,7 +286,7 @@ fn couple_unprotected(name: &str, source: &CoupleSource) -> Result<GroupTiming, 
             &parsed
         }
     };
-    Ok(analyze_group(group, name))
+    Ok(analyze_group_with(group, name, scratch))
 }
 
 #[cfg(test)]

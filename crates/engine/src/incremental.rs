@@ -1,8 +1,8 @@
 //! Incremental re-analysis: probe section edits without O(n) recomputes.
 
 use eed::SecondOrderModel;
-use rlc_moments::{ElmoreSums, IncrementalSums};
-use rlc_tree::{NodeId, RlcSection, RlcTree};
+use rlc_moments::{ElmoreSums, FlatIncrementalSums};
+use rlc_tree::{FlatTree, NodeId, RlcSection, RlcTree};
 use rlc_units::{Capacitance, Time, TimeSquared};
 
 /// A position in the edit journal, for explicit rollback.
@@ -55,7 +55,10 @@ pub struct EditCheckpoint(usize);
 #[derive(Debug, Clone)]
 pub struct IncrementalAnalysis {
     tree: RlcTree,
-    sums: IncrementalSums,
+    /// Flat SoA mirror of `tree` (same indices); value edits are applied to
+    /// both, and all O(depth) sum maintenance runs against this layout.
+    flat: FlatTree,
+    sums: FlatIncrementalSums,
     /// `(node, previous section)` for every uncommitted edit, oldest first.
     journal: Vec<(NodeId, RlcSection)>,
 }
@@ -64,9 +67,11 @@ impl IncrementalAnalysis {
     /// Takes ownership of `tree` and builds the factored sums in O(n).
     pub fn new(tree: RlcTree) -> Self {
         let _span = rlc_obs::span!("engine.incremental.build");
-        let sums = IncrementalSums::new(&tree);
+        let flat = FlatTree::from_tree(&tree);
+        let sums = FlatIncrementalSums::new(&flat);
         Self {
             tree,
+            flat,
             sums,
             journal: Vec::new(),
         }
@@ -111,7 +116,8 @@ impl IncrementalAnalysis {
         rlc_obs::counter!("engine.incremental.edits");
         let old = core::mem::replace(self.tree.section_mut(node), section);
         self.journal.push((node, old));
-        self.sums.apply_edit(&self.tree, node);
+        self.flat.set_section(node.index(), &section);
+        self.sums.apply_edit(&self.flat, node.index());
         old
     }
 
@@ -141,7 +147,8 @@ impl IncrementalAnalysis {
         while self.journal.len() > mark.0 {
             let (node, old) = self.journal.pop().expect("length checked");
             *self.tree.section_mut(node) = old;
-            self.sums.apply_edit(&self.tree, node);
+            self.flat.set_section(node.index(), &old);
+            self.sums.apply_edit(&self.flat, node.index());
         }
     }
 
@@ -176,7 +183,7 @@ impl IncrementalAnalysis {
     ///
     /// Panics if `node` is out of range.
     pub fn rc(&self, node: NodeId) -> Time {
-        self.sums.rc(&self.tree, node)
+        self.sums.rc(&self.flat, node.index())
     }
 
     /// The inductive sum `T_LC(node)`, in O(depth).
@@ -185,7 +192,7 @@ impl IncrementalAnalysis {
     ///
     /// Panics if `node` is out of range.
     pub fn lc(&self, node: NodeId) -> TimeSquared {
-        self.sums.lc(&self.tree, node)
+        self.sums.lc(&self.flat, node.index())
     }
 
     /// The subtree capacitance below `node`.
@@ -194,7 +201,7 @@ impl IncrementalAnalysis {
     ///
     /// Panics if `node` is out of range.
     pub fn downstream_capacitance(&self, node: NodeId) -> Capacitance {
-        self.sums.downstream_capacitance(node)
+        self.sums.downstream_capacitance(node.index())
     }
 
     /// The second-order model at `node`, or `None` for a node with no
@@ -204,7 +211,7 @@ impl IncrementalAnalysis {
     ///
     /// Panics if `node` is out of range.
     pub fn try_model(&self, node: NodeId) -> Option<SecondOrderModel> {
-        let (rc, lc) = self.sums.rc_lc(&self.tree, node);
+        let (rc, lc) = self.sums.rc_lc(&self.flat, node.index());
         if rc.as_seconds() == 0.0 && lc.as_seconds_squared() == 0.0 {
             None
         } else {
@@ -243,7 +250,7 @@ impl IncrementalAnalysis {
     /// Expands the incremental state into a full [`ElmoreSums`] table in
     /// O(n) — bit-identical to `tree_sums(self.tree())`.
     pub fn full_sums(&self) -> ElmoreSums {
-        self.sums.to_elmore_sums(&self.tree)
+        self.sums.to_elmore_sums(&self.flat)
     }
 
     /// Verifies the incremental state against a from-scratch

@@ -62,12 +62,12 @@ use std::sync::{Arc, Condvar, Mutex};
 #[cfg(not(loom))]
 use std::thread;
 
-use rlc_couple::GroupTiming;
+use rlc_couple::{CoupleScratch, GroupTiming};
 use rlc_obs::{Histogram, HistogramSnapshot, TimeSource};
 use rlc_tree::coupled::CoupledGroup;
 use rlc_tree::RlcTree;
 
-use crate::batch::{analyze_one, NetSource, NetTiming, TimingModel};
+use crate::batch::{analyze_one, NetScratch, NetSource, NetTiming, TimingModel};
 use crate::couple::{analyze_one_couple, CoupleSource};
 use crate::EngineError;
 
@@ -630,6 +630,11 @@ fn saturating_ns(duration: Duration) -> u64 {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Per-worker scratch: the packed flat snapshot and moment buffers are
+    // rebuilt from scratch for every job, so reusing them across jobs is
+    // purely an allocation-count optimization.
+    let mut scratch = NetScratch::default();
+    let mut couple_scratch = CoupleScratch::default();
     loop {
         let job = {
             let mut state = shared.state.lock().expect("service lock");
@@ -661,7 +666,7 @@ fn worker_loop(shared: &Shared) {
                         net: job.name.clone(),
                     })
                 } else {
-                    analyze_one(&job.name, &source, model)
+                    analyze_one(&job.name, &source, model, &mut scratch)
                 };
                 Outcome::Net(result, tx)
             }
@@ -671,7 +676,7 @@ fn worker_loop(shared: &Shared) {
                         net: job.name.clone(),
                     })
                 } else {
-                    analyze_one_couple(&job.name, &source)
+                    analyze_one_couple(&job.name, &source, &mut couple_scratch)
                 };
                 Outcome::Couple(result, tx)
             }

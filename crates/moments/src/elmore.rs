@@ -30,7 +30,7 @@ use rlc_units::{Capacitance, Time, TimeSquared};
 /// assert!((sums.rc(n).as_picoseconds() - 100.0).abs() < 1e-9);
 /// assert!((sums.lc(n).as_seconds_squared() - 1.0e-20).abs() < 1e-32);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ElmoreSums {
     pub(crate) rc: Vec<Time>,
     pub(crate) lc: Vec<TimeSquared>,
@@ -67,6 +67,42 @@ impl ElmoreSums {
         self.downstream_cap[i.index()]
     }
 
+    /// The Elmore sum at raw index `i` — for forest consumers addressing
+    /// packed global indices (see
+    /// [`forest_sums`](crate::forest_sums)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn rc_at(&self, i: usize) -> Time {
+        self.rc[i]
+    }
+
+    /// The inductive sum at raw index `i` (see [`rc_at`](Self::rc_at)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn lc_at(&self, i: usize) -> TimeSquared {
+        self.lc[i]
+    }
+
+    /// All `T_RC` values, indexed by node/global index — the raw moment
+    /// vector the differential suites compare with `assert_eq!`.
+    pub fn rc_values(&self) -> &[Time] {
+        &self.rc
+    }
+
+    /// All `T_LC` values (see [`rc_values`](Self::rc_values)).
+    pub fn lc_values(&self) -> &[TimeSquared] {
+        &self.lc
+    }
+
+    /// All subtree capacitances (see [`rc_values`](Self::rc_values)).
+    pub fn downstream_cap_values(&self) -> &[Capacitance] {
+        &self.downstream_cap
+    }
+
     /// Number of nodes covered.
     pub fn len(&self) -> usize {
         self.rc.len()
@@ -93,6 +129,17 @@ impl ElmoreSums {
 /// The number of multiplications is `2n`, matching the paper's complexity
 /// claim that evaluating the model at all nodes is linear in the number of
 /// branches.
+///
+/// The passes are scheduled as plain index sweeps — descending for
+/// `Cal_Cap_Loads`, ascending for `Cal_Summations` — which is valid
+/// because arena order is topological (`parent(id) < id`, see
+/// [`RlcTree::node_ids`]) and avoids materializing traversal vectors. The
+/// per-node arithmetic (and therefore every float result, bit-for-bit) is
+/// unchanged from the original traversal-driven walker, which survives as
+/// [`reference::tree_sums_arena`](crate::reference::tree_sums_arena) for
+/// differential testing. For repeated analysis of many nets, the packed
+/// [`flat_sums_into`](crate::flat_sums_into) /
+/// [`forest_sums_into`](crate::forest_sums_into) kernels are faster still.
 pub fn tree_sums(tree: &RlcTree) -> ElmoreSums {
     let _span = rlc_obs::span!("moments.tree_sums");
     rlc_obs::counter!("moments.tree_sums.calls");
@@ -101,8 +148,9 @@ pub fn tree_sums(tree: &RlcTree) -> ElmoreSums {
     rlc_obs::counter!("moments.tree_sums.nodes_visited", 2 * n as u64);
     let mut downstream_cap = vec![Capacitance::ZERO; n];
 
-    // Pass 1 (Cal_Cap_Loads): postorder accumulation of subtree capacitance.
-    for id in tree.postorder() {
+    // Pass 1 (Cal_Cap_Loads): descending sweep accumulating subtree
+    // capacitance — children (larger indices) are final before parents.
+    for id in tree.node_ids().rev() {
         let mut total = tree.section(id).capacitance();
         for &child in tree.children(id) {
             total += downstream_cap[child.index()];
@@ -110,10 +158,11 @@ pub fn tree_sums(tree: &RlcTree) -> ElmoreSums {
         downstream_cap[id.index()] = total;
     }
 
-    // Pass 2 (Cal_Summations): preorder prefix sums along root paths.
+    // Pass 2 (Cal_Summations): ascending prefix sweep along root paths —
+    // parents (smaller indices) are final before children.
     let mut rc = vec![Time::ZERO; n];
     let mut lc = vec![TimeSquared::ZERO; n];
-    for id in tree.preorder() {
+    for id in tree.node_ids() {
         let (parent_rc, parent_lc) = match tree.parent(id) {
             Some(p) => (rc[p.index()], lc[p.index()]),
             None => (Time::ZERO, TimeSquared::ZERO),

@@ -12,15 +12,25 @@
 //!   T_LC(i) = Σ_k C_k·L_ki   — its inductive twin
 //!   ```
 //!
-//!   computed for **all** nodes in O(branches) with two passes: a postorder
-//!   accumulation of downstream capacitance (`Cal_Cap_Loads`) followed by a
-//!   preorder prefix walk (`Cal_Summations`).
+//!   computed for **all** nodes in O(branches) with two passes: a
+//!   children-before-parents accumulation of downstream capacitance
+//!   (`Cal_Cap_Loads`) followed by a parents-before-children prefix walk
+//!   (`Cal_Summations`).
 //!
-//! * [`IncrementalSums`] — the same two sums in a factored per-section
-//!   form that a single section edit updates in O(depth) instead of O(n),
-//!   bit-identical to a from-scratch [`tree_sums`] pass. This is the
-//!   substrate of `rlc-engine`'s `IncrementalAnalysis` and the synthesis
-//!   loops in `rlc-opt`.
+//! * [`flat_sums`] / [`forest_sums`] (and their `_into` buffer-reusing
+//!   variants) — the same two passes as branch-light linear index sweeps
+//!   over a packed [`FlatTree`](rlc_tree::FlatTree) /
+//!   [`FlatForest`](rlc_tree::FlatForest) structure-of-arrays layout: the
+//!   production hot path for batch workloads, bit-identical to
+//!   [`tree_sums`] (the legacy walker survives in [`reference`] for
+//!   differential testing).
+//!
+//! * [`IncrementalSums`] / [`FlatIncrementalSums`] — the same two sums in
+//!   a factored per-section form that a single section edit updates in
+//!   O(depth) instead of O(n), bit-identical to a from-scratch
+//!   [`tree_sums`] pass, over the arena and flat layouts respectively.
+//!   This is the substrate of `rlc-engine`'s `IncrementalAnalysis` and the
+//!   synthesis loops in `rlc-opt`.
 //!
 //! * [`TransferMoments`] / [`transfer_moments`] — *exact* moments of the
 //!   voltage transfer function at every node, to arbitrary order, via the
@@ -50,8 +60,11 @@
 
 mod elmore;
 mod exact;
+mod flat;
 mod incremental;
+pub mod reference;
 
 pub use elmore::{tree_sums, ElmoreSums};
 pub use exact::{transfer_moments, TransferMoments};
+pub use flat::{flat_sums, flat_sums_into, forest_sums, forest_sums_into, FlatIncrementalSums};
 pub use incremental::IncrementalSums;

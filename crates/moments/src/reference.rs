@@ -1,0 +1,57 @@
+//! The legacy pointer-chasing arena walker, kept as the differential
+//! reference implementation.
+//!
+//! This is the pre-flat-kernel body of [`tree_sums`](crate::tree_sums),
+//! verbatim: explicit `postorder()` / `preorder()` traversal vectors and
+//! per-node pointer chasing through the arena. It exists **only** so the
+//! `flat_vs_arena` differential suite and the `tree_sums_flat` benchmark
+//! can compare the production kernels against the original evaluation
+//! order bit-for-bit. (The ISSUE asked for a `#[cfg(test)]` reference, but
+//! integration tests and benches live in separate crates and cannot see
+//! `cfg(test)` items — a documented, de-emphasized public module is the
+//! closest honest equivalent.) Production code must never call this.
+
+use rlc_tree::RlcTree;
+use rlc_units::{Capacitance, Time, TimeSquared};
+
+use crate::ElmoreSums;
+
+/// The original traversal-driven two-pass algorithm (reference only).
+///
+/// Bit-identical to [`tree_sums`](crate::tree_sums) and
+/// [`flat_sums`](crate::flat_sums) by construction: all three perform the
+/// same per-node float operations in the same order, differing only in how
+/// they schedule node visits.
+pub fn tree_sums_arena(tree: &RlcTree) -> ElmoreSums {
+    let n = tree.len();
+    let mut downstream_cap = vec![Capacitance::ZERO; n];
+
+    // Pass 1 (Cal_Cap_Loads): postorder accumulation of subtree capacitance.
+    for id in tree.postorder() {
+        let mut total = tree.section(id).capacitance();
+        for &child in tree.children(id) {
+            total += downstream_cap[child.index()];
+        }
+        downstream_cap[id.index()] = total;
+    }
+
+    // Pass 2 (Cal_Summations): preorder prefix sums along root paths.
+    let mut rc = vec![Time::ZERO; n];
+    let mut lc = vec![TimeSquared::ZERO; n];
+    for id in tree.preorder() {
+        let (parent_rc, parent_lc) = match tree.parent(id) {
+            Some(p) => (rc[p.index()], lc[p.index()]),
+            None => (Time::ZERO, TimeSquared::ZERO),
+        };
+        let section = tree.section(id);
+        let load = downstream_cap[id.index()];
+        rc[id.index()] = parent_rc + section.resistance() * load;
+        lc[id.index()] = parent_lc + section.inductance() * load;
+    }
+
+    ElmoreSums {
+        rc,
+        lc,
+        downstream_cap,
+    }
+}

@@ -1,0 +1,179 @@
+//! Differential suite: every moment kernel against the legacy arena walker.
+//!
+//! The flat structure-of-arrays kernels ([`flat_sums`], [`forest_sums`],
+//! [`FlatIncrementalSums`]) are required to be **bit-identical** to the
+//! original traversal-driven implementation (preserved verbatim in
+//! [`rlc_moments::reference`]) — not merely close: the engine's golden
+//! `rlc-engine/1` / `rlc-couple/1` reports are byte-compared across kernel
+//! swaps, so a single ULP of drift anywhere would break them. This suite
+//! replays `rlc-verify`'s seeded corpus (all damping regimes, all
+//! topological families) and random nets through every kernel and asserts
+//! `assert_eq!` on the raw moment vectors and the EED delays derived from
+//! them.
+
+use eed::SecondOrderModel;
+use proptest::prelude::*;
+use rlc_moments::{flat_sums, forest_sums, reference, tree_sums, FlatIncrementalSums};
+use rlc_tree::{FlatForest, FlatTree, RlcTree};
+use rlc_units::Time;
+use rlc_verify::{build_net, CorpusSpec, Regime, TreeCorpus};
+
+/// Asserts that all four kernels produce bitwise-equal sums for `tree`,
+/// returning the arena result for further checks.
+fn assert_kernels_agree(tree: &RlcTree, context: &str) -> rlc_moments::ElmoreSums {
+    let arena = reference::tree_sums_arena(tree);
+    let swept = tree_sums(tree);
+    let flat = flat_sums(&FlatTree::from_tree(tree));
+
+    for (label, other) in [("tree_sums", &swept), ("flat_sums", &flat)] {
+        assert_eq!(
+            arena.rc_values(),
+            other.rc_values(),
+            "{context}: {label} T_RC"
+        );
+        assert_eq!(
+            arena.lc_values(),
+            other.lc_values(),
+            "{context}: {label} T_LC"
+        );
+        assert_eq!(
+            arena.downstream_cap_values(),
+            other.downstream_cap_values(),
+            "{context}: {label} downstream cap"
+        );
+    }
+
+    let flat_tree = FlatTree::from_tree(tree);
+    let incremental = FlatIncrementalSums::new(&flat_tree).to_elmore_sums(&flat_tree);
+    assert_eq!(
+        arena.rc_values(),
+        incremental.rc_values(),
+        "{context}: incremental T_RC"
+    );
+    assert_eq!(
+        arena.lc_values(),
+        incremental.lc_values(),
+        "{context}: incremental T_LC"
+    );
+    arena
+}
+
+/// The EED delay at `sums[i]`, or `None` where the model is undefined.
+fn eed_delay(sums: &rlc_moments::ElmoreSums, i: usize) -> Option<Time> {
+    let rc = sums.rc_at(i);
+    let lc = sums.lc_at(i);
+    if rc.as_seconds() == 0.0 && lc.as_seconds_squared() == 0.0 {
+        None
+    } else {
+        Some(SecondOrderModel::from_sums(rc, lc).delay_50())
+    }
+}
+
+#[test]
+fn corpus_kernels_are_bitwise_equal_across_all_regimes() {
+    // 24 nets cycle through all three regimes and all three shapes.
+    let corpus = TreeCorpus::generate(&CorpusSpec {
+        seed: 0xEED0_0008,
+        nets: 24,
+        max_sections: 64,
+    });
+    for net in &corpus.nets {
+        let arena = assert_kernels_agree(&net.tree, &net.name);
+        // The derived EED delays (what reports actually print) follow.
+        let flat = flat_sums(&FlatTree::from_tree(&net.tree));
+        for leaf in net.tree.leaves() {
+            assert_eq!(
+                eed_delay(&arena, leaf.index()),
+                eed_delay(&flat, leaf.index()),
+                "{}: EED delay at sink {leaf}",
+                net.name
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_forest_slices_match_per_tree_kernels() {
+    // A whole corpus packed into ONE forest: each net's slice of the global
+    // sums must equal its standalone per-tree analysis, bit for bit.
+    let corpus = TreeCorpus::generate(&CorpusSpec {
+        seed: 0xEED0_0009,
+        nets: 18,
+        max_sections: 48,
+    });
+    let mut forest = FlatForest::new();
+    for net in &corpus.nets {
+        forest.push_tree(&net.tree);
+    }
+    let packed = forest_sums(&forest);
+    for (k, net) in corpus.nets.iter().enumerate() {
+        let solo = reference::tree_sums_arena(&net.tree);
+        let range = forest.net_range(k);
+        assert_eq!(
+            solo.rc_values(),
+            &packed.rc_values()[range.clone()],
+            "{}",
+            net.name
+        );
+        assert_eq!(
+            solo.lc_values(),
+            &packed.lc_values()[range.clone()],
+            "{}",
+            net.name
+        );
+        assert_eq!(
+            solo.downstream_cap_values(),
+            &packed.downstream_cap_values()[range],
+            "{}",
+            net.name
+        );
+    }
+}
+
+#[test]
+fn empty_and_degenerate_trees_agree() {
+    let empty = RlcTree::new();
+    assert_kernels_agree(&empty, "empty tree");
+    let corpus = build_net(7, Regime::Critical, 3);
+    assert_kernels_agree(&corpus.tree, "minimal 3-section net");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any reachable net — random seed, regime, and size — runs through
+    /// all kernels identically.
+    #[test]
+    fn random_nets_agree_across_kernels(
+        seed in any::<u64>(),
+        regime_idx in 0usize..3,
+        max_sections in 3usize..80,
+    ) {
+        let net = build_net(seed, Regime::ALL[regime_idx], max_sections);
+        let arena = assert_kernels_agree(&net.tree, &net.name);
+        let flat = flat_sums(&FlatTree::from_tree(&net.tree));
+        for i in 0..net.tree.len() {
+            prop_assert_eq!(eed_delay(&arena, i), eed_delay(&flat, i));
+        }
+    }
+
+    /// Forest packing never perturbs a net's sums, wherever it lands in
+    /// the arena — including after unrelated nets.
+    #[test]
+    fn forest_position_is_irrelevant(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        regime_idx in 0usize..3,
+    ) {
+        let a = build_net(seed_a, Regime::ALL[regime_idx], 32);
+        let b = build_net(seed_b, Regime::ALL[(regime_idx + 1) % 3], 32);
+        let mut forest = FlatForest::new();
+        forest.push_tree(&a.tree);
+        let k = forest.push_tree(&b.tree);
+        let packed = forest_sums(&forest);
+        let solo = reference::tree_sums_arena(&b.tree);
+        let range = forest.net_range(k);
+        prop_assert_eq!(solo.rc_values(), &packed.rc_values()[range.clone()]);
+        prop_assert_eq!(solo.lc_values(), &packed.lc_values()[range]);
+    }
+}

@@ -28,9 +28,15 @@ impl SkewReport {
 
 /// Computes arrival times (50% delays) at all leaves of `tree`.
 ///
+/// The pin order in the resulting [`SkewReport::arrivals`] is the tree's
+/// **sorted sink-enumeration invariant** — ascending [`NodeId`], see
+/// [`RlcTree::leaves`] — not an accident of traversal, so reports are
+/// byte-stable across kernel and layout changes.
+///
 /// Returns `None` for empty trees or trees whose sinks have no dynamics.
 pub fn clock_skew(tree: &RlcTree) -> Option<SkewReport> {
     let pins: Vec<NodeId> = tree.leaves().collect();
+    debug_assert!(pins.windows(2).all(|w| w[0] < w[1]));
     clock_skew_at(tree, &pins)
 }
 
@@ -74,6 +80,23 @@ mod tests {
             Inductance::from_nanohenries(l),
             Capacitance::from_picofarads(c),
         )
+    }
+
+    #[test]
+    fn arrival_order_is_the_sorted_sink_invariant() {
+        // The report's pin order is contractually ascending NodeId — the
+        // same sorted sink-enumeration invariant the flat kernels and the
+        // engine reports rely on — even for trees built in scrambled
+        // grafting order.
+        let mut tree = topology::balanced_tree(3, 2, sec(20.0, 2.0, 0.3));
+        let (extra, _) = topology::single_line(3, sec(10.0, 1.0, 0.1));
+        let roots: Vec<_> = tree.node_ids().collect();
+        tree.graft(Some(roots[1]), &extra);
+        let report = clock_skew(&tree).expect("has pins");
+        let pins: Vec<NodeId> = report.arrivals.iter().map(|&(pin, _)| pin).collect();
+        let sorted_leaves: Vec<NodeId> = tree.leaves().collect();
+        assert!(pins.windows(2).all(|w| w[0] < w[1]), "pins not ascending");
+        assert_eq!(pins, sorted_leaves);
     }
 
     #[test]

@@ -1,0 +1,520 @@
+//! Flat, topologically-sorted structure-of-arrays tree layouts.
+//!
+//! [`RlcTree`] is an arena of nodes with parent/child `Vec` links — ideal
+//! for construction and editing, but the O(n) moment sweeps spend most of
+//! their time chasing pointers through it. This module provides the packed
+//! mirror the kernels actually want:
+//!
+//! * [`FlatTree`] — one tree as parallel `parent`/`R`/`L`/`C` arrays plus a
+//!   CSR child table, all indexed by the *same* dense indices as the source
+//!   arena (`flat index i` ≡ `NodeId::index() == i`).
+//! * [`FlatForest`] — many trees packed end-to-end in one set of arrays, so
+//!   a whole batch (or every Miller-folded variant of a coupled group) is
+//!   analyzed from a single allocation-free buffer pool.
+//!
+//! # Index invariants
+//!
+//! Both layouts inherit and *preserve* the arena's ordering guarantees
+//! (see [`RlcTree`]):
+//!
+//! 1. **Topological order:** `parent[i] < i` for every non-root `i`
+//!    (roots carry [`NO_PARENT`]). A plain ascending index sweep visits
+//!    parents before children; a descending sweep visits children before
+//!    parents. In a [`FlatForest`] this holds *globally* because nets are
+//!    packed in submission order and parents are rebased per net.
+//! 2. **Sorted adjacency:** each CSR child group `children_of(i)` is in
+//!    ascending index order — exactly the arena's insertion order — and the
+//!    `leaves` list is ascending. This is what makes the flat kernels
+//!    *bit-identical* to the arena walkers: float accumulation visits the
+//!    same operands in the same order.
+//!
+//! # Lifetime rules
+//!
+//! A flat layout is a **snapshot**: it holds no reference to the source
+//! tree and does not observe later arena edits. Callers either rebuild via
+//! [`FlatTree::rebuild_from`] (which reuses every buffer) or mirror edits
+//! explicitly with [`FlatTree::set_section`] / [`FlatForest::bump_cap`].
+//! Structural edits (adding sections) always require a rebuild/re-push.
+
+use rlc_units::{Capacitance, Inductance, Resistance};
+
+use crate::section::RlcSection;
+use crate::tree::{NodeId, RlcTree};
+
+/// Parent marker for root sections (driven directly by the source).
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Many RLC trees packed end-to-end in one structure-of-arrays arena.
+///
+/// Global node indices run `0..len()`; net `k` owns the contiguous range
+/// [`net_range(k)`](Self::net_range). All per-node arrays (including the
+/// CSR child table and the leaf list) use global indices, and the
+/// topological invariant `parent[i] < i` holds across the whole forest.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_tree::flat::FlatForest;
+/// use rlc_tree::{topology, RlcSection};
+/// use rlc_units::{Resistance, Inductance, Capacitance};
+///
+/// let s = RlcSection::new(
+///     Resistance::from_ohms(10.0),
+///     Inductance::from_nanohenries(1.0),
+///     Capacitance::from_picofarads(0.1),
+/// );
+/// let (line, _) = topology::single_line(3, s);
+/// let tree = topology::balanced_tree(3, 2, s);
+///
+/// let mut forest = FlatForest::new();
+/// let a = forest.push_tree(&line);
+/// let b = forest.push_tree(&tree);
+/// assert_eq!(forest.net_count(), 2);
+/// assert_eq!(forest.net_range(a), 0..3);
+/// assert_eq!(forest.net_range(b), 3..3 + tree.len());
+/// // Reuse the buffers for the next batch.
+/// forest.clear();
+/// assert_eq!(forest.len(), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlatForest {
+    /// Global parent index per node; [`NO_PARENT`] for net roots.
+    parent: Vec<u32>,
+    res: Vec<Resistance>,
+    ind: Vec<Inductance>,
+    cap: Vec<Capacitance>,
+    /// CSR offsets into `child_index`; always `len() + 1` entries (a lone
+    /// `0` when empty), so `children_of` needs no branch.
+    child_start: Vec<u32>,
+    /// Concatenated child groups, ascending within each group.
+    child_index: Vec<u32>,
+    /// Net boundaries: net `k` is `bounds[k]..bounds[k + 1]`.
+    bounds: Vec<u32>,
+    /// Global leaf indices, ascending.
+    leaves: Vec<u32>,
+    /// Leaf-list boundaries per net, parallel to `bounds`.
+    leaf_bounds: Vec<u32>,
+}
+
+impl FlatForest {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self {
+            child_start: vec![0],
+            bounds: vec![0],
+            leaf_bounds: vec![0],
+            ..Self::default()
+        }
+    }
+
+    /// Removes every net but keeps all buffer capacity for reuse.
+    pub fn clear(&mut self) {
+        self.parent.clear();
+        self.res.clear();
+        self.ind.clear();
+        self.cap.clear();
+        self.child_start.clear();
+        self.child_start.push(0);
+        self.child_index.clear();
+        self.bounds.clear();
+        self.bounds.push(0);
+        self.leaves.clear();
+        self.leaf_bounds.clear();
+        self.leaf_bounds.push(0);
+    }
+
+    /// Appends `tree` as the next net and returns its net index.
+    ///
+    /// Node `id` of the arena lands at global index
+    /// `net_range(net).start + id.index()`; within the net, flat order is
+    /// arena order (so per-net results compare index-for-index).
+    pub fn push_tree(&mut self, tree: &RlcTree) -> usize {
+        let base = self.parent.len() as u32;
+        self.parent.reserve(tree.len());
+        for id in tree.node_ids() {
+            let parent = match tree.parent(id) {
+                Some(p) => {
+                    debug_assert!(p < id, "arena order must be topological");
+                    base + p.0
+                }
+                None => NO_PARENT,
+            };
+            let section = tree.section(id);
+            self.parent.push(parent);
+            self.res.push(section.resistance());
+            self.ind.push(section.inductance());
+            self.cap.push(section.capacitance());
+            for &child in tree.children(id) {
+                self.child_index.push(base + child.0);
+            }
+            self.child_start.push(self.child_index.len() as u32);
+            if tree.is_leaf(id) {
+                self.leaves.push(base + id.0);
+            }
+        }
+        self.bounds.push(self.parent.len() as u32);
+        self.leaf_bounds.push(self.leaves.len() as u32);
+        self.bounds.len() - 2
+    }
+
+    /// Total node count across all nets.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the forest holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of nets pushed since the last [`clear`](Self::clear).
+    pub fn net_count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Global index range owned by net `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net >= net_count()`.
+    pub fn net_range(&self, net: usize) -> core::ops::Range<usize> {
+        self.bounds[net] as usize..self.bounds[net + 1] as usize
+    }
+
+    /// Global leaf indices of net `net`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net >= net_count()`.
+    pub fn net_leaves(&self, net: usize) -> &[u32] {
+        &self.leaves[self.leaf_bounds[net] as usize..self.leaf_bounds[net + 1] as usize]
+    }
+
+    /// Global parent index per node ([`NO_PARENT`] for net roots).
+    #[inline]
+    pub fn parents(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// Per-section resistances, indexed like [`parents`](Self::parents).
+    #[inline]
+    pub fn resistances(&self) -> &[Resistance] {
+        &self.res
+    }
+
+    /// Per-section inductances, indexed like [`parents`](Self::parents).
+    #[inline]
+    pub fn inductances(&self) -> &[Inductance] {
+        &self.ind
+    }
+
+    /// Per-section capacitances, indexed like [`parents`](Self::parents).
+    #[inline]
+    pub fn capacitances(&self) -> &[Capacitance] {
+        &self.cap
+    }
+
+    /// CSR offsets: node `i`'s children are
+    /// `child_index()[child_start()[i] as usize..child_start()[i + 1] as usize]`.
+    #[inline]
+    pub fn child_start(&self) -> &[u32] {
+        &self.child_start
+    }
+
+    /// Concatenated CSR child groups (global indices, ascending per group).
+    #[inline]
+    pub fn child_index(&self) -> &[u32] {
+        &self.child_index
+    }
+
+    /// Children of global node `i`, in ascending index order.
+    #[inline]
+    pub fn children_of(&self, i: usize) -> &[u32] {
+        &self.child_index[self.child_start[i] as usize..self.child_start[i + 1] as usize]
+    }
+
+    /// All global leaf indices, ascending.
+    #[inline]
+    pub fn leaves(&self) -> &[u32] {
+        &self.leaves
+    }
+
+    /// Replaces the section values at global index `i`.
+    ///
+    /// Purely a value edit: topology (and leaf status) cannot change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_section(&mut self, i: usize, section: &RlcSection) {
+        self.res[i] = section.resistance();
+        self.ind[i] = section.inductance();
+        self.cap[i] = section.capacitance();
+    }
+
+    /// Adds `delta` to the capacitance at global index `i` (Miller folding
+    /// of a coupling capacitor onto its attach node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bump_cap(&mut self, i: usize, delta: Capacitance) {
+        self.cap[i] += delta;
+    }
+}
+
+/// One RLC tree in flat structure-of-arrays form.
+///
+/// A thin wrapper over a single-net [`FlatForest`] whose flat indices
+/// coincide with the source arena's [`NodeId::index`] values, so results
+/// computed against a `FlatTree` can be addressed with the original ids
+/// without any translation table.
+///
+/// # Examples
+///
+/// ```
+/// use rlc_tree::flat::{FlatTree, NO_PARENT};
+/// use rlc_tree::{topology, RlcSection};
+/// use rlc_units::{Resistance, Inductance, Capacitance};
+///
+/// let s = RlcSection::new(
+///     Resistance::from_ohms(10.0),
+///     Inductance::from_nanohenries(1.0),
+///     Capacitance::from_picofarads(0.1),
+/// );
+/// let tree = topology::balanced_tree(3, 2, s);
+/// let flat = FlatTree::from_tree(&tree);
+/// assert_eq!(flat.len(), tree.len());
+/// assert_eq!(flat.parents()[0], NO_PARENT);
+/// // Leaf enumeration matches the arena's (ascending) order.
+/// assert!(flat.leaf_ids().eq(tree.leaves()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlatTree {
+    forest: FlatForest,
+}
+
+impl FlatTree {
+    /// Creates an empty flat tree (rebuild it before use).
+    pub fn new() -> Self {
+        Self {
+            forest: FlatForest::new(),
+        }
+    }
+
+    /// Snapshots `tree` into a fresh flat layout.
+    pub fn from_tree(tree: &RlcTree) -> Self {
+        let mut flat = Self::new();
+        flat.rebuild_from(tree);
+        flat
+    }
+
+    /// Re-snapshots `tree`, reusing every internal buffer.
+    pub fn rebuild_from(&mut self, tree: &RlcTree) {
+        self.forest.clear();
+        self.forest.push_tree(tree);
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.forest.len()
+    }
+
+    /// Returns `true` if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forest.is_empty()
+    }
+
+    /// Parent index per node ([`NO_PARENT`] for roots); `parent[i] < i`.
+    #[inline]
+    pub fn parents(&self) -> &[u32] {
+        self.forest.parents()
+    }
+
+    /// Per-section resistances, indexed by [`NodeId::index`].
+    #[inline]
+    pub fn resistances(&self) -> &[Resistance] {
+        self.forest.resistances()
+    }
+
+    /// Per-section inductances, indexed by [`NodeId::index`].
+    #[inline]
+    pub fn inductances(&self) -> &[Inductance] {
+        self.forest.inductances()
+    }
+
+    /// Per-section capacitances, indexed by [`NodeId::index`].
+    #[inline]
+    pub fn capacitances(&self) -> &[Capacitance] {
+        self.forest.capacitances()
+    }
+
+    /// CSR offsets (see [`FlatForest::child_start`]).
+    #[inline]
+    pub fn child_start(&self) -> &[u32] {
+        self.forest.child_start()
+    }
+
+    /// Concatenated CSR child groups, ascending per group.
+    #[inline]
+    pub fn child_index(&self) -> &[u32] {
+        self.forest.child_index()
+    }
+
+    /// Children of node `i`, in ascending index order.
+    #[inline]
+    pub fn children_of(&self, i: usize) -> &[u32] {
+        self.forest.children_of(i)
+    }
+
+    /// Leaf indices, ascending (the arena's sink-enumeration order).
+    #[inline]
+    pub fn leaves(&self) -> &[u32] {
+        self.forest.leaves()
+    }
+
+    /// Leaves as [`NodeId`]s, ascending — interchangeable with
+    /// [`RlcTree::leaves`] on the source tree.
+    pub fn leaf_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.forest.leaves().iter().map(|&i| NodeId(i))
+    }
+
+    /// Mirrors a value edit at `node` (see [`FlatForest::set_section`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_section(&mut self, node: usize, section: &RlcSection) {
+        self.forest.set_section(node, section);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use rlc_units::{Capacitance, Inductance, Resistance};
+
+    fn s(r: f64, l: f64, c: f64) -> RlcSection {
+        RlcSection::new(
+            Resistance::from_ohms(r),
+            Inductance::from_nanohenries(l),
+            Capacitance::from_picofarads(c),
+        )
+    }
+
+    #[test]
+    fn flat_tree_mirrors_arena_exactly() {
+        let (tree, _) = topology::fig5(s(25.0, 5.0, 0.5));
+        let flat = FlatTree::from_tree(&tree);
+        assert_eq!(flat.len(), tree.len());
+        for id in tree.node_ids() {
+            let i = id.index();
+            match tree.parent(id) {
+                Some(p) => assert_eq!(flat.parents()[i], p.0),
+                None => assert_eq!(flat.parents()[i], NO_PARENT),
+            }
+            assert_eq!(flat.resistances()[i], tree.section(id).resistance());
+            assert_eq!(flat.inductances()[i], tree.section(id).inductance());
+            assert_eq!(flat.capacitances()[i], tree.section(id).capacitance());
+            let kids: Vec<u32> = tree.children(id).iter().map(|c| c.0).collect();
+            assert_eq!(flat.children_of(i), kids.as_slice());
+        }
+        let leaves: Vec<NodeId> = tree.leaves().collect();
+        assert!(flat.leaf_ids().eq(leaves));
+    }
+
+    #[test]
+    fn topological_and_sorted_invariants_hold() {
+        let tree = topology::balanced_tree(4, 3, s(10.0, 1.0, 0.2));
+        let flat = FlatTree::from_tree(&tree);
+        for (i, &p) in flat.parents().iter().enumerate() {
+            assert!(p == NO_PARENT || (p as usize) < i, "parent[{i}] = {p}");
+        }
+        for i in 0..flat.len() {
+            assert!(flat.children_of(i).windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(flat.leaves().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_matches_fresh_build() {
+        let (small, _) = topology::single_line(3, s(5.0, 0.5, 0.1));
+        let big = topology::balanced_tree(5, 2, s(10.0, 1.0, 0.2));
+        let mut flat = FlatTree::from_tree(&big);
+        flat.rebuild_from(&small);
+        assert_eq!(flat, FlatTree::from_tree(&small));
+        flat.rebuild_from(&big);
+        assert_eq!(flat, FlatTree::from_tree(&big));
+    }
+
+    #[test]
+    fn forest_packs_nets_contiguously() {
+        let (line, _) = topology::single_line(3, s(5.0, 0.5, 0.1));
+        let tree = topology::balanced_tree(2, 2, s(10.0, 1.0, 0.2));
+        let mut forest = FlatForest::new();
+        let a = forest.push_tree(&line);
+        let b = forest.push_tree(&tree);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(forest.net_count(), 2);
+        assert_eq!(forest.len(), line.len() + tree.len());
+        assert_eq!(forest.net_range(0), 0..line.len());
+        assert_eq!(forest.net_range(1), line.len()..line.len() + tree.len());
+        // Net 1's nodes are net 0's arena values rebased by line.len().
+        let base = line.len();
+        for id in tree.node_ids() {
+            let g = base + id.index();
+            match tree.parent(id) {
+                Some(p) => assert_eq!(forest.parents()[g] as usize, base + p.index()),
+                None => assert_eq!(forest.parents()[g], NO_PARENT),
+            }
+            let kids: Vec<u32> = tree
+                .children(id)
+                .iter()
+                .map(|c| (base + c.index()) as u32)
+                .collect();
+            assert_eq!(forest.children_of(g), kids.as_slice());
+        }
+        // Per-net leaf slices partition the global ascending list.
+        assert_eq!(forest.net_leaves(0), &[2]);
+        let tree_leaves: Vec<u32> = tree.leaves().map(|l| (base + l.index()) as u32).collect();
+        assert_eq!(forest.net_leaves(1), tree_leaves.as_slice());
+        // Global invariant: parent[i] < i across net boundaries too.
+        for (i, &p) in forest.parents().iter().enumerate() {
+            assert!(p == NO_PARENT || (p as usize) < i);
+        }
+    }
+
+    #[test]
+    fn value_edits_mirror_without_rebuild() {
+        let (tree, _) = topology::single_line(4, s(5.0, 0.5, 0.1));
+        let mut flat = FlatTree::from_tree(&tree);
+        let edit = s(7.0, 0.25, 0.3);
+        flat.set_section(2, &edit);
+        assert_eq!(flat.resistances()[2], edit.resistance());
+        assert_eq!(flat.inductances()[2], edit.inductance());
+        assert_eq!(flat.capacitances()[2], edit.capacitance());
+
+        let mut forest = FlatForest::new();
+        forest.push_tree(&tree);
+        let before = forest.capacitances()[1];
+        forest.bump_cap(1, Capacitance::from_picofarads(0.05));
+        assert_eq!(
+            forest.capacitances()[1],
+            before + Capacitance::from_picofarads(0.05)
+        );
+    }
+
+    #[test]
+    fn empty_layouts_are_well_formed() {
+        let flat = FlatTree::new();
+        assert!(flat.is_empty());
+        assert_eq!(flat.child_start(), &[0]);
+        assert_eq!(flat.leaf_ids().len(), 0);
+        let mut forest = FlatForest::new();
+        assert!(forest.is_empty());
+        assert_eq!(forest.net_count(), 0);
+        forest.clear();
+        assert_eq!(forest.net_count(), 0);
+    }
+}

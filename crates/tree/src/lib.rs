@@ -11,6 +11,9 @@
 //! * [`RlcSection`] — one `R`/`L`/`C` section;
 //! * [`RlcTree`] — an arena-allocated tree of sections with O(1) parent and
 //!   child access, traversal orders, and path queries;
+//! * [`FlatTree`] / [`FlatForest`] — packed, topologically-sorted
+//!   structure-of-arrays mirrors (single tree / multi-net arena) that the
+//!   O(n) moment kernels sweep as branch-light linear loops;
 //! * [`TreeBuilder`] — fluent construction of hand-shaped trees;
 //! * [`topology`] — canonical generators: single lines, balanced trees of
 //!   any branching factor, the asymmetric-impedance family parameterized by
@@ -48,6 +51,7 @@
 mod builder;
 pub mod coupled;
 mod error;
+pub mod flat;
 pub mod netlist;
 mod section;
 pub mod topology;
@@ -56,5 +60,6 @@ pub mod wire;
 
 pub use builder::TreeBuilder;
 pub use error::TreeError;
+pub use flat::{FlatForest, FlatTree};
 pub use section::RlcSection;
 pub use tree::{NodeId, RlcTree};

@@ -165,7 +165,15 @@ impl RlcTree {
         self.nodes[id.index()].parent
     }
 
-    /// The child nodes of `id`, in insertion order.
+    /// The child nodes of `id`, in ascending id order.
+    ///
+    /// This is a guaranteed invariant, not an accident of allocation:
+    /// construction is append-only, every [`add_section`](Self::add_section)
+    /// hands out an id larger than all existing ids, and grafted subtrees
+    /// are renumbered in preorder — so each child list (like
+    /// [`roots`](Self::roots) and [`leaves`](Self::leaves)) is always
+    /// sorted. The flat SoA kernels and every sink-enumeration call site
+    /// rely on this ordering for bit-identical float accumulation.
     ///
     /// # Panics
     ///
@@ -183,12 +191,21 @@ impl RlcTree {
         self.nodes[id.index()].children.is_empty()
     }
 
-    /// Iterates over all node ids in arena (topological) order.
-    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+    /// Iterates over all node ids in ascending (arena) order.
+    ///
+    /// Arena order is a valid topological order — `parent(id) < id` for
+    /// every non-root node — so the forward iteration visits parents before
+    /// children and the reverse iteration (`.rev()`) visits children before
+    /// parents. Both directions are used by the O(n) moment kernels.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + DoubleEndedIterator + '_ {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
-    /// Iterates over the sink (leaf) nodes in arena order.
+    /// Iterates over the sink (leaf) nodes in ascending id order.
+    ///
+    /// Like [`children`](Self::children), the ordering is a guaranteed
+    /// sorted invariant: sink enumeration everywhere (engine reports, opt
+    /// probes, flat-kernel leaf tables) agrees on this sequence.
     pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.node_ids().filter(|&id| self.is_leaf(id))
     }
@@ -728,5 +745,40 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<RlcTree>();
         assert_send_sync::<NodeId>();
+    }
+
+    /// The sorted-ordering invariant the flat kernels and all sink
+    /// enumeration depend on: `roots`, every child list, `leaves`, and
+    /// `node_ids` are strictly ascending, and arena order stays topological
+    /// — even after grafting, which renumbers the grafted copy in preorder.
+    #[test]
+    fn ordering_is_a_sorted_invariant_not_an_accident() {
+        fn assert_sorted_invariants(t: &RlcTree) {
+            let ascending = |ids: &[NodeId]| ids.windows(2).all(|w| w[0] < w[1]);
+            assert!(ascending(t.roots()));
+            let leaves: Vec<NodeId> = t.leaves().collect();
+            assert!(ascending(&leaves));
+            let ids: Vec<NodeId> = t.node_ids().collect();
+            assert!(ascending(&ids));
+            let mut rev: Vec<NodeId> = t.node_ids().rev().collect();
+            rev.reverse();
+            assert_eq!(rev, ids);
+            for id in t.node_ids() {
+                assert!(ascending(t.children(id)));
+                for &child in t.children(id) {
+                    assert!(id < child, "arena order must be topological");
+                }
+            }
+        }
+
+        let (mut t, n) = fig5_shape();
+        assert_sorted_invariants(&t);
+        // Graft a copy of the whole tree under a mid-level node and under
+        // the source; new ids append, so every invariant must survive.
+        let copy = t.clone();
+        t.graft(Some(n[1]), &copy);
+        t.graft(None, &copy);
+        assert_sorted_invariants(&t);
+        assert_sorted_invariants(&t.subtree(n[0]));
     }
 }

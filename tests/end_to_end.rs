@@ -232,3 +232,64 @@ fn eed_tracks_awe_on_moderately_damped_trees() {
     let diff = relative_error(model_delay, awe_delay);
     assert!(diff < 0.08, "EED vs AWE(4): {diff}");
 }
+
+/// Golden-report regression: the `rlc-engine/1` and `rlc-couple/1` reports
+/// for the checked-in example decks are frozen byte-for-byte in
+/// `tests/golden/`. Any kernel change that perturbs report bytes — a
+/// reassociated float, a reordered sink, a format drift — fails here before
+/// it can silently invalidate archived reports. Regenerate intentionally
+/// with `UPDATE_GOLDEN=1 cargo test --test end_to_end golden`.
+mod golden {
+    use equivalent_elmore::engine::{Batch, CoupleBatch, Engine};
+    use std::fs;
+    use std::path::{Path, PathBuf};
+
+    fn golden_path(name: &str) -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(name)
+    }
+
+    fn check_golden(name: &str, actual: &str) {
+        let path = golden_path(name);
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            fs::write(&path, actual).expect("write golden file");
+            return;
+        }
+        let expected = fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("missing {}; regenerate with UPDATE_GOLDEN=1", name));
+        assert_eq!(
+            actual, expected,
+            "{name} drifted from the checked-in golden report"
+        );
+    }
+
+    #[test]
+    fn engine_report_for_example_decks_is_frozen() {
+        // Relative path: integration tests run with CWD at the workspace
+        // root, and the batch embeds the path as the net name — keeping it
+        // relative keeps the golden bytes machine-independent.
+        let batch = Batch::from_dir("examples/decks").expect("decks dir exists");
+        let report = Engine::with_workers(1).run(&batch);
+        // The report must not depend on the worker count...
+        assert_eq!(
+            report.to_json(),
+            Engine::with_workers(4).run(&batch).to_json()
+        );
+        // ...and must not drift across kernel swaps.
+        check_golden("engine_decks.json", &report.to_json());
+    }
+
+    #[test]
+    fn couple_report_for_example_decks_is_frozen() {
+        let deck = fs::read_to_string("examples/decks/coupled_bus.sp").expect("deck exists");
+        let mut batch = CoupleBatch::new();
+        batch.push_deck("examples/decks/coupled_bus.sp", deck);
+        let report = Engine::with_workers(1).run_couple(&batch);
+        assert_eq!(
+            report.to_json(),
+            Engine::with_workers(4).run_couple(&batch).to_json()
+        );
+        check_golden("couple_bus.json", &report.to_json());
+    }
+}
