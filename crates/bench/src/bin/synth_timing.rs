@@ -1,0 +1,137 @@
+//! Synthesis timing driver: run a corpus of synthesis decks through the
+//! `rlc-engine` worker pool's buffer-insertion path and emit the
+//! `rlc-engine-synth/1` JSON report.
+//!
+//! ```text
+//! synth_timing [DIR] [--workers N] [--out FILE]
+//! ```
+//!
+//! * `DIR` — a directory of `.sp` synthesis decks (picked up sorted by
+//!   file name; plain netlists without `.lib`/`.use`/`.driver`/`.require`
+//!   cards are skipped). Without it, a built-in demonstration corpus is
+//!   used.
+//! * `--workers N` — worker-pool size (default: machine parallelism).
+//!   The report is byte-identical for every choice.
+//! * `--out FILE` — write the JSON there instead of stdout.
+//!
+//! A per-net summary table goes to stderr either way.
+
+use std::process::ExitCode;
+
+use rlc_engine::{Engine, SynthBatch};
+
+fn demo_corpus() -> SynthBatch {
+    let mut batch = SynthBatch::new();
+    batch.push_deck(
+        "long-line",
+        "* buffering-eligible resistive line\n\
+         R1 in n1 900\nC1 n1 0 0.9p\n\
+         R2 n1 n2 900\nC2 n2 0 0.9p\n\
+         R3 n2 n3 900\nC3 n3 0 0.9p\n\
+         .lib bufx r=120 cin=5f tin=15p\n.driver 100\n.require n3 2n\n",
+    );
+    batch.push_deck(
+        "short-stub",
+        "* already fast; the synthesizer must leave it alone\n\
+         R1 in n1 25\nC1 n1 0 0.1p\n\
+         .lib bufx r=120 cin=5f tin=15p\n.driver 50\n",
+    );
+    batch
+}
+
+fn main() -> ExitCode {
+    let mut dir: Option<String> = None;
+    let mut workers = 0usize;
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => workers = n,
+                _ => {
+                    eprintln!("--workers needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: synth_timing [DIR] [--workers N] [--out FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_owned()),
+            other => {
+                eprintln!("unrecognized argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let batch = match &dir {
+        Some(path) => match SynthBatch::from_dir(path) {
+            Ok(b) if !b.is_empty() => b,
+            Ok(_) => {
+                eprintln!("no synthesis decks in {path}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("cannot list {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => demo_corpus(),
+    };
+
+    let engine = if workers > 0 {
+        Engine::with_workers(workers)
+    } else {
+        Engine::new()
+    };
+    eprintln!(
+        "synthesizing {} nets on {} workers",
+        batch.len(),
+        engine.effective_workers(batch.len())
+    );
+    let report = engine.run_synth(&batch);
+
+    for slot in &report.nets {
+        match slot {
+            Ok(t) => eprintln!(
+                "  {:<24} {:>3} sites  {:>2} buffers  width {:.2}  \
+                 {:8.1} -> {:8.1} ps  ({:+.1}%)",
+                t.name,
+                t.sites,
+                t.buffers.len(),
+                t.width,
+                t.baseline_ps,
+                t.optimized_ps,
+                100.0 * t.improvement
+            ),
+            Err(e) => eprintln!("  FAILED: {e}"),
+        }
+    }
+
+    let json = report.to_json();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    if report.failures().count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -207,6 +207,11 @@ impl Batch {
 
     /// Queues every `*.sp` file directly inside `dir`, sorted by file name
     /// so the corpus (and therefore the report) is deterministic.
+    /// Synthesis decks (files carrying `.lib`/`.use`/`.driver`/`.require`
+    /// cards, see [`rlc_tree::synth::is_synth_deck`]) belong to
+    /// [`SynthBatch::from_dir`](crate::SynthBatch::from_dir) and are
+    /// skipped, not failed — the two batch kinds partition a mixed deck
+    /// directory between them.
     ///
     /// # Errors
     ///
@@ -217,6 +222,9 @@ impl Batch {
         let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
             .filter_map(|entry| entry.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|ext| ext == "sp"))
+            .filter(|p| {
+                !std::fs::read_to_string(p).is_ok_and(|deck| rlc_tree::synth::is_synth_deck(&deck))
+            })
             .collect();
         paths.sort();
         let mut batch = Self::new();

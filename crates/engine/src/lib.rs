@@ -91,6 +91,7 @@ mod couple;
 mod error;
 mod incremental;
 mod service;
+mod synth;
 
 pub use batch::{
     net_json, Batch, BatchReport, BatchTelemetry, Engine, NetTiming, SinkSummary, TimingModel,
@@ -100,5 +101,6 @@ pub use error::EngineError;
 pub use incremental::{EditCheckpoint, IncrementalAnalysis};
 pub use service::{
     CoupleSpec, CoupleTicket, EngineService, EngineTelemetrySnapshot, JobSpec, JobTicket,
-    JobTiming, ServiceConfig, ServiceStats,
+    JobTiming, ServiceConfig, ServiceStats, SynthSpec, SynthTicket,
 };
+pub use synth::{synth_json, SynthBatch, SynthReport};

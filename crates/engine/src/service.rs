@@ -67,8 +67,11 @@ use rlc_obs::{Histogram, HistogramSnapshot, TimeSource};
 use rlc_tree::coupled::CoupledGroup;
 use rlc_tree::RlcTree;
 
+use rlc_synth::{SynthConfig, SynthTiming};
+
 use crate::batch::{analyze_one, NetScratch, NetSource, NetTiming, TimingModel};
 use crate::couple::{analyze_one_couple, CoupleSource};
+use crate::synth::{optimize_one, SynthSource};
 use crate::EngineError;
 
 /// Sizing of an [`EngineService`].
@@ -246,6 +249,51 @@ impl CoupleSpec {
     }
 }
 
+/// What one submitted synthesis job optimizes: the buffer-insertion
+/// analogue of [`JobSpec`]. Synthesis jobs share the same worker pool,
+/// admission bound, and telemetry as the other kinds — they are simply a
+/// heavier unit of work.
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    name: String,
+    source: SynthSource,
+    config: SynthConfig,
+    deadline: Option<Instant>,
+    hold: Option<Duration>,
+}
+
+impl SynthSpec {
+    /// A job that parses and optimizes a synthesis deck
+    /// (see [`rlc_tree::synth`]).
+    pub fn deck(name: impl Into<String>, deck: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            source: SynthSource::Deck(deck.into()),
+            config: SynthConfig::default(),
+            deadline: None,
+            hold: None,
+        }
+    }
+
+    /// Replaces the synthesis configuration (default [`SynthConfig::default`]).
+    pub fn config(mut self, config: SynthConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets an absolute deadline; see [`JobSpec::deadline`].
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Fault-injection hold; see [`JobSpec::hold`].
+    pub fn hold(mut self, hold: Duration) -> Self {
+        self.hold = Some(hold);
+        self
+    }
+}
+
 /// Monotonic counters describing a service's lifetime so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -291,6 +339,11 @@ enum Payload {
     Couple {
         source: CoupleSource,
         tx: mpsc::Sender<(Result<GroupTiming, EngineError>, JobTiming)>,
+    },
+    Synth {
+        source: SynthSource,
+        config: SynthConfig,
+        tx: mpsc::Sender<(Result<SynthTiming, EngineError>, JobTiming)>,
     },
 }
 
@@ -471,6 +524,48 @@ impl EngineService {
         Ok(CoupleTicket { name, rx })
     }
 
+    /// Submits a synthesis deck under the default [`SynthConfig`];
+    /// shorthand for [`submit_synth_spec`](Self::submit_synth_spec) with
+    /// [`SynthSpec::deck`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Overloaded`] when the queue is at capacity,
+    /// [`EngineError::ShuttingDown`] once a drain has begun.
+    pub fn submit_synth(
+        &self,
+        name: impl Into<String>,
+        deck: impl Into<String>,
+    ) -> Result<SynthTicket, EngineError> {
+        self.submit_synth_spec(SynthSpec::deck(name, deck))
+    }
+
+    /// Submits a synthesis job, applying the same admission policy as
+    /// [`submit_spec`](Self::submit_spec) — all kinds share the one
+    /// bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Overloaded`] when the queue is at capacity,
+    /// [`EngineError::ShuttingDown`] once a drain has begun.
+    pub fn submit_synth_spec(&self, spec: SynthSpec) -> Result<SynthTicket, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        let name = spec.name.clone();
+        self.admit(Job {
+            name: spec.name,
+            deadline: spec.deadline,
+            hold: spec.hold,
+            admitted: Instant::now(),
+            depth: 0,
+            payload: Payload::Synth {
+                source: spec.source,
+                config: spec.config,
+                tx,
+            },
+        })?;
+        Ok(SynthTicket { name, rx })
+    }
+
     /// The admission policy, shared by every job kind: reject when
     /// draining or at capacity, otherwise queue and wake one worker.
     fn admit(&self, mut job: Job) -> Result<(), EngineError> {
@@ -625,6 +720,35 @@ impl CoupleTicket {
     }
 }
 
+/// Receipt for one accepted synthesis job; the buffer-insertion analogue
+/// of [`JobTicket`].
+#[derive(Debug)]
+pub struct SynthTicket {
+    name: String,
+    rx: mpsc::Receiver<(Result<SynthTiming, EngineError>, JobTiming)>,
+}
+
+impl SynthTicket {
+    /// The submitted net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks until the worker delivers this job's result.
+    pub fn wait(self) -> Result<SynthTiming, EngineError> {
+        self.wait_timed().0
+    }
+
+    /// Blocks like [`wait`](Self::wait), additionally returning the job's
+    /// raw wall timings (zeroed if the service died before delivering).
+    pub fn wait_timed(self) -> (Result<SynthTiming, EngineError>, JobTiming) {
+        self.rx.recv().unwrap_or((
+            Err(EngineError::ShuttingDown { net: self.name }),
+            JobTiming::default(),
+        ))
+    }
+}
+
 fn saturating_ns(duration: Duration) -> u64 {
     u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
 }
@@ -680,6 +804,16 @@ fn worker_loop(shared: &Shared) {
                 };
                 Outcome::Couple(result, tx)
             }
+            Payload::Synth { source, config, tx } => {
+                let result = if expired {
+                    Err(EngineError::DeadlineExceeded {
+                        net: job.name.clone(),
+                    })
+                } else {
+                    optimize_one(&job.name, &source, &config)
+                };
+                Outcome::Synth(result, tx)
+            }
         };
         let exec_ns = saturating_ns(picked.elapsed());
         let time = shared.telemetry.time;
@@ -725,6 +859,10 @@ enum Outcome {
         Result<GroupTiming, EngineError>,
         mpsc::Sender<(Result<GroupTiming, EngineError>, JobTiming)>,
     ),
+    Synth(
+        Result<SynthTiming, EngineError>,
+        mpsc::Sender<(Result<SynthTiming, EngineError>, JobTiming)>,
+    ),
 }
 
 impl Outcome {
@@ -732,6 +870,7 @@ impl Outcome {
         match self {
             Outcome::Net(result, _) => result.is_err(),
             Outcome::Couple(result, _) => result.is_err(),
+            Outcome::Synth(result, _) => result.is_err(),
         }
     }
 
@@ -741,6 +880,9 @@ impl Outcome {
                 let _ = tx.send((result, timing));
             }
             Outcome::Couple(result, tx) => {
+                let _ = tx.send((result, timing));
+            }
+            Outcome::Synth(result, tx) => {
                 let _ = tx.send((result, timing));
             }
         }
@@ -912,6 +1054,64 @@ mod tests {
             .submit_couple_spec(
                 CoupleSpec::deck("stale", ".net v\nR1 in n1 25\nC1 n1 0 0.5p\n")
                     .deadline(Instant::now() - Duration::from_millis(1)),
+            )
+            .expect("admitted");
+        assert!(matches!(
+            stale.wait().unwrap_err(),
+            EngineError::DeadlineExceeded { .. }
+        ));
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 2);
+    }
+
+    #[test]
+    fn synth_jobs_share_the_pool_with_net_jobs() {
+        let service = EngineService::start(ServiceConfig {
+            workers: 2,
+            capacity: 8,
+            ..ServiceConfig::default()
+        });
+        let net = service.submit("line", DECK).expect("admitted");
+        let synth = service
+            .submit_synth(
+                "clock",
+                "R1 in n1 900\nC1 n1 0 0.9p\nR2 n1 n2 900\nC2 n2 0 0.9p\n\
+                 R3 n2 n3 900\nC3 n3 0 0.9p\n.lib bufx r=120 cin=5f tin=15p\n.driver 100\n",
+            )
+            .expect("admitted");
+        assert_eq!(synth.name(), "clock");
+        assert!(net.wait().is_ok());
+        let timing = synth.wait().expect("optimizes fine");
+        assert_eq!(timing.name, "clock");
+        assert!(!timing.buffers.is_empty());
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn synth_failures_and_deadlines_are_typed() {
+        let service = EngineService::start(ServiceConfig {
+            workers: 1,
+            capacity: 4,
+            ..ServiceConfig::default()
+        });
+        let bad = service
+            .submit_synth("bad", "R1 in n1 25\nC1 n1 0 0.5p\n")
+            .expect("admitted");
+        assert!(matches!(
+            bad.wait().unwrap_err(),
+            EngineError::Netlist { .. }
+        ));
+        let stale = service
+            .submit_synth_spec(
+                SynthSpec::deck(
+                    "stale",
+                    "R1 in n1 25\nC1 n1 0 0.5p\n.lib b r=100 cin=4f tin=1p\n",
+                )
+                .config(SynthConfig::default())
+                .deadline(Instant::now() - Duration::from_millis(1)),
             )
             .expect("admitted");
         assert!(matches!(

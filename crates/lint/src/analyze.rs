@@ -146,11 +146,17 @@ pub(crate) fn deck_is_coupled(deck: &str) -> bool {
 /// single [`Rule::UnreadableDeck`] error instead of an `io::Error`, so
 /// batch callers can fold I/O problems into the same report stream.
 /// Decks using the coupled-group grammar (`.net` blocks, see
-/// [`crate::lint_coupled_deck`]) are routed to the coupled analyzer, so
-/// directory sweeps may mix single-net and coupled decks freely.
+/// [`crate::lint_coupled_deck`]) are routed to the coupled analyzer, and
+/// decks carrying synthesis directives (`.lib`/`.use`/`.driver`/
+/// `.require`, see [`crate::lint_synth_deck`]) to the synthesis analyzer,
+/// so directory sweeps may mix single-net, coupled, and synthesis decks
+/// freely.
 pub fn lint_path(path: &std::path::Path, config: &LintConfig) -> LintReport {
     match std::fs::read_to_string(path) {
         Ok(deck) if deck_is_coupled(&deck) => crate::coupled::lint_coupled_deck_with(&deck, config),
+        Ok(deck) if rlc_tree::synth::is_synth_deck(&deck) => {
+            crate::synth::lint_synth_deck_with(&deck, config)
+        }
         Ok(deck) => lint_deck_with(&deck, config),
         Err(err) => LintReport::new(vec![Diagnostic::deck(
             Rule::UnreadableDeck,

@@ -16,11 +16,16 @@
 //! * **coupling** — coupled-deck defects (`L4xx`): `K` cards naming
 //!   unknown nets or nodes, self-coupling, non-positive coupling caps,
 //!   duplicate `.net` names, and implausibly wide aggressor fan-in (see
-//!   [`lint_coupled_deck`]).
+//!   [`lint_coupled_deck`]);
+//! * **synthesis** — synthesis-deck defects (`L5xx`): unknown buffer
+//!   references, non-positive driver resistances, constraints on
+//!   nonexistent sinks, malformed `.lib`/`.use`/`.driver`/`.require`
+//!   cards (see [`lint_synth_deck`]).
 //!
 //! The contract downstream gates rely on: **a deck lints error-free iff
 //! `Netlist::parse` accepts it** (for coupled decks: iff
-//! `CoupledGroup::parse` accepts it). Warnings and infos never block
+//! `CoupledGroup::parse` accepts it; for synthesis decks: iff
+//! `SynthDeck::parse` accepts it). Warnings and infos never block
 //! parsing; errors always predict a parse failure. `rlc-serve` uses this
 //! to reject work before it costs an admission slot, `rlc-engine` offers
 //! it as a batch pre-check, and `rlc-verify` screens its generated corpus
@@ -50,8 +55,10 @@ mod analyze;
 mod coupled;
 mod report;
 mod rules;
+mod synth;
 
 pub use analyze::{lint_deck, lint_deck_with, lint_path, lint_tree, lint_tree_with, LintConfig};
 pub use coupled::{lint_coupled_deck, lint_coupled_deck_with, lint_coupled_group};
 pub use report::{render_document, Diagnostic, LintReport};
 pub use rules::{Rule, Severity, Tier};
+pub use synth::{lint_synth_deck, lint_synth_deck_with};

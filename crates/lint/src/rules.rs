@@ -50,13 +50,16 @@ pub enum Tier {
     /// Coupled-deck constructs: `.net` blocks and `K` coupling capacitors
     /// (see `rlc_tree::coupled`).
     Coupling,
+    /// Synthesis-deck constructs: `.lib`/`.use`/`.driver`/`.require`
+    /// cards (see `rlc_tree::synth`).
+    Synthesis,
 }
 
 /// Every rule the analyzer can fire, with its stable code.
 ///
 /// The `L0xx` block is structural, `L1xx` physical, `L2xx` model-regime,
-/// `L3xx` I/O, `L4xx` coupling. See [`Rule::code`], [`Rule::severity`],
-/// [`Rule::tier`].
+/// `L3xx` I/O, `L4xx` coupling, `L5xx` synthesis. See [`Rule::code`],
+/// [`Rule::severity`], [`Rule::tier`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Rule {
@@ -123,6 +126,20 @@ pub enum Rule {
     /// Two `.net` blocks share a name, so coupling references are
     /// ambiguous.
     DuplicateNet,
+    /// A `.use` card selects a buffer no `.lib` card defines.
+    UnknownBufferRef,
+    /// A `.driver` or `.lib r=` resistance is zero, negative, or
+    /// non-finite; the synthesizer divides by these.
+    NonPositiveSynthResistance,
+    /// A `.require` constraint names a node the element portion never
+    /// creates.
+    ConstraintOnUnknownNode,
+    /// A synthesis card does not match its grammar (field count, key set,
+    /// value syntax, duplicate definition).
+    MalformedSynthCard,
+    /// A deck uses synthesis directives but defines no `.lib` buffer, so
+    /// there is nothing the synthesizer could insert.
+    MissingBufferLibrary,
 }
 
 impl Rule {
@@ -152,9 +169,14 @@ impl Rule {
         Rule::DanglingCouplingNode,
         Rule::TooManyAggressors,
         Rule::DuplicateNet,
+        Rule::UnknownBufferRef,
+        Rule::NonPositiveSynthResistance,
+        Rule::ConstraintOnUnknownNode,
+        Rule::MalformedSynthCard,
+        Rule::MissingBufferLibrary,
     ];
 
-    /// The stable wire code, `L001`..`L406`.
+    /// The stable wire code, `L001`..`L505`.
     pub fn code(self) -> &'static str {
         match self {
             Rule::EmptyDeck => "L001",
@@ -181,6 +203,11 @@ impl Rule {
             Rule::DanglingCouplingNode => "L404",
             Rule::TooManyAggressors => "L405",
             Rule::DuplicateNet => "L406",
+            Rule::UnknownBufferRef => "L501",
+            Rule::NonPositiveSynthResistance => "L502",
+            Rule::ConstraintOnUnknownNode => "L503",
+            Rule::MalformedSynthCard => "L504",
+            Rule::MissingBufferLibrary => "L505",
         }
     }
 
@@ -201,7 +228,12 @@ impl Rule {
             | Rule::SelfCoupling
             | Rule::NonPositiveCouplingCap
             | Rule::DanglingCouplingNode
-            | Rule::DuplicateNet => Severity::Error,
+            | Rule::DuplicateNet
+            | Rule::UnknownBufferRef
+            | Rule::NonPositiveSynthResistance
+            | Rule::ConstraintOnUnknownNode
+            | Rule::MalformedSynthCard
+            | Rule::MissingBufferLibrary => Severity::Error,
             Rule::DuplicateLabel
             | Rule::LoadFreeLeaf
             | Rule::DuplicateInput
@@ -240,6 +272,11 @@ impl Rule {
             | Rule::DanglingCouplingNode
             | Rule::TooManyAggressors
             | Rule::DuplicateNet => Tier::Coupling,
+            Rule::UnknownBufferRef
+            | Rule::NonPositiveSynthResistance
+            | Rule::ConstraintOnUnknownNode
+            | Rule::MalformedSynthCard
+            | Rule::MissingBufferLibrary => Tier::Synthesis,
         }
     }
 
@@ -270,6 +307,11 @@ impl Rule {
             Rule::DanglingCouplingNode => "coupling references a node outside its net's tree",
             Rule::TooManyAggressors => "net coupled to more aggressors than the configured limit",
             Rule::DuplicateNet => "two .net blocks share a name",
+            Rule::UnknownBufferRef => ".use selects a buffer no .lib defines",
+            Rule::NonPositiveSynthResistance => "synthesis resistance not finite and positive",
+            Rule::ConstraintOnUnknownNode => ".require names a nonexistent node",
+            Rule::MalformedSynthCard => "synthesis card does not match its grammar",
+            Rule::MissingBufferLibrary => "synthesis deck has no .lib buffer",
         }
     }
 }
@@ -304,6 +346,7 @@ mod tests {
                 Tier::ModelRegime => "2",
                 Tier::Io => "3",
                 Tier::Coupling => "4",
+                Tier::Synthesis => "5",
             };
             assert_eq!(
                 block,

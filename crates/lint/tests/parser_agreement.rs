@@ -7,9 +7,10 @@
 //! pre-check relies on it to predict per-net failures.
 
 use proptest::prelude::*;
-use rlc_lint::{lint_coupled_deck, lint_deck};
+use rlc_lint::{lint_coupled_deck, lint_deck, lint_synth_deck};
 use rlc_tree::coupled::CoupledGroup;
 use rlc_tree::netlist::Netlist;
+use rlc_tree::synth::SynthDeck;
 
 /// A generator of decks spanning the interesting space: mostly valid
 /// topologies, with mutations that hit every scanner path.
@@ -109,6 +110,59 @@ fn coupled_decks() -> impl Strategy<Value = String> {
         })
 }
 
+/// A generator of *synthesis* decks: a valid section chain plus
+/// `.lib`/`.use`/`.driver`/`.require` cards, with mutations hitting every
+/// synthesis-scanner path (card grammar, buffer resolution, resistance
+/// signs, constraint-node resolution, element faults underneath).
+fn synth_decks() -> impl Strategy<Value = String> {
+    let section = (0u32..4, 1u32..100, 1u32..100);
+    (
+        proptest::collection::vec(section, 1..8),
+        0u32..20, // mutation selector
+    )
+        .prop_map(|(sections, mutation)| {
+            let mut deck = String::from(".input in\n");
+            for (i, (kind, series, cap)) in sections.iter().enumerate() {
+                let parent = if i == 0 {
+                    "in".to_owned()
+                } else {
+                    format!("m{}", i - 1)
+                };
+                let me = format!("m{i}");
+                if kind % 2 == 0 {
+                    deck.push_str(&format!("R{i} {parent} {me} {series}\n"));
+                } else {
+                    deck.push_str(&format!("L{i} {parent} {me} {series}n\n"));
+                }
+                deck.push_str(&format!("C{i} {me} 0 {cap}f\n"));
+            }
+            deck.push_str(".lib bufa r=120 cin=4f tin=15p\n");
+            match mutation {
+                0 => deck.push_str(".lib short r=1k cin=4f\n"),
+                1 => deck.push_str(".lib keys r=1k cin=4f zap=1p\n"),
+                2 => deck.push_str(".lib keys r=1k cin=4f cin=5f\n"),
+                3 => deck.push_str(".lib bufa r=2k cin=4f tin=1p\n"),
+                4 => deck.push_str(".lib zero r=0 cin=4f tin=1p\n"),
+                5 => deck.push_str(".lib neg r=-5 cin=4f tin=1p\n"),
+                6 => deck.push_str(".lib bad r=oops cin=4f tin=1p\n"),
+                7 => deck.push_str(".lib nn r=1k cin=-4f tin=1p\n"),
+                8 => deck.push_str(".use ghost\n"),
+                9 => deck.push_str(".use bufa\n.use bufa\n"),
+                10 => deck.push_str(".use one two\n"),
+                11 => deck.push_str(".driver 0\n"),
+                12 => deck.push_str(".driver 100\n.driver 200\n"),
+                13 => deck.push_str(".driver\n"),
+                14 => deck.push_str(".require ghost 1n\n"),
+                15 => deck.push_str(".require m0 -1p\n"),
+                16 => deck.push_str(".require m0 1p\n.require m0 2p\n"),
+                17 => deck.push_str(".require m0\n"),
+                18 => deck.push_str("Rbad m0\n"),
+                _ => deck.push_str(".use bufa\n.driver 150\n.require m0 2n\n"),
+            }
+            deck
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -140,5 +194,22 @@ proptest! {
     #[test]
     fn coupled_reports_are_deterministic(deck in coupled_decks()) {
         prop_assert_eq!(lint_coupled_deck(&deck), lint_coupled_deck(&deck));
+    }
+
+    #[test]
+    fn synth_lints_error_free_iff_the_parser_accepts(deck in synth_decks()) {
+        let report = lint_synth_deck(&deck);
+        let parsed = SynthDeck::parse(&deck);
+        let agree = report.is_clean() == parsed.is_ok();
+        prop_assert!(
+            agree,
+            "synth lint/parse disagree on {deck:?}: {report:?} vs {:?}",
+            parsed.err()
+        );
+    }
+
+    #[test]
+    fn synth_reports_are_deterministic(deck in synth_decks()) {
+        prop_assert_eq!(lint_synth_deck(&deck), lint_synth_deck(&deck));
     }
 }

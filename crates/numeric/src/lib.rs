@@ -31,6 +31,7 @@
 mod complex;
 mod error;
 pub mod linalg;
+pub mod minimize;
 pub mod poly;
 pub mod roots;
 

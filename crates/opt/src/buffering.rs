@@ -28,6 +28,8 @@ use rlc_engine::IncrementalAnalysis;
 use rlc_tree::{NodeId, RlcSection, RlcTree};
 use rlc_units::{Capacitance, Resistance, Time};
 
+use crate::search::golden_min;
+
 use crate::repeater::Repeater;
 
 /// A buffer-insertion result: where to place buffers and the predicted
@@ -650,31 +652,11 @@ pub fn optimal_buffer_size(
         "size bounds must satisfy 0 < min < max, got [{min_size}, {max_size}]"
     );
     let mut timer = PlacementTimer::new(tree, buffers, driver_resistance, *lib);
-    let mut f = |s: f64| timer.delay_with_size(s).as_seconds();
-    let (mut lo, mut hi) = (min_size, max_size);
-    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
-    let mut c = hi - phi * (hi - lo);
-    let mut d = lo + phi * (hi - lo);
-    let (mut fc, mut fd) = (f(c), f(d));
-    for _ in 0..80 {
-        if fc < fd {
-            hi = d;
-            d = c;
-            fd = fc;
-            c = hi - phi * (hi - lo);
-            fc = f(c);
-        } else {
-            lo = c;
-            c = d;
-            fc = fd;
-            d = lo + phi * (hi - lo);
-            fd = f(d);
-        }
-    }
-    let size = 0.5 * (lo + hi);
+    let f = |s: f64| timer.delay_with_size(s).as_seconds();
+    let (size, delay) = golden_min(min_size, max_size, f);
     SizedBuffering {
         size,
-        delay: Time::from_seconds(f(size)),
+        delay: Time::from_seconds(delay),
     }
 }
 

@@ -45,5 +45,6 @@
 pub mod buffering;
 pub mod fom;
 pub mod repeater;
+pub mod search;
 pub mod sizing;
 pub mod skew;

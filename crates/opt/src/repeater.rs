@@ -15,6 +15,8 @@ use rlc_tree::wire::WireModel;
 use rlc_tree::RlcTree;
 use rlc_units::{Capacitance, Resistance, Time};
 
+use crate::search::golden_min;
+
 /// A repeater (inverter) characterized at unit size.
 ///
 /// Scaling a repeater by `h` divides its output resistance by `h` and
@@ -188,31 +190,6 @@ pub fn bakoglu_rc(wire: &WireModel, length_um: f64, lib: &Repeater) -> (f64, f64
     let k = (0.4 * rt * ct / (0.7 * r0 * c0)).sqrt();
     let h = (r0 * ct / (rt * c0)).sqrt();
     (k, h)
-}
-
-/// Golden-section minimization over `[lo, hi]`, returning `(argmin, min)`.
-fn golden_min(mut lo: f64, mut hi: f64, f: impl Fn(f64) -> f64) -> (f64, f64) {
-    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
-    let mut c = hi - phi * (hi - lo);
-    let mut d = lo + phi * (hi - lo);
-    let (mut fc, mut fd) = (f(c), f(d));
-    for _ in 0..80 {
-        if fc < fd {
-            hi = d;
-            d = c;
-            fd = fc;
-            c = hi - phi * (hi - lo);
-            fc = f(c);
-        } else {
-            lo = c;
-            c = d;
-            fc = fd;
-            d = lo + phi * (hi - lo);
-            fd = f(d);
-        }
-    }
-    let x = 0.5 * (lo + hi);
-    (x, f(x))
 }
 
 #[cfg(test)]

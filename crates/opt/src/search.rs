@@ -1,0 +1,9 @@
+//! Scalar search primitives for the optimization loops.
+//!
+//! The golden-section kernel itself lives in
+//! [`rlc_numeric::minimize`] so that crates below `rlc-opt` in the
+//! dependency graph (notably `rlc-synth`, which `rlc-engine` builds on)
+//! can run the *same* width search with identical bracketing arithmetic.
+//! This module re-exports it under the name the optimization loops use.
+
+pub use rlc_numeric::minimize::golden_min;

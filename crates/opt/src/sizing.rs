@@ -18,6 +18,8 @@ use rlc_tree::wire::WireModel;
 use rlc_tree::RlcTree;
 use rlc_units::{Capacitance, Time};
 
+use crate::search::golden_min;
+
 /// Result of a wire-sizing optimization.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizedWire {
@@ -95,30 +97,10 @@ pub fn optimal_width(
         );
         delay.as_seconds()
     };
-    let (mut lo, mut hi) = (min_width, max_width);
-    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
-    let mut c = hi - phi * (hi - lo);
-    let mut d = lo + phi * (hi - lo);
-    let (mut fc, mut fd) = (f(c), f(d));
-    for _ in 0..80 {
-        if fc < fd {
-            hi = d;
-            d = c;
-            fd = fc;
-            c = hi - phi * (hi - lo);
-            fc = f(c);
-        } else {
-            lo = c;
-            c = d;
-            fc = fd;
-            d = lo + phi * (hi - lo);
-            fd = f(d);
-        }
-    }
-    let width = 0.5 * (lo + hi);
+    let (width, delay) = golden_min(min_width, max_width, &mut f);
     SizedWire {
         width,
-        delay: Time::from_seconds(f(width)),
+        delay: Time::from_seconds(delay),
     }
 }
 

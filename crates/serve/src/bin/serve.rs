@@ -26,8 +26,8 @@ use std::time::{Duration, Instant};
 
 use rlc_obs::TimeSource;
 use rlc_serve::{
-    serve_stdio, AnalyzeRequest, CacheConfig, CoupleRequest, LintMode, LintRequest, ProtocolError,
-    ServeConfig, ServeCore, Server, TelemetryConfig,
+    serve_stdio, AnalyzeRequest, CacheConfig, CoupleRequest, LintMode, LintRequest,
+    OptimizeRequest, ProtocolError, ServeConfig, ServeCore, Server, TelemetryConfig,
 };
 
 const USAGE: &str = "usage: serve [--listen ADDR] [--stdio] [--smoke]
@@ -188,6 +188,25 @@ const COUPLED_DECK_RESPELLED: &str = "* same group, respelled\n\
 .net agg\nRz in q 4.0e1\nCq q 0 0.30p\n\
 K9 victim.y agg.q 1e-13\n";
 
+/// One synthesis deck, two exact spellings. The respelling also carries
+/// an extra *unselected* `.lib` card: only the selected buffer addresses
+/// the cache, so the deck must still hit.
+const SYNTH_DECK: &str = "\
+R1 in n1 900
+C1 n1 0 0.9p
+R2 n1 n2 900
+C2 n2 0 0.9p
+R3 n2 n3 900
+C3 n3 0 0.9p
+.lib bufx r=120 cin=5f tin=15p
+.driver 100
+.require n3 2n
+";
+const SYNTH_DECK_RESPELLED: &str = "* same net, respelled\n\
+.input  s\nRa s  a 9.0e2\nCa a 0 0.90p\nRb a b 9e2\nCb b 0 0.9p\nRc b c 900\nCc c 0 0.9pF\n\
+.lib slow r=900 cin=9f tin=90p\n.lib bufx r=1.2e2 cin=5.0f tin=15.0p\n.use bufx\n\
+.driver 1e2\n.require c 2.0n\n.end\n";
+
 fn expect(condition: bool, message: impl FnOnce() -> String) -> Result<(), String> {
     if condition {
         Ok(())
@@ -224,7 +243,7 @@ fn smoke() -> Result<(), String> {
         reference.len()
     );
     println!(
-        "smoke ok: warm-cache analyze and couple did zero engine jobs; lint, overload, deadline and drain rejections all typed"
+        "smoke ok: warm-cache analyze, couple and optimize did zero engine jobs; lint, overload, deadline and drain rejections all typed"
     );
     println!(
         "smoke ok: rlc-trace/1 metrics counted every outcome class and stayed byte-deterministic"
@@ -344,6 +363,42 @@ fn smoke_one(workers: usize) -> Result<String, String> {
         || fail("malformed group should report a typed couple error", &c3),
     )?;
 
+    // 3c. Synthesis rides the same pool and its own cache: an optimize
+    //     miss whose verdict is the rlc-synth/1 buffer-insertion report,
+    //     a respelled deck (with an extra unselected buffer card)
+    //     answered from the cache with zero engine work, and a typed
+    //     per-net error for a deck without a buffer library.
+    let s1 = core.optimize(OptimizeRequest::new("clock", SYNTH_DECK));
+    expect(
+        s1.contains("\"cache\": \"miss\"")
+            && s1.contains("\"schema\": \"rlc-synth/1\"")
+            && s1.contains("\"status\": \"ok\"")
+            && s1.contains("\"improvement\""),
+        || fail("first optimize should miss with a synthesis report", &s1),
+    )?;
+    let jobs_before = core.engine_stats().submitted;
+    let s2 = core.optimize(OptimizeRequest::new("clock2", SYNTH_DECK_RESPELLED));
+    expect(
+        s2.contains("\"cache\": \"hit\"") && s2.contains("\"name\": \"clock2\""),
+        || {
+            fail(
+                "respelled synth deck should hit under the caller's name",
+                &s2,
+            )
+        },
+    )?;
+    expect(core.engine_stats().submitted == jobs_before, || {
+        format!("workers={workers}: warm-cache optimize must not reach the engine")
+    })?;
+    let s3 = core.optimize(OptimizeRequest::new(
+        "sbroken",
+        "R1 in n1 25\nC1 n1 0 0.5p\n",
+    ));
+    expect(
+        s3.contains("\"schema\": \"rlc-synth/1\"") && s3.contains("\"status\": \"error\""),
+        || fail("library-less deck should report a typed synth error", &s3),
+    )?;
+
     // 4. Overload: pin the service with SMOKE_CAPACITY held jobs, then
     //    prove the next submission gets a typed rejection while every
     //    accepted job still completes.
@@ -443,14 +498,18 @@ fn smoke_one(workers: usize) -> Result<String, String> {
     for (outcome, count) in [
         ("\"ok\": 7", "warm miss, lint verb, four sleepers, probe"),
         ("\"couple\": 1", "the coupled-group miss"),
+        ("\"synth\": 1", "the optimize miss"),
         (
-            "\"cache_hit\": 3",
-            "the repeat, the respelled alias, the respelled group",
+            "\"cache_hit\": 4",
+            "the repeat, the respelled alias, the respelled group and synth deck",
         ),
         ("\"lint_denied\": 1", "the deny-gated deck"),
         ("\"overloaded\": 1", "the overflow submission"),
         ("\"deadline\": 1", "the stale request"),
-        ("\"error\": 2", "the malformed deck and the malformed group"),
+        (
+            "\"error\": 3",
+            "the malformed deck, group, and library-less synth deck",
+        ),
         ("\"shutting_down\": 1", "the post-drain submission"),
         ("\"bad_request\": 1", "the framing probe"),
     ] {
@@ -466,7 +525,7 @@ fn smoke_one(workers: usize) -> Result<String, String> {
         || fail("trace should report recent and slowest requests", &trace),
     )?;
 
-    transcript.extend([r1, r2, r3, r_denied, r_lint, r4, c1, c2, c3, r5]);
+    transcript.extend([r1, r2, r3, r_denied, r_lint, r4, c1, c2, c3, s1, s2, s3, r5]);
     transcript.extend(sleeper_lines);
     transcript.extend([r6, probe, late, bad, metrics, stats]);
 

@@ -68,7 +68,8 @@ pub mod telemetry;
 
 pub use cache::{fnv1a_64, CacheConfig, CacheStats, ResultCache};
 pub use protocol::{
-    AnalyzeRequest, CoupleRequest, LintMode, LintRequest, ProtocolError, ReadOutcome, Request,
+    AnalyzeRequest, CoupleRequest, LintMode, LintRequest, OptimizeRequest, ProtocolError,
+    ReadOutcome, Request,
 };
 pub use server::{serve_stdio, ServeConfig, ServeCore, Server};
 pub use telemetry::{ServeTelemetry, TelemetryConfig};

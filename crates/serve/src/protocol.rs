@@ -6,7 +6,7 @@
 //! ```text
 //! request  = header LF [ deck ]
 //! header   = verb *( SP field )
-//! verb     = "analyze" | "couple" | "lint" | "probe" | "metrics" | "trace" | "shutdown"
+//! verb     = "analyze" | "couple" | "optimize" | "lint" | "probe" | "metrics" | "trace" | "shutdown"
 //! field    = key "=" value               ; no spaces inside a field
 //! deck     = *( line LF ) "." LF        ; analyze, couple, lint; "." ends the deck
 //! ```
@@ -22,7 +22,12 @@
 //! accepts `name=<label>`, `lint=off|warn|deny`, `deadline_ms=<u64>` and
 //! `sleep_ms=<u64>` with the same meanings; its deck body is the *coupled*
 //! format of [`rlc_tree::coupled`] (`.net` blocks joined by `K` cards) and
-//! its result is the group's `rlc-couple/1` crosstalk report. `lint`
+//! its result is the group's `rlc-couple/1` crosstalk report. `optimize`
+//! accepts `name=<label>`, `lint=off|warn|deny`, `deadline_ms=<u64>` and
+//! `sleep_ms=<u64>`; its deck body is the *synthesis* format of
+//! [`rlc_tree::synth`] (a netlist plus `.lib`/`.use`/`.driver`/`.require`
+//! cards) and its result is the net's `rlc-synth/1` buffer-insertion and
+//! wire-sizing report. `lint`
 //! accepts only `name=<label>` and returns the full `rlc-lint` report for
 //! the deck without admitting any engine work. `metrics` takes no fields
 //! and returns the cumulative `rlc-trace/1` telemetry report; `trace`
@@ -169,6 +174,38 @@ impl CoupleRequest {
     }
 }
 
+/// One `optimize` request: a synthesis deck (netlist plus buffer-library
+/// and constraint cards, see [`rlc_tree::synth`]) plus its policy knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeRequest {
+    /// Net label echoed in the response (`name=`; default `"net"`).
+    pub name: String,
+    /// Lint gating (`lint=`; default [`LintMode::Warn`]), run through the
+    /// synthesis-deck linter (`rlc_lint::lint_synth_deck`).
+    pub lint: LintMode,
+    /// Relative deadline in milliseconds (`deadline_ms=`), as for
+    /// [`AnalyzeRequest::deadline_ms`].
+    pub deadline_ms: Option<u64>,
+    /// Fault-injection hold in milliseconds (`sleep_ms=`), as for
+    /// [`AnalyzeRequest::sleep_ms`].
+    pub sleep_ms: Option<u64>,
+    /// The synthesis deck body (without the terminating `.` line).
+    pub deck: String,
+}
+
+impl OptimizeRequest {
+    /// An optimize request for `deck` with every knob at its default.
+    pub fn new(name: impl Into<String>, deck: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            lint: LintMode::default(),
+            deadline_ms: None,
+            sleep_ms: None,
+            deck: deck.into(),
+        }
+    }
+}
+
 /// One `lint` request: report the deck's static-analysis findings without
 /// admitting any engine work.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,6 +223,8 @@ pub enum Request {
     Analyze(AnalyzeRequest),
     /// Analyze one coupled group of nets for crosstalk.
     Couple(CoupleRequest),
+    /// Optimize one synthesis deck: buffer insertion plus wire sizing.
+    Optimize(OptimizeRequest),
     /// Lint one netlist deck without analyzing it.
     Lint(LintRequest),
     /// Report live service counters.
@@ -363,6 +402,41 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<ReadOutcome> {
                 Err(outcome) => Ok(outcome),
             }
         }
+        "optimize" => {
+            let mut request = OptimizeRequest::new("net", "");
+            for field in parts {
+                let Some((key, value)) = field.split_once('=') else {
+                    return malformed(format!("field {field:?} is not key=value"));
+                };
+                match key {
+                    "name" => request.name = value.to_owned(),
+                    "lint" => match LintMode::from_id(value) {
+                        Some(mode) => request.lint = mode,
+                        None => {
+                            return malformed(format!(
+                                "unknown lint mode {value:?} (expected off, warn or deny)"
+                            ))
+                        }
+                    },
+                    "deadline_ms" => match value.parse() {
+                        Ok(ms) => request.deadline_ms = Some(ms),
+                        Err(_) => return malformed(format!("deadline_ms {value:?} is not a u64")),
+                    },
+                    "sleep_ms" => match value.parse() {
+                        Ok(ms) => request.sleep_ms = Some(ms),
+                        Err(_) => return malformed(format!("sleep_ms {value:?} is not a u64")),
+                    },
+                    other => return malformed(format!("unknown field {other:?}")),
+                }
+            }
+            match read_deck(reader)? {
+                Ok(deck) => {
+                    request.deck = deck;
+                    Ok(ReadOutcome::Request(Request::Optimize(request)))
+                }
+                Err(outcome) => Ok(outcome),
+            }
+        }
         "lint" => {
             let mut request = LintRequest {
                 name: "net".to_owned(),
@@ -450,6 +524,30 @@ mod tests {
     }
 
     #[test]
+    fn optimize_with_fields_and_deck() {
+        let outcome = read(
+            "optimize name=clk lint=deny deadline_ms=250 sleep_ms=5\nR1 in n1 900\nC1 n1 0 0.9p\n.lib bufx r=120 cin=5f tin=15p\n.driver 100\n.\n",
+        );
+        let ReadOutcome::Request(Request::Optimize(req)) = outcome else {
+            panic!("expected optimize, got {outcome:?}");
+        };
+        assert_eq!(req.name, "clk");
+        assert_eq!(req.lint, LintMode::Deny);
+        assert_eq!(req.deadline_ms, Some(250));
+        assert_eq!(req.sleep_ms, Some(5));
+        assert!(req.deck.contains(".lib bufx"));
+        assert!(!req.deck.contains("\n.\n"), "sentinel is consumed");
+
+        let outcome = read("optimize\nR1 in n1 25\n.lib b r=100 cin=4f tin=1p\n.\n");
+        let ReadOutcome::Request(Request::Optimize(req)) = outcome else {
+            panic!("expected optimize, got {outcome:?}");
+        };
+        assert_eq!(req.name, "net");
+        assert_eq!(req.lint, LintMode::Warn);
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
     fn lint_verb_frames_a_deck() {
         let outcome = read("lint name=clk\nR1 in n1 25\nC1 n1 0 0.5p\n.\n");
         let ReadOutcome::Request(Request::Lint(req)) = outcome else {
@@ -518,6 +616,12 @@ mod tests {
             ("couple deadline_ms=soon\n.\n", "not a u64"),
             ("couple sleep_ms=-1\n.\n", "not a u64"),
             ("couple\n.net a\nR1 in n1 25\n", "unterminated deck"),
+            ("optimize name\n.\n", "not key=value"),
+            ("optimize model=eed\n.\n", "unknown field"),
+            ("optimize lint=strict\n.\n", "unknown lint mode"),
+            ("optimize deadline_ms=soon\n.\n", "not a u64"),
+            ("optimize sleep_ms=-1\n.\n", "not a u64"),
+            ("optimize\nR1 in n1 25\n", "unterminated deck"),
             ("lint model=eed\n.\n", "unknown field"),
             ("lint\nR1 in n1 25\n", "unterminated deck"),
         ] {

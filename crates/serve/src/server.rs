@@ -32,18 +32,20 @@ use std::time::{Duration, Instant};
 
 use rlc_couple::GroupTiming;
 use rlc_engine::{
-    group_json, net_json, CoupleSpec, EngineError, EngineService, EngineTelemetrySnapshot, JobSpec,
-    NetTiming, ServiceConfig, ServiceStats,
+    group_json, net_json, synth_json, CoupleSpec, EngineError, EngineService,
+    EngineTelemetrySnapshot, JobSpec, NetTiming, ServiceConfig, ServiceStats, SynthSpec,
 };
 use rlc_lint::LintReport;
 use rlc_obs::json;
+use rlc_synth::SynthTiming;
 use rlc_tree::coupled::CoupledGroup;
 use rlc_tree::netlist::Netlist;
+use rlc_tree::synth::SynthDeck;
 
 use crate::cache::{CacheConfig, CacheStats, ResultCache};
 use crate::protocol::{
-    read_request, AnalyzeRequest, CoupleRequest, LintMode, LintRequest, ProtocolError, ReadOutcome,
-    Request,
+    read_request, AnalyzeRequest, CoupleRequest, LintMode, LintRequest, OptimizeRequest,
+    ProtocolError, ReadOutcome, Request,
 };
 use crate::telemetry::{ServeTelemetry, TelemetryConfig};
 
@@ -88,6 +90,10 @@ pub struct ServeCore {
     /// spaces, but splitting the instances also keeps group results from
     /// competing with single-net results for LRU residency.
     couple_cache: Mutex<ResultCache<GroupTiming>>,
+    /// Synthesis results likewise get their own instance: an optimize run
+    /// is orders of magnitude more expensive to recompute than a timing
+    /// query, so its entries must not be evicted by cheap analyze traffic.
+    synth_cache: Mutex<ResultCache<SynthTiming>>,
     requests: AtomicU64,
     bad_requests: AtomicU64,
     lint_denied: AtomicU64,
@@ -101,6 +107,7 @@ impl ServeCore {
             service: EngineService::start(config.service_config()),
             cache: Mutex::new(ResultCache::new(config.cache)),
             couple_cache: Mutex::new(ResultCache::new(config.cache)),
+            synth_cache: Mutex::new(ResultCache::new(config.cache)),
             requests: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             lint_denied: AtomicU64::new(0),
@@ -123,12 +130,13 @@ impl ServeCore {
     pub fn cache_stats(&self) -> CacheStats {
         let net = self.cache.lock().expect("cache lock").stats();
         let couple = self.couple_cache.lock().expect("couple cache lock").stats();
+        let synth = self.synth_cache.lock().expect("synth cache lock").stats();
         CacheStats {
-            hits: net.hits + couple.hits,
-            misses: net.misses + couple.misses,
-            evictions: net.evictions + couple.evictions,
-            expired: net.expired + couple.expired,
-            entries: net.entries + couple.entries,
+            hits: net.hits + couple.hits + synth.hits,
+            misses: net.misses + couple.misses + synth.misses,
+            evictions: net.evictions + couple.evictions + synth.evictions,
+            expired: net.expired + couple.expired + synth.expired,
+            entries: net.entries + couple.entries + synth.entries,
         }
     }
 
@@ -375,6 +383,126 @@ impl ServeCore {
         }
     }
 
+    /// Handles one synthesis request, returning the response line.
+    ///
+    /// The pipeline mirrors [`analyze`](Self::analyze) stage for stage,
+    /// swapping in the synthesis substrate: the deck is linted with
+    /// [`rlc_lint::lint_synth_deck`], parsed as a [`SynthDeck`],
+    /// content-addressed by its *canonical synthesis deck* (which embeds
+    /// the selected buffer card, driver resistance, and constraints) under
+    /// the `"synth"` model id, and optimized on the shared engine pool via
+    /// [`SynthSpec`]. The `"synth"` member of the response is exactly
+    /// [`rlc_engine::synth_json`] of the engine's verdict — the
+    /// single-line `rlc-synth/1` report, byte-identical for any worker
+    /// count.
+    pub fn optimize(&self, request: OptimizeRequest) -> String {
+        self.optimize_with_read(request, None)
+    }
+
+    pub(crate) fn optimize_with_read(
+        &self,
+        request: OptimizeRequest,
+        read_ns: Option<u64>,
+    ) -> String {
+        let _span = rlc_obs::span!("serve/optimize");
+        let mut trace = self.telemetry.begin("optimize", read_ns);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        rlc_obs::counter!("serve.request");
+        let report = trace.time("lint", || match request.lint {
+            LintMode::Off => None,
+            LintMode::Warn | LintMode::Deny => Some(rlc_lint::lint_synth_deck(&request.deck)),
+        });
+        match (request.lint, &report) {
+            (LintMode::Deny, Some(report)) if !report.passes(true) => {
+                self.lint_denied.fetch_add(1, Ordering::Relaxed);
+                rlc_obs::counter!("serve.lint.denied");
+                let line = trace.time("render", || lint_denied_response(&request.name, report));
+                self.telemetry.finish(trace, "lint_denied");
+                return line;
+            }
+            _ => {}
+        }
+        let annotation = report
+            .filter(|r| !r.is_spotless())
+            .map(|r| r.annotation_json());
+        let annotation = annotation.as_deref();
+        let parsed = trace.time("parse", || {
+            SynthDeck::parse(&request.deck)
+                .map(|deck| ResultCache::key("synth", &deck.canonical_deck()))
+        });
+        let key = match parsed {
+            Ok(key) => key,
+            Err(source) => {
+                let error = EngineError::Netlist {
+                    net: request.name,
+                    source,
+                };
+                let line = trace.time("render", || {
+                    synth_response("miss", &synth_json(&Err(error)), annotation)
+                });
+                self.telemetry.finish(trace, "error");
+                return line;
+            }
+        };
+        let cached = trace.time("cache", || {
+            self.synth_cache
+                .lock()
+                .expect("synth cache lock")
+                .get(&key, Instant::now())
+        });
+        if let Some(mut timing) = cached {
+            // Content-addressed: the cached net answers under the
+            // requester's label.
+            timing.name = request.name;
+            let line = trace.time("render", || {
+                synth_response("hit", &synth_json(&Ok(timing)), annotation)
+            });
+            self.telemetry.finish(trace, "cache_hit");
+            return line;
+        }
+        let mut spec = SynthSpec::deck(&request.name, &request.deck);
+        if let Some(ms) = request.deadline_ms {
+            spec = spec.deadline(Instant::now() + Duration::from_millis(ms));
+        }
+        if let Some(ms) = request.sleep_ms {
+            spec = spec.hold(Duration::from_millis(ms));
+        }
+        match self.service.submit_synth_spec(spec) {
+            Err(rejection) => {
+                let outcome = match &rejection {
+                    EngineError::Overloaded { .. } => "overloaded",
+                    _ => "shutting_down",
+                };
+                let line = trace.time("render", || admission_response(&rejection));
+                self.telemetry.finish(trace, outcome);
+                line
+            }
+            Ok(ticket) => {
+                let (result, timing) = ticket.wait_timed();
+                trace.add_stage("admission", timing.queue_ns);
+                trace.add_stage("engine", timing.exec_ns);
+                if let Ok(timing) = &result {
+                    self.synth_cache.lock().expect("synth cache lock").insert(
+                        key,
+                        timing.clone(),
+                        Instant::now(),
+                    );
+                }
+                let outcome = match &result {
+                    Ok(_) => "synth",
+                    Err(EngineError::DeadlineExceeded { .. }) => "deadline",
+                    Err(EngineError::ShuttingDown { .. }) => "shutting_down",
+                    Err(_) => "error",
+                };
+                let line = trace.time("render", || {
+                    synth_response("miss", &synth_json(&result), annotation)
+                });
+                self.telemetry.finish(trace, outcome);
+                line
+            }
+        }
+    }
+
     /// Handles a `lint` request: the full `rlc-lint` report for one deck.
     /// Never touches the cache or the engine pool.
     pub fn lint(&self, request: &LintRequest) -> String {
@@ -548,6 +676,19 @@ fn couple_response(cache: &str, group: &str, lint: Option<&str>) -> String {
     }
 }
 
+/// An `optimize` result line: like [`result_response`] but the verdict is
+/// the net's `rlc-synth/1` object under `"synth"`.
+fn synth_response(cache: &str, synth: &str, lint: Option<&str>) -> String {
+    match lint {
+        Some(annotation) => format!(
+            "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"{cache}\", \"synth\": {synth}, \"lint\": {annotation}}}"
+        ),
+        None => format!(
+            "{{\"proto\": \"rlc-serve/1\", \"type\": \"result\", \"cache\": \"{cache}\", \"synth\": {synth}}}"
+        ),
+    }
+}
+
 fn result_response(cache: &str, net: &str, lint: Option<&str>) -> String {
     match lint {
         Some(annotation) => format!(
@@ -625,6 +766,9 @@ fn serve_streams<R: BufRead, W: Write>(
             }
             ReadOutcome::Request(Request::Couple(request)) => {
                 (core.couple_with_read(request, read_ns), None)
+            }
+            ReadOutcome::Request(Request::Optimize(request)) => {
+                (core.optimize_with_read(request, read_ns), None)
             }
             ReadOutcome::Request(Request::Lint(request)) => {
                 (core.lint_with_read(&request, read_ns), None)

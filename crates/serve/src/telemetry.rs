@@ -46,11 +46,13 @@ pub const STAGES: [&str; 7] = [
 
 /// Typed request outcome classes, in report order. `ok` counts successful
 /// single-net analyses; `couple` counts successful coupled-group analyses
-/// that ran on the engine (a couple answered from the cache counts as
-/// `cache_hit`, like any other hit).
-pub const OUTCOMES: [&str; 9] = [
+/// that ran on the engine; `synth` counts successful buffer-insertion
+/// optimizations that ran on the engine (a couple or synth answered from
+/// the cache counts as `cache_hit`, like any other hit).
+pub const OUTCOMES: [&str; 10] = [
     "ok",
     "couple",
+    "synth",
     "cache_hit",
     "lint_denied",
     "overloaded",

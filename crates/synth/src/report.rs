@@ -1,0 +1,207 @@
+//! The `rlc-synth/1` report: one synthesized net as a single JSON line.
+
+use rlc_tree::synth::SynthDeck;
+
+use crate::Synthesis;
+
+/// Per-sink before/after pair in report form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkReport {
+    /// Canonical node index of the sink.
+    pub node: usize,
+    /// Unbuffered model 50% delay, picoseconds.
+    pub baseline_ps: f64,
+    /// Optimized model 50% delay, picoseconds.
+    pub optimized_ps: f64,
+}
+
+/// One `.require` constraint checked against the optimized arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackReport {
+    /// Canonical node index the constraint names.
+    pub node: usize,
+    /// Required arrival, picoseconds.
+    pub required_ps: f64,
+    /// Optimized model arrival, picoseconds.
+    pub arrival_ps: f64,
+    /// `required − arrival`; negative means the constraint is violated.
+    pub slack_ps: f64,
+}
+
+/// The synthesized timing of one net, renderable as one `rlc-synth/1`
+/// JSON line. Field order and float formatting are part of the schema:
+/// reports are byte-compared across worker counts and against checked-in
+/// goldens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthTiming {
+    /// The net's name (typically its deck path).
+    pub name: String,
+    /// Library name of the buffer the synthesizer inserted.
+    pub buffer: String,
+    /// Candidate sites the DP enumerated (every tree section).
+    pub sites: usize,
+    /// Chosen buffer sites as canonical node indices, ascending.
+    pub buffers: Vec<usize>,
+    /// Wire width factor applied to the buffered segments.
+    pub width: f64,
+    /// Unbuffered critical model delay, picoseconds.
+    pub baseline_ps: f64,
+    /// Optimized critical model delay, picoseconds.
+    pub optimized_ps: f64,
+    /// Fractional improvement `(baseline − optimized) / baseline`.
+    pub improvement: f64,
+    /// Canonical node index of the optimized critical sink.
+    pub critical_sink: usize,
+    /// Every sink, in canonical node order.
+    pub sinks: Vec<SinkReport>,
+    /// Every `.require` constraint, in canonical node order.
+    pub slacks: Vec<SlackReport>,
+}
+
+const PS: f64 = 1e12;
+
+impl SynthTiming {
+    /// Builds the report for `synthesis` of the net called `name`,
+    /// labeling the buffer with the deck's selected library name.
+    pub fn new(name: &str, deck: &SynthDeck, synthesis: &Synthesis) -> Self {
+        Self::with_buffer_name(name, &deck.buffer().name, synthesis)
+    }
+
+    /// Builds the report with an explicit buffer label (for callers that
+    /// synthesized from a raw tree rather than a deck).
+    pub fn with_buffer_name(name: &str, buffer: &str, synthesis: &Synthesis) -> Self {
+        let baseline_ps = synthesis.baseline * PS;
+        let optimized_ps = synthesis.optimized * PS;
+        let improvement = if synthesis.baseline > 0.0 {
+            (synthesis.baseline - synthesis.optimized) / synthesis.baseline
+        } else {
+            0.0
+        };
+        SynthTiming {
+            name: name.to_owned(),
+            buffer: buffer.to_owned(),
+            sites: synthesis.sites,
+            buffers: synthesis.buffers.iter().map(|n| n.index()).collect(),
+            width: synthesis.width,
+            baseline_ps,
+            optimized_ps,
+            improvement,
+            critical_sink: synthesis.critical_sink.index(),
+            sinks: synthesis
+                .sinks
+                .iter()
+                .map(|s| SinkReport {
+                    node: s.node.index(),
+                    baseline_ps: s.baseline * PS,
+                    optimized_ps: s.optimized * PS,
+                })
+                .collect(),
+            slacks: synthesis
+                .slacks
+                .iter()
+                .map(|s| SlackReport {
+                    node: s.node.index(),
+                    required_ps: s.required * PS,
+                    arrival_ps: s.arrival * PS,
+                    slack_ps: s.slack * PS,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the single-line `rlc-synth/1` JSON object.
+    pub fn to_json(&self) -> String {
+        use core::fmt::Write as _;
+        use rlc_obs::json::{number, quote};
+
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\": \"rlc-synth/1\", \"name\": {}, \"status\": \"ok\", \
+             \"buffer\": {}, \"sites\": {}, \"buffers\": [",
+            quote(&self.name),
+            quote(&self.buffer),
+            self.sites,
+        );
+        for (i, site) in self.buffers.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}{site}");
+        }
+        let _ = write!(
+            out,
+            "], \"width\": {}, \"baseline_delay_ps\": {}, \"optimized_delay_ps\": {}, \
+             \"improvement\": {}, \"critical_sink\": {}, \"sinks\": [",
+            number(self.width),
+            number(self.baseline_ps),
+            number(self.optimized_ps),
+            number(self.improvement),
+            self.critical_sink,
+        );
+        for (i, sink) in self.sinks.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{sep}{{\"node\": {}, \"baseline_ps\": {}, \"optimized_ps\": {}}}",
+                sink.node,
+                number(sink.baseline_ps),
+                number(sink.optimized_ps),
+            );
+        }
+        out.push_str("], \"slacks\": [");
+        for (i, slack) in self.slacks.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{sep}{{\"node\": {}, \"required_ps\": {}, \"arrival_ps\": {}, \"slack_ps\": {}}}",
+                slack.node,
+                number(slack.required_ps),
+                number(slack.arrival_ps),
+                number(slack.slack_ps),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, SynthConfig};
+
+    const DECK: &str = "\
+* synth report test
+.input in
+R1 in n1 900
+C1 n1 0 0.8p
+R2 n1 n2 900
+C2 n2 0 0.8p
+R3 n2 n3 900
+C3 n3 0 0.8p
+.lib bufx r=120 cin=5f tin=15p
+.driver 100
+.require n3 2n
+.end
+";
+
+    #[test]
+    fn report_is_single_line_json_with_schema() {
+        let deck = SynthDeck::parse(DECK).unwrap();
+        let synthesis = synthesize(&deck, &SynthConfig::default());
+        let timing = SynthTiming::new("examples/x.sp", &deck, &synthesis);
+        let json = timing.to_json();
+        assert!(json.starts_with("{\"schema\": \"rlc-synth/1\", \"name\": \"examples/x.sp\""));
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"buffer\": \"bufx\""));
+        assert!(json.contains("\"slacks\": [{\"node\": "));
+        assert!(json.ends_with("}]}"));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let deck = SynthDeck::parse(DECK).unwrap();
+        let a = SynthTiming::new("n", &deck, &synthesize(&deck, &SynthConfig::default()));
+        let b = SynthTiming::new("n", &deck, &synthesize(&deck, &SynthConfig::default()));
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

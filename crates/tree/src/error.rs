@@ -28,6 +28,11 @@ pub enum TreeError {
         /// What structural property failed (cycle, disconnected node, …).
         message: String,
     },
+    /// A synthesis deck is structurally incomplete (e.g. no `.lib` card).
+    SynthDeck {
+        /// What deck-level requirement failed.
+        message: String,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -40,6 +45,9 @@ impl fmt::Display for TreeError {
             }
             TreeError::NotATree { message } => {
                 write!(f, "netlist does not describe an RLC tree: {message}")
+            }
+            TreeError::SynthDeck { message } => {
+                write!(f, "invalid synthesis deck: {message}")
             }
         }
     }
@@ -71,6 +79,11 @@ mod tests {
         }
         .to_string()
         .contains("cycle"));
+        assert!(TreeError::SynthDeck {
+            message: "no .lib card".into()
+        }
+        .to_string()
+        .contains("synthesis deck"));
     }
 
     #[test]

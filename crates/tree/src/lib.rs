@@ -22,7 +22,10 @@
 //! * [`wire`] — per-unit-length wire parameters with technology presets and
 //!   segmentation of physical wires into section chains;
 //! * [`netlist`] — a SPICE-like netlist parser and writer, so trees can be
-//!   exchanged with external tools.
+//!   exchanged with external tools;
+//! * [`synth`] — synthesis decks: a netlist plus `.lib` buffer-library,
+//!   `.driver`, and `.require` constraint cards for the `rlc-synth`
+//!   optimizer.
 //!
 //! # Examples
 //!
@@ -54,6 +57,7 @@ mod error;
 pub mod flat;
 pub mod netlist;
 mod section;
+pub mod synth;
 pub mod topology;
 mod tree;
 pub mod wire;

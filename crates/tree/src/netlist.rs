@@ -473,7 +473,7 @@ fn expect_fields<'a>(fields: &[&'a str], line: usize) -> Result<[&'a str; 3], Tr
     Ok([fields[1], fields[2], fields[3]])
 }
 
-fn parse_value<T: std::str::FromStr>(value: &str, line: usize) -> Result<T, TreeError>
+pub(crate) fn parse_value<T: std::str::FromStr>(value: &str, line: usize) -> Result<T, TreeError>
 where
     T::Err: std::fmt::Display,
 {

@@ -21,6 +21,20 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs an id from a raw index (the inverse of
+    /// [`index`](Self::index)).
+    ///
+    /// The caller is responsible for pairing the id with the tree the
+    /// index came from — tree methods panic on out-of-range ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit the id's 32-bit representation.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).unwrap_or_else(|_| panic!("node index {index} overflows u32")))
+    }
 }
 
 impl fmt::Display for NodeId {

@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use rlc_verify::{
     screen_corpus, Conformance, CorpusSpec, CoupledConformance, CoupledScenario, CoupledSpec,
-    FaultPlan, ModelKind, TreeCorpus,
+    FaultPlan, ModelKind, SynthConformance, SynthSpec, TreeCorpus,
 };
 
 struct Args {
@@ -27,6 +27,8 @@ struct Args {
     nets: usize,
     max_sections: usize,
     groups: usize,
+    synth: bool,
+    synth_nets: usize,
     out: Option<String>,
 }
 
@@ -36,6 +38,8 @@ fn parse_args() -> Result<Args, String> {
         nets: 201,
         max_sections: 24,
         groups: 102,
+        synth: false,
+        synth_nets: 24,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -62,10 +66,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--groups: {e}"))?;
             }
+            "--synth" => args.synth = true,
+            "--synth-nets" => {
+                args.synth_nets = value("--synth-nets")?
+                    .parse()
+                    .map_err(|e| format!("--synth-nets: {e}"))?;
+            }
             "--out" => args.out = Some(value("--out")?),
             "--help" | "-h" => {
                 return Err(
-                    "usage: conformance [--seed N] [--nets N] [--max-sections N] [--groups N] [--out FILE]"
+                    "usage: conformance [--seed N] [--nets N] [--max-sections N] [--groups N] [--synth] [--synth-nets N] [--out FILE]"
                         .to_owned(),
                 )
             }
@@ -172,6 +182,41 @@ fn main() -> ExitCode {
     }
     report.coupled = Some(coupled);
 
+    // Synthesis conformance (opt-in: each net costs two full oracle
+    // replays): the rlc-synth optimizer's adopted configurations
+    // re-simulated through the exact oracle.
+    let synth_passed = if args.synth {
+        let synth_spec = SynthSpec {
+            nets: args.synth_nets,
+            ..SynthSpec::with_seed(args.seed)
+        };
+        let synth = SynthConformance::default().run(&synth_spec);
+        eprintln!(
+            "synth oracle verified {} nets ({} buffered, {} skipped): mean buffered gain {:.2}%",
+            synth.outcomes.len(),
+            synth.buffered_nets,
+            synth.skipped.len(),
+            synth.mean_buffered_gain * 100.0
+        );
+        for o in &synth.outcomes {
+            eprintln!(
+                "  {:<20} {:>2} sections  {:>2} buffers  width {:.2}  model {:+6.1}%  oracle {:+6.1}%",
+                o.name,
+                o.sections,
+                o.buffers,
+                o.width,
+                100.0 * o.model_gain,
+                100.0 * o.oracle_gain
+            );
+        }
+        for violation in &synth.violations {
+            eprintln!("  VIOLATION: {violation}");
+        }
+        synth.passed()
+    } else {
+        true
+    };
+
     eprintln!("fault injection: standard plan, workers 1/2/4/8");
     let faults = FaultPlan::standard(spec.seed).execute();
     for check in &faults.checks {
@@ -218,7 +263,7 @@ fn main() -> ExitCode {
         );
     }
 
-    if screen.passed() && report.passed() && faults.passed() {
+    if screen.passed() && report.passed() && faults.passed() && synth_passed {
         eprintln!("conformance: PASS");
         ExitCode::SUCCESS
     } else {

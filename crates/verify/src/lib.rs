@@ -48,6 +48,7 @@ mod coupled;
 mod fault;
 mod oracle;
 mod screen;
+mod synth;
 
 pub use conformance::{Conformance, ConformanceReport, ErrorStats, ModelKind, NetOutcome};
 pub use corpus::{build_net, CorpusNet, CorpusSpec, Regime, Shape, TreeCorpus};
@@ -58,3 +59,6 @@ pub use coupled::{
 pub use fault::{Fault, FaultCheck, FaultPlan, FaultReport};
 pub use oracle::{Oracle, OracleError, OracleMeasurement};
 pub use screen::{screen_corpus, ScreenReport, ScreenedNet};
+pub use synth::{
+    build_synth_net, SynthConformance, SynthNet, SynthOutcome, SynthSpec, SynthVerifyReport,
+};

@@ -1,0 +1,57 @@
+//! EED-driven buffer insertion end to end: parse a synthesis deck
+//! (netlist + `.lib` buffer library + `.driver`/`.require` constraint
+//! cards), run the van Ginneken-style DP and the joint wire-sizing pass,
+//! then push the same deck through the engine's `SynthBatch` worker pool
+//! and show the report is byte-identical at any worker count.
+//!
+//! Run with: `cargo run --example buffer_synthesis`
+
+use equivalent_elmore::engine::{Engine, SynthBatch};
+use equivalent_elmore::synth::{synthesize, SynthConfig};
+use equivalent_elmore::tree::synth::SynthDeck;
+
+const DECK_PATH: &str = "examples/decks/synth_clocknet.sp";
+
+fn main() {
+    let deck_text = std::fs::read_to_string(DECK_PATH).expect("example deck exists");
+    let deck = SynthDeck::parse(&deck_text).expect("deck parses");
+
+    // --- 1. In-process: the synthesizer as a library call.
+    let config = SynthConfig::default();
+    let result = synthesize(&deck, &config);
+    println!(
+        "{}: {} candidate sites, {} buffers inserted (library \"{}\"), width factor {:.2}",
+        DECK_PATH,
+        result.sites,
+        result.buffers.len(),
+        deck.buffer().name,
+        result.width
+    );
+    println!(
+        "critical 50% delay: {:.1} ps -> {:.1} ps ({:.1}% faster by the EED model)",
+        result.baseline * 1e12,
+        result.optimized * 1e12,
+        100.0 * (result.baseline - result.optimized) / result.baseline
+    );
+    for slack in &result.slacks {
+        println!(
+            "  .require n{}: required {:.1} ps, arrives {:.1} ps, slack {:+.1} ps",
+            slack.node.index(),
+            slack.required * 1e12,
+            slack.arrival * 1e12,
+            slack.slack * 1e12
+        );
+    }
+
+    // --- 2. Through the engine pool: submission-order determinism means
+    // the rlc-synth/1 report bytes cannot depend on the worker count.
+    let batch = SynthBatch::from_dir("examples/decks").expect("decks dir exists");
+    let single = Engine::with_workers(1).run_synth(&batch);
+    let pooled = Engine::with_workers(4).run_synth(&batch);
+    assert_eq!(single.to_json(), pooled.to_json());
+    println!(
+        "\nengine: {} synthesis decks, report byte-identical at 1 and 4 workers",
+        batch.len()
+    );
+    print!("{}", single.to_json());
+}

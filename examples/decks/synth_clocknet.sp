@@ -1,0 +1,27 @@
+* 4 mm unbuffered clock distribution trunk forking into two leaf runs;
+* the resistive trunk makes repeater insertion pay (rlc-synth optimize)
+.input in
+R1 in t1 700
+L1 t1 t1x 0.2n
+C1 t1x 0 0.7p
+R2 t1x t2 700
+L2 t2 t2x 0.2n
+C2 t2x 0 0.7p
+R3 t2x t3 700
+L3 t3 t3x 0.2n
+C3 t3x 0 0.7p
+R4 t3x a1 650
+C4 a1 0 0.6p
+R5 a1 a2 650
+C5 a2 0 0.6p
+R6 t3x b1 650
+C6 b1 0 0.6p
+R7 b1 b2 650
+C7 b2 0 0.6p
+.lib drv2x r=130 cin=5f tin=18p
+.lib drv4x r=80 cin=9f tin=22p
+.use drv2x
+.driver 110
+.require a2 2.5n
+.require b2 2.5n
+.end

@@ -21,6 +21,7 @@
 //! | [`opt`] | `rlc-opt` | repeater insertion, wire sizing, skew, inductance FOM |
 //! | [`engine`] | `rlc-engine` | concurrent batch timing, incremental re-analysis |
 //! | [`couple`] | `rlc-couple` | coupled-net crosstalk: Miller delay windows, noise bounds |
+//! | [`synth`] | `rlc-synth` | EED-driven buffer insertion and joint wire sizing |
 //! | [`serve`] | `rlc-serve` | networked timing service: protocol, cache, admission |
 //! | [`lint`] | `rlc-lint` | deck static analysis: stable rule codes, lint gate |
 //!
@@ -56,6 +57,7 @@ pub use rlc_numeric as numeric;
 pub use rlc_opt as opt;
 pub use rlc_serve as serve;
 pub use rlc_sim as sim;
+pub use rlc_synth as synth;
 pub use rlc_tree as tree;
 pub use rlc_units as units;
 
@@ -66,6 +68,7 @@ pub mod prelude {
     pub use rlc_engine::{Batch, Engine, IncrementalAnalysis};
     pub use rlc_moments::tree_sums;
     pub use rlc_sim::{simulate, SimOptions, Source, Waveform};
+    pub use rlc_synth::{synthesize, BufferSpec, SynthConfig, Synthesis};
     pub use rlc_tree::coupled::CoupledGroup;
     pub use rlc_tree::wire::WireModel;
     pub use rlc_tree::{topology, NodeId, RlcSection, RlcTree, TreeBuilder};

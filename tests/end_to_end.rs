@@ -240,7 +240,7 @@ fn eed_tracks_awe_on_moderately_damped_trees() {
 /// it can silently invalidate archived reports. Regenerate intentionally
 /// with `UPDATE_GOLDEN=1 cargo test --test end_to_end golden`.
 mod golden {
-    use equivalent_elmore::engine::{Batch, CoupleBatch, Engine};
+    use equivalent_elmore::engine::{Batch, CoupleBatch, Engine, SynthBatch};
     use std::fs;
     use std::path::{Path, PathBuf};
 
@@ -278,6 +278,23 @@ mod golden {
         );
         // ...and must not drift across kernel swaps.
         check_golden("engine_decks.json", &report.to_json());
+    }
+
+    #[test]
+    fn synth_report_for_example_decks_is_frozen() {
+        // `SynthBatch::from_dir` keeps only the decks carrying synthesis
+        // cards, so this freezes exactly the `synth_*.sp` examples.
+        let batch = SynthBatch::from_dir("examples/decks").expect("decks dir exists");
+        assert!(
+            !batch.is_empty(),
+            "examples/decks must hold a synthesis deck"
+        );
+        let report = Engine::with_workers(1).run_synth(&batch);
+        assert_eq!(
+            report.to_json(),
+            Engine::with_workers(4).run_synth(&batch).to_json()
+        );
+        check_golden("synth_clocknet.json", &report.to_json());
     }
 
     #[test]
