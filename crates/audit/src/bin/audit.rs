@@ -1,0 +1,110 @@
+//! `audit` — the workspace invariant auditor.
+//!
+//! ```text
+//! audit [--json] [--deny] [--root DIR] [--schemas DIR] [filter...]
+//! audit --rules
+//! ```
+//!
+//! Walks the workspace (default: the repository containing this crate),
+//! audits every shipped `.rs` source, and prints either a compiler-style
+//! listing or the deterministic `rlc-audit/1` JSON document. Positional
+//! arguments are substring filters on workspace-relative paths; passing
+//! any filter also skips the workspace-level schema cross-check
+//! (A301/A302), which needs the full view. The report bytes are
+//! identical across repeated runs and filter orderings.
+//!
+//! Exit status: `0` when clean (or when findings exist but `--deny` was
+//! not given), `1` when `--deny` is set and any rule fired, `2` on usage
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rlc_audit::{run, AuditOptions, RULES};
+
+struct Options {
+    json: bool,
+    deny: bool,
+    audit: AuditOptions,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: audit [--json] [--deny] [--root DIR] [--schemas DIR] [filter...]");
+    eprintln!("       audit --rules");
+    ExitCode::from(2)
+}
+
+fn default_root() -> PathBuf {
+    // The audit crate lives at <workspace>/crates/audit.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        json: false,
+        deny: false,
+        audit: AuditOptions::new(default_root()),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny" => opts.deny = true,
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    return usage();
+                };
+                opts.audit.root = PathBuf::from(dir);
+            }
+            "--schemas" => {
+                let Some(dir) = args.next() else {
+                    return usage();
+                };
+                opts.audit.schemas_dir = Some(PathBuf::from(dir));
+            }
+            "--rules" => {
+                print_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: audit [--json] [--deny] [--root DIR] [--schemas DIR] [filter...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("audit: unknown flag {other:?}");
+                return usage();
+            }
+            other => opts.audit.filters.push(other.to_string()),
+        }
+    }
+    // Filter order must not affect the report bytes.
+    opts.audit.filters.sort();
+    opts.audit.filters.dedup();
+
+    let report = match run(&opts.audit) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("audit: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+
+    if opts.deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_rules() {
+    println!("rlc-audit rule catalog (see DESIGN.md \u{00a7}17):");
+    for rule in RULES {
+        println!("  {} {}", rule.code, rule.summary);
+    }
+}

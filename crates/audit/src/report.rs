@@ -1,0 +1,156 @@
+//! The `rlc-audit/1` report: deterministic JSON plus a human rendering.
+//!
+//! Findings and waivers are sorted by `(file, line, code)` before
+//! rendering, paths are workspace-relative with forward slashes, and no
+//! clock or machine identity is embedded — so the bytes are identical
+//! across repeated runs, path orderings, and machines.
+
+use core::fmt::Write as _;
+
+use rlc_obs::json;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub code: String,
+    /// Workspace-relative forward-slash path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+/// One suppressed violation, with the waiver reason that excused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waived {
+    pub code: String,
+    pub file: String,
+    pub line: usize,
+    pub reason: String,
+}
+
+/// The result of one audit run.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Number of files in audit scope that were scanned.
+    pub files: usize,
+    pub findings: Vec<Finding>,
+    pub waivers: Vec<Waived>,
+}
+
+impl AuditReport {
+    /// `true` when no rule fired (waived findings do not count).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Sorts findings and waivers into the canonical render order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.code).cmp(&(&b.file, b.line, &b.code)));
+        self.waivers
+            .sort_by(|a, b| (&a.file, a.line, &a.code).cmp(&(&b.file, b.line, &b.code)));
+    }
+
+    /// Renders the stable `rlc-audit/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"rlc-audit/1\",\n");
+        let _ = writeln!(out, "  \"files\": {},", self.files);
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"code\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json::quote(&f.code),
+                json::quote(&f.file),
+                f.line,
+                json::quote(&f.message),
+            );
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"waivers\": [");
+        for (i, w) in self.waivers.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"code\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json::quote(&w.code),
+                json::quote(&w.file),
+                w.line,
+                json::quote(&w.reason),
+            );
+        }
+        out.push_str(if self.waivers.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        let _ = write!(
+            out,
+            "  \"summary\": {{\"findings\": {}, \"waivers\": {}}}\n}}",
+            self.findings.len(),
+            self.waivers.len(),
+        );
+        out
+    }
+
+    /// Renders a compiler-style human listing.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: {} {}", f.file, f.line, f.code, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "audit: {} files, {} findings, {} waived",
+            self.files,
+            self.findings.len(),
+            self.waivers.len(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_renders_stable_skeleton() {
+        let report = AuditReport::default();
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"rlc-audit/1\","));
+        assert!(json.contains("\"findings\": [],"));
+        assert!(json.contains("\"summary\": {\"findings\": 0, \"waivers\": 0}"));
+        rlc_obs::json::parse(&json).expect("report is valid JSON");
+    }
+
+    #[test]
+    fn sort_orders_by_file_line_code() {
+        let mut report = AuditReport::default();
+        for (code, file, line) in [
+            ("A401", "b.rs", 2),
+            ("A101", "a.rs", 9),
+            ("A102", "a.rs", 1),
+        ] {
+            report.findings.push(Finding {
+                code: code.into(),
+                file: file.into(),
+                line,
+                message: String::new(),
+            });
+        }
+        report.sort();
+        let order: Vec<(&str, usize)> = report
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line))
+            .collect();
+        assert_eq!(order, vec![("a.rs", 1), ("a.rs", 9), ("b.rs", 2)]);
+    }
+}

@@ -1,0 +1,362 @@
+//! The audit rule catalog and the per-file checker.
+//!
+//! Codes are stable; see DESIGN.md §17 for the full catalog with
+//! semantics and remediation guidance. Tiers:
+//!
+//! * `A0xx` — waiver hygiene (malformed or unused waivers);
+//! * `A1xx` — determinism hazards (hash containers, wall clocks);
+//! * `A2xx` — unsafe hygiene (the DESIGN §15 packed-kernel rules);
+//! * `A3xx` — schema stability (checked at workspace level in `lib.rs`);
+//! * `A4xx` — error hygiene (panic-family macros in shipped paths).
+
+use crate::report::{Finding, Waived};
+use crate::scanner::{has_token, parse_waiver, ScannedFile, Waiver, WaiverScan};
+
+/// Catalog entry for one rule code.
+pub struct Rule {
+    pub code: &'static str,
+    pub summary: &'static str,
+}
+
+/// Every rule the auditor can emit, in code order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "A001",
+        summary: "malformed waiver marker (codes and a reason=\"...\" are required)",
+    },
+    Rule {
+        code: "A002",
+        summary: "waiver suppresses nothing on its line or the line below",
+    },
+    Rule {
+        code: "A101",
+        summary: "hash container in a library path; use BTree collections or waive with the reason iteration order never reaches output",
+    },
+    Rule {
+        code: "A102",
+        summary: "wall-clock read outside the TimeSource abstraction in a library path",
+    },
+    Rule {
+        code: "A201",
+        summary: "unsafe without an adjacent SAFETY comment citing a DESIGN.md section",
+    },
+    Rule {
+        code: "A202",
+        summary: "get_unchecked without a debug_assert! in the same function",
+    },
+    Rule {
+        code: "A301",
+        summary: "schema version string without a matching descriptor in tests/schemas",
+    },
+    Rule {
+        code: "A302",
+        summary: "stale schema descriptor: no library source emits this version string",
+    },
+    Rule {
+        code: "A401",
+        summary: "panic! in a shipped library path",
+    },
+    Rule {
+        code: "A402",
+        summary: "todo!/unimplemented! in a shipped library path",
+    },
+    Rule {
+        code: "A403",
+        summary: "message-less unreachable!() in a shipped library path (state the invariant)",
+    },
+];
+
+/// Looks up a rule's one-line summary.
+pub fn summary(code: &str) -> &'static str {
+    RULES
+        .iter()
+        .find(|r| r.code == code)
+        .map(|r| r.summary)
+        .unwrap_or("unknown rule")
+}
+
+/// How a scanned file participates in the rule tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Shipped library source: every tier applies.
+    Library,
+    /// Binary / build-script source: only unsafe hygiene (A2xx) applies —
+    /// CLIs may read wall clocks and exit via panics.
+    Bin,
+}
+
+/// Classifies a workspace-relative (forward-slash) path, or `None` when
+/// the file is out of audit scope (tests, benches, examples, fixtures,
+/// vendored code).
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let in_dir =
+        |dir: &str| rel.starts_with(&format!("{dir}/")) || rel.contains(&format!("/{dir}/"));
+    if in_dir("vendor")
+        || in_dir("target")
+        || in_dir("tests")
+        || in_dir("benches")
+        || in_dir("examples")
+        || in_dir("fixtures")
+    {
+        return None;
+    }
+    if rel.contains("/src/bin/") || rel.ends_with("build.rs") {
+        return Some(FileClass::Bin);
+    }
+    Some(FileClass::Library)
+}
+
+/// Runs every per-file rule over one scanned file. A3xx runs at the
+/// workspace level instead (it needs the descriptor set), but its
+/// waivers are honored here via the shared waiver table.
+pub fn check_file(
+    rel: &str,
+    scanned: &ScannedFile,
+    class: FileClass,
+    findings: &mut Vec<Finding>,
+    waived: &mut Vec<Waived>,
+) -> Vec<Waiver> {
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        match parse_waiver(&line.comment, idx) {
+            WaiverScan::None => {}
+            WaiverScan::Malformed(why) => raw.push(finding("A001", rel, idx, why)),
+            WaiverScan::Found(w) => waivers.push(w),
+        }
+    }
+
+    if class == FileClass::Library {
+        determinism_rules(rel, scanned, &mut raw);
+        error_rules(rel, scanned, &mut raw);
+    }
+    unsafe_rules(rel, scanned, &mut raw);
+
+    apply_waivers(rel, raw, &waivers, findings, waived);
+    waivers
+}
+
+/// A1xx: hash containers and wall-clock reads.
+fn determinism_rules(rel: &str, scanned: &ScannedFile, raw: &mut Vec<Finding>) {
+    // A101 fires once per file, at the first hash-container mention:
+    // justifying one hash-keyed concern justifies the file, and keeping
+    // hash containers to one concern per file keeps that sound.
+    let hash_line = scanned.lines.iter().enumerate().find(|(_, line)| {
+        !line.in_test && (has_token(&line.code, "HashMap") || has_token(&line.code, "HashSet"))
+    });
+    if let Some((idx, line)) = hash_line {
+        let which = if has_token(&line.code, "HashMap") {
+            "HashMap"
+        } else {
+            "HashSet"
+        };
+        raw.push(finding(
+            "A101",
+            rel,
+            idx,
+            format!(
+                "{which} in a library path: iteration order is nondeterministic; \
+                 use a BTree collection, sort before rendering, or waive with the \
+                 reason order never reaches output"
+            ),
+        ));
+    }
+
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for clock in ["Instant::now", "SystemTime"] {
+            if has_token(&line.code, clock) {
+                raw.push(finding(
+                    "A102",
+                    rel,
+                    idx,
+                    format!("{clock} in a library path: route clock reads through TimeSource"),
+                ));
+            }
+        }
+    }
+}
+
+/// A2xx: SAFETY comments and guarded `get_unchecked`.
+fn unsafe_rules(rel: &str, scanned: &ScannedFile, raw: &mut Vec<Finding>) {
+    // Per-function debug_assert! presence, for A202.
+    let mut fn_has_guard = vec![false; scanned.fn_count];
+    for line in &scanned.lines {
+        if let Some(f) = line.fn_idx {
+            if line.code.contains("debug_assert") {
+                fn_has_guard[f] = true;
+            }
+        }
+    }
+
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if has_token(&line.code, "unsafe") && !safety_comment_adjacent(scanned, idx) {
+            raw.push(finding(
+                "A201",
+                rel,
+                idx,
+                "unsafe without an adjacent SAFETY comment citing a DESIGN.md section \
+                 (expected \"SAFETY:\" and \"DESIGN.md \u{00a7}\" in the comment block)"
+                    .to_string(),
+            ));
+        }
+        if line.code.contains("get_unchecked") {
+            let guarded = line.fn_idx.is_some_and(|f| fn_has_guard[f]);
+            if !guarded {
+                raw.push(finding(
+                    "A202",
+                    rel,
+                    idx,
+                    "get_unchecked without a debug_assert! in the same function: \
+                     assert the index invariant the skipped bounds check relies on"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// The comment on the flagged line, or the contiguous comment-only block
+/// directly above it, must contain the SAFETY marker and a DESIGN.md
+/// section citation.
+fn safety_comment_adjacent(scanned: &ScannedFile, idx: usize) -> bool {
+    let mut text = scanned.lines[idx].comment.clone();
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let above = &scanned.lines[j];
+        if above.comment.is_empty() || !above.code.trim().is_empty() {
+            break;
+        }
+        text.push(' ');
+        text.push_str(&above.comment);
+    }
+    text.contains("SAFETY") && text.contains("DESIGN.md \u{00a7}")
+}
+
+/// A4xx: panic-family macros in shipped paths.
+fn error_rules(rel: &str, scanned: &ScannedFile, raw: &mut Vec<Finding>) {
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if has_token(&line.code, "panic!") {
+            raw.push(finding(
+                "A401",
+                rel,
+                idx,
+                "panic! in a shipped library path: return a typed error, or waive \
+                 with the documented contract that makes the panic deliberate"
+                    .to_string(),
+            ));
+        }
+        for m in ["todo!", "unimplemented!"] {
+            if has_token(&line.code, m) {
+                raw.push(finding(
+                    "A402",
+                    rel,
+                    idx,
+                    format!("{m} in a shipped library path: unfinished code must not ship"),
+                ));
+            }
+        }
+        if bare_unreachable(&line.code) {
+            raw.push(finding(
+                "A403",
+                rel,
+                idx,
+                "message-less unreachable!(): state the invariant that makes the \
+                 arm unreachable, so the panic text identifies the broken assumption"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `true` when the line invokes `unreachable!` with no arguments.
+/// A message-bearing `unreachable!("...")` documents its invariant and is
+/// the accepted idiom for asserting impossible states.
+fn bare_unreachable(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("unreachable!") {
+        let after = &code[from + pos + "unreachable!".len()..];
+        let inner = after.trim_start();
+        if let Some(args) = inner.strip_prefix('(') {
+            if args.trim_start().starts_with(')') {
+                return true;
+            }
+        }
+        from += pos + "unreachable!".len();
+    }
+    false
+}
+
+/// Applies the file's waivers: a waiver covers findings on its own line
+/// and the line directly below it. Suppressed findings are recorded with
+/// their reasons; waivers that suppress nothing become A002 findings.
+fn apply_waivers(
+    rel: &str,
+    raw: Vec<Finding>,
+    waivers: &[Waiver],
+    findings: &mut Vec<Finding>,
+    waived: &mut Vec<Waived>,
+) {
+    let mut used = vec![false; waivers.len()];
+    for f in raw {
+        // `w.line` is the 0-based scan index of the waiver comment;
+        // findings carry 1-based lines. A waiver covers its own line and
+        // the line directly below it.
+        let cover = waivers.iter().enumerate().find(|(_, w)| {
+            (w.line + 1 == f.line || w.line + 2 == f.line) && w.codes.iter().any(|c| c == &f.code)
+        });
+        match cover {
+            Some((wi, w)) => {
+                used[wi] = true;
+                waived.push(Waived {
+                    code: f.code,
+                    file: f.file,
+                    line: f.line,
+                    reason: w.reason.clone(),
+                });
+            }
+            None => findings.push(f),
+        }
+    }
+    for (wi, w) in waivers.iter().enumerate() {
+        // A301 coverage is decided later, at workspace level, so a waiver
+        // carrying that code is never "unused" from this file-local view.
+        if !used[wi] && !w.codes.iter().any(|c| c == "A301") {
+            findings.push(finding(
+                "A002",
+                rel,
+                w.line,
+                format!(
+                    "unused waiver for {}: nothing to suppress on this line or the next",
+                    w.codes.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+fn finding(code: &str, file: &str, line: usize, message: String) -> Finding {
+    Finding {
+        code: code.to_string(),
+        file: file.to_string(),
+        // Report 1-based line numbers, like every compiler.
+        line: line + 1,
+        message,
+    }
+}

@@ -1,0 +1,509 @@
+//! Comment/string-aware line scanner for Rust source.
+//!
+//! The auditor has no type information and no external parser (the same
+//! vendored-only constraint as the rest of the workspace), so every rule
+//! is a token test over *stripped* source. The stripper is a small state
+//! machine that walks a file once and splits each physical line into
+//! three channels:
+//!
+//! * `code` — the line with comments removed and string/char literal
+//!   *contents* blanked (the delimiting quotes survive, so `"HashMap"`
+//!   becomes `""` in the code channel and can never trip a rule);
+//! * `comment` — the concatenated text of every comment on the line
+//!   (line, doc, and block comments), which is where `SAFETY:` notes and
+//!   `audit:allow` waiver markers live;
+//! * `strings` — the contents of string literals *starting* on the line,
+//!   which is where the schema-stability tier looks for `rlc-*/N`
+//!   version tags.
+//!
+//! On top of the stripped lines a second pass does brace-depth
+//! bookkeeping to (a) mark `#[cfg(test)]` / `#[test]` regions, which are
+//! exempt from every rule, and (b) assign each line to its innermost
+//! enclosing `fn`, which the `get_unchecked`/`debug_assert!` rule needs.
+//! The scope pass is a heuristic — it counts braces in the code channel
+//! and recognizes `fn` as a token — and its known limitations are listed
+//! in DESIGN.md §17.
+
+/// One physical source line, split into scanner channels.
+#[derive(Debug, Default, Clone)]
+pub struct ScanLine {
+    /// Code with comments removed and literal contents blanked.
+    pub code: String,
+    /// Concatenated comment text (without the comment delimiters).
+    pub comment: String,
+    /// Contents of string literals that *start* on this line (a literal
+    /// spanning lines is attached whole to its starting line).
+    pub strings: Vec<String>,
+    /// Line lies inside a `#[cfg(test)]` or `#[test]` scope.
+    pub in_test: bool,
+    /// Innermost enclosing function, as an index into the file's
+    /// function table (`None` at module level).
+    pub fn_idx: Option<usize>,
+}
+
+/// A whole scanned file: stripped lines plus the function count used to
+/// size per-function lookup tables.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    pub lines: Vec<ScanLine>,
+    pub fn_count: usize,
+}
+
+/// `true` when `text` contains `token` with no identifier character on
+/// either side (so `unsafe` does not match `unsafe_code`).
+pub fn has_token(text: &str, token: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(token) {
+        let start = from + pos;
+        let end = start + token.len();
+        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans `content` into stripped lines with test/function scope marks.
+pub fn scan(content: &str) -> ScannedFile {
+    let mut lines = strip(content);
+    let fn_count = mark_scopes(&mut lines);
+    ScannedFile { lines, fn_count }
+}
+
+enum Mode {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* ... */` comments.
+    BlockComment(u32),
+    /// Ordinary string literal (supports `\` escapes, may span lines).
+    Str,
+    /// Raw string literal closed by `"` followed by this many `#`s.
+    RawStr(usize),
+}
+
+/// First pass: split the file into per-line code/comment/string channels.
+fn strip(content: &str) -> Vec<ScanLine> {
+    let chars: Vec<char> = content.chars().collect();
+    let mut lines: Vec<ScanLine> = Vec::new();
+    let mut cur = ScanLine::default();
+    // String-literal contents accumulate here and attach to the line the
+    // literal started on once it closes (it may close lines later).
+    let mut literal = String::new();
+    let mut literal_line = 0usize;
+    let mut pending_literals: Vec<(usize, String)> = Vec::new();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            match mode {
+                Mode::LineComment => mode = Mode::Code,
+                Mode::Str | Mode::RawStr(_) => literal.push('\n'),
+                _ => {}
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        mode = Mode::LineComment;
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        cur.code.push('"');
+                        literal_line = lines.len();
+                        literal.clear();
+                        mode = Mode::Str;
+                        i += 1;
+                    }
+                    'r' | 'b' if !prev_is_ident(&cur.code) => {
+                        // Possible raw/byte literal prefix: r"", r#""#,
+                        // b"", br"", b''. Fall back to a plain
+                        // identifier character when the lookahead does
+                        // not match a literal start.
+                        let mut j = i + 1;
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0usize;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let is_raw = c == 'r' || chars.get(i + 1) == Some(&'r');
+                        if chars.get(j) == Some(&'"') && (is_raw || hashes == 0) {
+                            cur.code.push('"');
+                            literal_line = lines.len();
+                            literal.clear();
+                            mode = if is_raw {
+                                Mode::RawStr(hashes)
+                            } else {
+                                Mode::Str
+                            };
+                            i = j + 1;
+                        } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                            // Byte char literal b'x'.
+                            i = skip_char_literal(&chars, i + 1);
+                        } else {
+                            cur.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: escapes are always
+                        // char literals; `'x'` is a char literal; else a
+                        // lifetime (`'a`, `'_`), which stays in code.
+                        if chars.get(i + 1) == Some(&'\\')
+                            || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''))
+                        {
+                            i = skip_char_literal(&chars, i);
+                        } else {
+                            cur.code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            Mode::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    match chars.get(i + 1) {
+                        // Escaped newline (line continuation): the
+                        // physical line still ends here.
+                        Some('\n') => lines.push(std::mem::take(&mut cur)),
+                        Some(&escaped) => literal.push(escaped),
+                        None => {}
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    pending_literals.push((literal_line, std::mem::take(&mut literal)));
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    literal.push(c);
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                let closes = c == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'));
+                if closes {
+                    cur.code.push('"');
+                    pending_literals.push((literal_line, std::mem::take(&mut literal)));
+                    mode = Mode::Code;
+                    i += 1 + hashes;
+                } else {
+                    literal.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Unterminated literal at EOF: keep what accumulated.
+    if !literal.is_empty() {
+        pending_literals.push((literal_line, literal));
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    for (line, text) in pending_literals {
+        if let Some(slot) = lines.get_mut(line) {
+            slot.strings.push(text);
+        }
+    }
+    lines
+}
+
+/// `true` when the last code character is an identifier character (so an
+/// `r` or `b` ending an identifier like `ptr` is not a literal prefix).
+fn prev_is_ident(code: &str) -> bool {
+    code.bytes().last().is_some_and(is_ident)
+}
+
+/// Skips a char literal starting at the opening quote; returns the index
+/// one past the closing quote.
+fn skip_char_literal(chars: &[char], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' | '\n' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ScopeKind {
+    Plain,
+    Fn(usize),
+    Test,
+}
+
+/// Second pass: brace-depth bookkeeping over the code channel. Marks
+/// test regions, assigns lines to their innermost `fn`, and returns the
+/// number of functions seen.
+fn mark_scopes(lines: &mut [ScanLine]) -> usize {
+    let mut stack: Vec<ScopeKind> = Vec::new();
+    // Code accumulated since the last `{`, `}`, or `;` — the text that
+    // decides what kind of scope an opening brace starts.
+    let mut head = String::new();
+    let mut fn_count = 0usize;
+
+    for line in lines.iter_mut() {
+        let mut in_test = stack.contains(&ScopeKind::Test);
+        let mut fn_idx = innermost_fn(&stack);
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    let kind = if head.contains("cfg(test") || head.contains("#[test]") {
+                        ScopeKind::Test
+                    } else if has_token(&head, "fn") {
+                        let idx = fn_count;
+                        fn_count += 1;
+                        fn_idx = Some(idx);
+                        ScopeKind::Fn(idx)
+                    } else {
+                        ScopeKind::Plain
+                    };
+                    if kind == ScopeKind::Test {
+                        in_test = true;
+                    }
+                    stack.push(kind);
+                    head.clear();
+                }
+                '}' => {
+                    stack.pop();
+                    head.clear();
+                }
+                ';' => head.clear(),
+                _ => head.push(c),
+            }
+        }
+        head.push(' ');
+        line.in_test = in_test || stack.contains(&ScopeKind::Test);
+        line.fn_idx = fn_idx;
+    }
+    fn_count
+}
+
+fn innermost_fn(stack: &[ScopeKind]) -> Option<usize> {
+    stack.iter().rev().find_map(|kind| match kind {
+        ScopeKind::Fn(idx) => Some(*idx),
+        _ => None,
+    })
+}
+
+/// An inline waiver: `audit:allow` followed by a parenthesized list of
+/// rule codes and a mandatory `reason="..."`, written in a comment on
+/// the offending line or the line directly above it.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 0-based line of the waiver comment.
+    pub line: usize,
+    pub codes: Vec<String>,
+    pub reason: String,
+}
+
+/// Result of scanning one line's comment for a waiver marker.
+pub enum WaiverScan {
+    None,
+    Malformed(String),
+    Found(Waiver),
+}
+
+/// Parses a waiver marker out of a line's comment text.
+pub fn parse_waiver(comment: &str, line: usize) -> WaiverScan {
+    let marker = "audit:allow(";
+    let Some(start) = comment.find(marker) else {
+        return WaiverScan::None;
+    };
+    let mut rest = &comment[start + marker.len()..];
+    let mut codes = Vec::new();
+    let mut reason: Option<String> = None;
+    loop {
+        rest = rest.trim_start_matches([' ', ',']);
+        if let Some(after) = rest.strip_prefix(')') {
+            let _ = after;
+            break;
+        }
+        if let Some(r) = rest.strip_prefix("reason=\"") {
+            let Some(end) = r.find('"') else {
+                return WaiverScan::Malformed("unterminated reason string".into());
+            };
+            reason = Some(r[..end].to_string());
+            rest = &r[end + 1..];
+            continue;
+        }
+        let token: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric())
+            .collect();
+        if token.is_empty() {
+            return WaiverScan::Malformed("expected a rule code or reason".into());
+        }
+        let valid = token.len() == 4
+            && token.starts_with('A')
+            && token[1..].chars().all(|c| c.is_ascii_digit());
+        if !valid {
+            return WaiverScan::Malformed(format!("{token:?} is not a rule code"));
+        }
+        rest = &rest[token.len()..];
+        codes.push(token);
+    }
+    if codes.is_empty() {
+        return WaiverScan::Malformed("waiver lists no rule codes".into());
+    }
+    let Some(reason) = reason else {
+        return WaiverScan::Malformed("waiver has no reason=\"...\"".into());
+    };
+    if reason.trim().is_empty() {
+        return WaiverScan::Malformed("waiver reason is empty".into());
+    }
+    WaiverScan::Found(Waiver {
+        line,
+        codes,
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_leave_the_code_channel() {
+        let src = "let a = \"HashMap\"; // HashMap here\nlet b = 1; /* Instant::now */\n";
+        let scanned = scan(src);
+        assert!(!scanned.lines[0].code.contains("HashMap"));
+        assert!(scanned.lines[0].comment.contains("HashMap"));
+        assert_eq!(scanned.lines[0].strings, vec!["HashMap".to_string()]);
+        assert!(!scanned.lines[1].code.contains("Instant"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let src = "let s = r#\"panic!(\"x\")\"#;\nlet c = '\\n';\nlet l: &'static str = \"\";\n";
+        let scanned = scan(src);
+        assert!(!scanned.lines[0].code.contains("panic"));
+        assert_eq!(scanned.lines[0].strings.len(), 1);
+        assert!(scanned.lines[0].strings[0].contains("panic!"));
+        assert!(!scanned.lines[1].code.contains('n'));
+        assert!(scanned.lines[2].code.contains("'static"));
+    }
+
+    #[test]
+    fn multiline_string_attaches_to_start_line() {
+        let src = "let s = \"one\ntwo\";\nlet t = 3;\n";
+        let scanned = scan(src);
+        assert_eq!(scanned.lines[0].strings, vec!["one\ntwo".to_string()]);
+        assert!(scanned.lines[1].strings.is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let scanned = scan(src);
+        assert!(scanned.lines[0].code.contains("let x"));
+        assert!(scanned.lines[0].comment.contains("inner"));
+        assert!(!scanned.lines[0].code.contains("outer"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = 1; }\n}\nfn lib2() {}\n";
+        let scanned = scan(src);
+        assert!(!scanned.lines[0].in_test);
+        assert!(scanned.lines[3].in_test);
+        assert!(!scanned.lines[5].in_test);
+    }
+
+    #[test]
+    fn fn_scopes_are_assigned() {
+        let src = "fn a() {\n    let x = 1;\n}\nfn b() {\n    let y = 2;\n}\n";
+        let scanned = scan(src);
+        assert_eq!(scanned.fn_count, 2);
+        assert_eq!(scanned.lines[1].fn_idx, Some(0));
+        assert_eq!(scanned.lines[4].fn_idx, Some(1));
+    }
+
+    #[test]
+    fn waiver_parses_codes_and_reason() {
+        let comment = " audit:allow(A101, A401, reason=\"hash keyed by design\")";
+        match parse_waiver(comment, 7) {
+            WaiverScan::Found(w) => {
+                assert_eq!(w.codes, vec!["A101".to_string(), "A401".to_string()]);
+                assert_eq!(w.reason, "hash keyed by design");
+                assert_eq!(w.line, 7);
+            }
+            _ => unreachable!("waiver must parse"),
+        }
+    }
+
+    #[test]
+    fn waiver_without_reason_is_malformed() {
+        assert!(matches!(
+            parse_waiver(" audit:allow(A101)", 0),
+            WaiverScan::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_waiver(" audit:allow(reason=\"no codes\")", 0),
+            WaiverScan::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_waiver(" audit:allow(L101, reason=\"bad code\")", 0),
+            WaiverScan::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn has_token_respects_boundaries() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("unsafe_code", "unsafe"));
+        assert!(!has_token("not_unsafe", "unsafe"));
+        assert!(has_token("core::panic!(", "panic!"));
+    }
+}

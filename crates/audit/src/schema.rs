@@ -1,0 +1,173 @@
+//! Schema descriptors: the key-set fingerprint of a report surface.
+//!
+//! A descriptor is a small JSON file under `tests/schemas/` pinning one
+//! `rlc-*/N` surface: the version tag plus the sorted set of key paths
+//! its rendered documents may contain (`nets[].delays.sink` style, with
+//! `[]` marking array traversal). The root `schema_drift` test renders
+//! exemplar documents for every surface and byte-compares freshly
+//! extracted descriptors against the checked-in ones — changing a
+//! surface's key set without bumping `N` fails there, and the static
+//! A301/A302 rules catch version strings and descriptors drifting out
+//! of step with each other without running any report code.
+
+use std::collections::BTreeSet;
+
+use rlc_obs::json::{self, Value};
+
+/// Collects every key path in `doc` into `out`. Object keys append to
+/// the dotted path; array elements contribute under `path[]`.
+pub fn key_paths(doc: &Value, prefix: &str, out: &mut BTreeSet<String>) {
+    match doc {
+        Value::Object(map) => {
+            for (key, child) in map {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                out.insert(path.clone());
+                key_paths(child, &path, out);
+            }
+        }
+        Value::Array(items) => {
+            let path = format!("{prefix}[]");
+            for child in items {
+                key_paths(child, &path, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Parses a JSON document and returns its key-path set.
+pub fn document_keys(doc: &str) -> Result<BTreeSet<String>, String> {
+    let value = json::parse(doc).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let mut out = BTreeSet::new();
+    key_paths(&value, "", &mut out);
+    Ok(out)
+}
+
+/// Renders a descriptor document for `tag` (e.g. `rlc-obs/1`).
+pub fn descriptor_json(tag: &str, keys: &BTreeSet<String>) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json::quote(tag));
+    out.push_str("  \"keys\": [");
+    for (i, key) in keys.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    {}", json::quote(key));
+    }
+    out.push_str(if keys.is_empty() { "]\n}" } else { "\n  ]\n}" });
+    out.push('\n');
+    out
+}
+
+/// Parses a descriptor document into `(tag, keys)`.
+pub fn parse_descriptor(doc: &str) -> Result<(String, BTreeSet<String>), String> {
+    let value = json::parse(doc).map_err(|e| format!("invalid descriptor JSON: {e:?}"))?;
+    let tag = value
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("descriptor has no \"schema\" string")?
+        .to_string();
+    let keys = value
+        .get("keys")
+        .and_then(Value::as_array)
+        .ok_or("descriptor has no \"keys\" array")?
+        .iter()
+        .map(|k| {
+            k.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "non-string key entry".to_string())
+        })
+        .collect::<Result<BTreeSet<String>, String>>()?;
+    Ok((tag, keys))
+}
+
+/// The canonical descriptor file name for a version tag:
+/// `rlc-obs/1` → `rlc-obs-1.json`.
+pub fn descriptor_file_name(tag: &str) -> String {
+    format!("{}.json", tag.replace('/', "-"))
+}
+
+/// Extracts every `rlc-<name>/<digits>` version tag embedded in `text`.
+pub fn version_tags(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut tags = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find("rlc-") {
+        let start = from + pos;
+        let mut end = start + 4;
+        while end < bytes.len() && (bytes[end].is_ascii_lowercase() || bytes[end] == b'-') {
+            end += 1;
+        }
+        let mut cursor = end;
+        if end > start + 4 && cursor < bytes.len() && bytes[cursor] == b'/' {
+            cursor += 1;
+            let digits_start = cursor;
+            while cursor < bytes.len() && bytes[cursor].is_ascii_digit() {
+                cursor += 1;
+            }
+            if cursor > digits_start {
+                tags.push(text[start..cursor].to_string());
+                from = cursor;
+                continue;
+            }
+        }
+        from = end.max(start + 4);
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_paths_cover_nesting_and_arrays() {
+        let keys = document_keys(
+            "{\"schema\": \"x\", \"nets\": [{\"name\": \"a\", \"delays\": {\"sink\": 1}}]}",
+        )
+        .expect("parses");
+        let expect: BTreeSet<String> = [
+            "schema",
+            "nets",
+            "nets[].name",
+            "nets[].delays",
+            "nets[].delays.sink",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let mut keys = BTreeSet::new();
+        keys.insert("schema".to_string());
+        keys.insert("nets[].name".to_string());
+        let doc = descriptor_json("rlc-engine/1", &keys);
+        let (tag, parsed) = parse_descriptor(&doc).expect("roundtrips");
+        assert_eq!(tag, "rlc-engine/1");
+        assert_eq!(parsed, keys);
+    }
+
+    #[test]
+    fn version_tags_are_extracted() {
+        assert_eq!(
+            version_tags("{\"schema\": \"rlc-obs/1\"} and rlc-engine/12 too"),
+            vec!["rlc-obs/1".to_string(), "rlc-engine/12".to_string()]
+        );
+        assert!(version_tags("rlc- no tag, rlc-x/ no digits").is_empty());
+        assert_eq!(
+            version_tags("rlc-verify-synth/1"),
+            vec!["rlc-verify-synth/1".to_string()]
+        );
+    }
+
+    #[test]
+    fn file_name_mapping() {
+        assert_eq!(descriptor_file_name("rlc-obs/1"), "rlc-obs-1.json");
+    }
+}

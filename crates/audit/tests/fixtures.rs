@@ -1,0 +1,41 @@
+//! Every fixture under `tests/fixtures/` trips exactly its intended rule,
+//! and the `clean` fixture audits clean while exercising the waiver and
+//! guard mechanisms.
+
+use std::path::PathBuf;
+
+use rlc_audit::{run, AuditOptions};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn each_fixture_fires_exactly_its_rule() {
+    for name in [
+        "a001", "a002", "a101", "a102", "a201", "a202", "a301", "a302", "a401", "a402", "a403",
+    ] {
+        let report = run(&AuditOptions::new(fixture_root(name))).expect("audit run");
+        let codes: Vec<&str> = report.findings.iter().map(|f| f.code.as_str()).collect();
+        assert_eq!(
+            codes,
+            vec![name.to_uppercase()],
+            "fixture {name} must fire exactly its own rule, got {:#?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_is_clean_and_records_its_waivers() {
+    let report = run(&AuditOptions::new(fixture_root("clean"))).expect("audit run");
+    assert!(
+        report.is_clean(),
+        "clean fixture must audit clean, got {:#?}",
+        report.findings
+    );
+    let waived: Vec<&str> = report.waivers.iter().map(|w| w.code.as_str()).collect();
+    assert_eq!(waived, vec!["A101", "A102", "A401"]);
+}

@@ -1,0 +1,4 @@
+//! Fixture: a waiver missing its `reason` field is malformed (A001).
+
+// audit:allow(A101)
+pub fn noop() {}

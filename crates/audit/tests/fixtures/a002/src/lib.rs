@@ -1,0 +1,4 @@
+//! Fixture: a well-formed waiver with nothing to suppress (A002).
+
+// audit:allow(A401, reason="nothing on this line or the next panics")
+pub fn noop() {}

@@ -1,0 +1,11 @@
+//! Fixture: a hash container in a library path (A101).
+
+use std::collections::HashMap;
+
+pub fn count(words: &[&str]) -> usize {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for w in words {
+        *seen.entry(w).or_insert(0) += 1;
+    }
+    seen.len()
+}

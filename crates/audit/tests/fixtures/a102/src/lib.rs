@@ -1,0 +1,7 @@
+//! Fixture: a raw wall-clock read in a library path (A102).
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

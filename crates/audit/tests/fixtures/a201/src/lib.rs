@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` block with no adjacent SAFETY comment (A201).
+
+pub fn reinterpret(x: u32) -> [u8; 4] {
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,8 @@
+//! Fixture: `get_unchecked` without a `debug_assert!` in the same
+//! function (A202). The SAFETY comment is well-formed, so A201 stays
+//! quiet and only the missing debug guard fires.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    // SAFETY: callers guarantee `bytes` is nonempty (DESIGN.md §17).
+    unsafe { *bytes.get_unchecked(0) }
+}

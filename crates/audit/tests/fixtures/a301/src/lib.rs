@@ -1,0 +1,5 @@
+//! Fixture: a versioned report surface with no golden descriptor (A301).
+
+pub fn render() -> String {
+    String::from("{\"schema\": \"rlc-fix/1\"}")
+}

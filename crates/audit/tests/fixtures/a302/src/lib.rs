@@ -1,0 +1,3 @@
+//! Fixture: a stale golden descriptor no library source emits (A302).
+
+pub fn noop() {}

@@ -1,0 +1,7 @@
+//! Fixture: `panic!` in a shipped library path (A401).
+
+pub fn require(ok: bool) {
+    if !ok {
+        panic!("requirement violated");
+    }
+}

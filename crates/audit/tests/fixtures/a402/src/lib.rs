@@ -1,0 +1,5 @@
+//! Fixture: `todo!` in a shipped library path (A402).
+
+pub fn later() {
+    todo!()
+}

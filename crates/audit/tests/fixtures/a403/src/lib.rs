@@ -1,0 +1,12 @@
+//! Fixture: a message-less `unreachable!()` in a library path (A403).
+//! A message-bearing `unreachable!("why")` documents its invariant and
+//! is allowed.
+
+pub fn pick(flag: bool) -> u8 {
+    match flag {
+        true => 1,
+        false => 0,
+        #[allow(unreachable_patterns)]
+        _ => unreachable!(),
+    }
+}

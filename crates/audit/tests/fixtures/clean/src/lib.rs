@@ -1,0 +1,44 @@
+//! Fixture: a file that audits clean — hazards are either waived with a
+//! reason, guarded the way the rules require, or confined to test code.
+
+// audit:allow(A101, reason="order never reaches output; the map backs a lookup table only")
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn lookup(keys: &[&'static str]) -> HashMap<&'static str, usize> {
+    keys.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+}
+
+pub fn stamp() -> Instant {
+    // audit:allow(A102, reason="fixture models a deliberate raw clock read behind a waiver")
+    Instant::now()
+}
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    debug_assert!(!bytes.is_empty());
+    // SAFETY: callers guarantee `bytes` is nonempty (DESIGN.md §17).
+    unsafe { *bytes.get_unchecked(0) }
+}
+
+pub fn checked(ok: bool) {
+    if !ok {
+        // audit:allow(A401, reason="documented contract panic exercised by the fixture tests")
+        panic!("contract violated");
+    }
+}
+
+pub fn explained(n: u8) -> bool {
+    match n {
+        0 => false,
+        _ => unreachable!("callers normalize n to zero first"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_freely() {
+        let started = std::time::Instant::now();
+        assert!(started.elapsed().as_secs() < 60);
+    }
+}

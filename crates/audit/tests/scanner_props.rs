@@ -1,0 +1,73 @@
+//! Property: hazard tokens inside string literals, line comments, block
+//! comments, or doc comments never reach the scanner's code channel, so
+//! no rule can fire on them. A positive control confirms the same token
+//! in real code *does* land in the code channel.
+
+use proptest::prelude::*;
+use proptest::sample;
+use rlc_audit::scanner::{has_token, scan};
+
+const HAZARDS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "Instant::now",
+    "SystemTime",
+    "panic!",
+    "todo!",
+    "unimplemented!",
+    "unreachable!",
+    "get_unchecked",
+    "unsafe",
+];
+
+const PADS: &[&str] = &["", "x", "note", "see also", "RLC_tree9"];
+
+fn hazard() -> impl Strategy<Value = &'static str> {
+    sample::select(HAZARDS.to_vec())
+}
+
+fn pad() -> impl Strategy<Value = &'static str> {
+    sample::select(PADS.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hazards_in_comments_and_strings_never_reach_code(
+        token in hazard(),
+        before in pad(),
+        after in pad(),
+        kind in 0usize..5,
+    ) {
+        let line = match kind {
+            0 => format!("// {before} {token} {after}"),
+            1 => format!("/// {before} {token} {after}"),
+            2 => format!("/* {before} {token} {after} */"),
+            3 => format!("let s = \"{before} {token} {after}\";"),
+            _ => format!("let r = r#\"{before} {token} {after}\"#;"),
+        };
+        let source = format!("fn carrier() {{\n    {line}\n    let _ = 0;\n}}\n");
+        let scanned = scan(&source);
+        for (i, l) in scanned.lines.iter().enumerate() {
+            prop_assert!(
+                !has_token(&l.code, token),
+                "token {token:?} leaked into the code channel at line {i}: {:?}",
+                l.code
+            );
+        }
+    }
+
+    #[test]
+    fn hazards_in_code_do_reach_code(token in hazard()) {
+        // Positive control: the same token outside comment/string context
+        // must land in the code channel, or the rules would be blind.
+        let source = format!("fn carrier() {{\n    {token}\n}}\n");
+        let scanned = scan(&source);
+        let hit = scanned
+            .lines
+            .iter()
+            .any(|l| has_token(&l.code, token));
+        prop_assert!(hit, "token {token:?} missing from the code channel");
+    }
+}

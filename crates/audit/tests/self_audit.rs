@@ -1,0 +1,54 @@
+//! The workspace is its own largest test corpus: the audit must come back
+//! clean (every hazard fixed or waived with a reason), and the
+//! `rlc-audit/1` report must be byte-identical across repeated runs and
+//! across path-filter orderings.
+
+use std::path::PathBuf;
+
+use rlc_audit::{run, AuditOptions};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_audits_clean() {
+    let report = run(&AuditOptions::new(workspace_root())).expect("audit run");
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: {} {}", f.file, f.line, f.code, f.message))
+        .collect();
+    assert!(
+        report.is_clean(),
+        "workspace must audit clean:\n{}",
+        findings.join("\n")
+    );
+    assert!(
+        !report.waivers.is_empty(),
+        "the workspace documents at least one deliberate hazard via a waiver"
+    );
+}
+
+#[test]
+fn json_report_is_byte_identical_across_runs() {
+    let first = run(&AuditOptions::new(workspace_root()))
+        .expect("audit run")
+        .to_json();
+    let second = run(&AuditOptions::new(workspace_root()))
+        .expect("audit run")
+        .to_json();
+    assert_eq!(first, second);
+    assert!(first.contains("\"schema\": \"rlc-audit/1\""));
+}
+
+#[test]
+fn path_filters_are_order_insensitive() {
+    let mut forward = AuditOptions::new(workspace_root());
+    forward.filters = vec!["crates/tree".to_owned(), "crates/obs".to_owned()];
+    let mut reverse = AuditOptions::new(workspace_root());
+    reverse.filters = vec!["crates/obs".to_owned(), "crates/tree".to_owned()];
+    let a = run(&forward).expect("audit run").to_json();
+    let b = run(&reverse).expect("audit run").to_json();
+    assert_eq!(a, b);
+}

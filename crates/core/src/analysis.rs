@@ -97,6 +97,7 @@ impl TreeAnalysis {
     pub fn model(&self, node: NodeId) -> &SecondOrderModel {
         self.models[node.index()]
             .as_ref()
+            // audit:allow(A401, reason="documented # Panics contract; try_model is the fallible twin for callers that cannot rule out zero-dynamics nodes")
             .unwrap_or_else(|| panic!("node {node} has no dynamics (zero T_RC and T_LC)"))
     }
 

@@ -472,7 +472,7 @@ impl EngineService {
             name: spec.name,
             deadline: spec.deadline,
             hold: spec.hold,
-            admitted: Instant::now(),
+            admitted: self.shared.telemetry.time.now(),
             depth: 0,
             payload: Payload::Net {
                 source: spec.source,
@@ -514,7 +514,7 @@ impl EngineService {
             name: spec.name,
             deadline: spec.deadline,
             hold: spec.hold,
-            admitted: Instant::now(),
+            admitted: self.shared.telemetry.time.now(),
             depth: 0,
             payload: Payload::Couple {
                 source: spec.source,
@@ -555,7 +555,7 @@ impl EngineService {
             name: spec.name,
             deadline: spec.deadline,
             hold: spec.hold,
-            admitted: Instant::now(),
+            admitted: self.shared.telemetry.time.now(),
             depth: 0,
             payload: Payload::Synth {
                 source: spec.source,
@@ -591,7 +591,7 @@ impl EngineService {
             let depth = (state.jobs.len() + state.in_flight + 1) as u64;
             self.shared.telemetry.depth.record(depth);
             job.depth = depth;
-            job.admitted = Instant::now();
+            job.admitted = self.shared.telemetry.time.now();
             state.jobs.push_back(job);
             rlc_obs::value!("engine.service.queue.depth", state.jobs.len() as f64);
         }
@@ -775,12 +775,13 @@ fn worker_loop(shared: &Shared) {
         };
 
         let _span = rlc_obs::span!("engine.service/job");
-        let picked = Instant::now();
+        let picked = shared.telemetry.time.now();
         let queue_ns = saturating_ns(picked.duration_since(job.admitted));
         if let Some(hold) = job.hold {
             thread::sleep(hold);
         }
-        let expired = matches!(job.deadline, Some(deadline) if Instant::now() > deadline);
+        let expired =
+            matches!(job.deadline, Some(deadline) if shared.telemetry.time.now() > deadline);
         // Each job kind computes its own typed result; everything around it
         // (timing, counters, atomic delivery) is kind-agnostic.
         let outcome = match job.payload {

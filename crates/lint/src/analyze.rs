@@ -19,7 +19,7 @@
 //! only if `Netlist::parse` accepts it** (warnings and infos never block
 //! parsing). `tests/parser_agreement.rs` enforces this property.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rlc_tree::netlist::Netlist;
 use rlc_tree::{RlcTree, TreeError};
@@ -201,7 +201,7 @@ impl Scan {
         let mut shunts: Vec<ScannedShunt> = Vec::new();
         let mut input: Option<(String, usize)> = None;
         // label -> first defining line, insertion order irrelevant (lookup only).
-        let mut labels: HashMap<String, usize> = HashMap::new();
+        let mut labels: BTreeMap<String, usize> = BTreeMap::new();
         let mut card_errors = false;
 
         for (lineno, raw) in deck.lines().enumerate() {
@@ -445,7 +445,7 @@ fn graph_stage(
         ));
         return;
     }
-    let mut adj: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut adj: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
     for (idx, el) in series.iter().enumerate() {
         adj.entry(&el.a).or_default().push(idx);
         adj.entry(&el.b).or_default().push(idx);
@@ -475,7 +475,7 @@ fn graph_stage(
     // DFS in the exact order `Netlist::assemble` uses, so the first cycle
     // reported here is the one the parser would report.
     let mut used = vec![false; series.len()];
-    let mut visited: HashMap<&str, ()> = HashMap::new();
+    let mut visited: BTreeMap<&str, ()> = BTreeMap::new();
     visited.insert(input_name.as_str(), ());
     let mut stack: Vec<&str> = vec![input_name.as_str()];
     while let Some(node) = stack.pop() {

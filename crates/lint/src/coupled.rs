@@ -21,7 +21,7 @@
 //! lints error-free iff [`CoupledGroup::parse`] accepts it** — enforced by
 //! the coupled cases in `tests/parser_agreement.rs`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rlc_tree::coupled::CoupledGroup;
 use rlc_tree::netlist::Netlist;
@@ -111,7 +111,7 @@ pub fn lint_coupled_deck_with(deck: &str, config: &LintConfig) -> LintReport {
     // For duplicate names only the first declaration resolves, mirroring
     // nothing in the parser (which rejects duplicates outright) but keeping
     // the lint pass total.
-    let mut index: HashMap<&str, usize> = HashMap::new();
+    let mut index: BTreeMap<&str, usize> = BTreeMap::new();
     let mut netlists: Vec<Option<Netlist>> = Vec::with_capacity(decls.len());
     for (net_idx, decl) in decls.iter().enumerate() {
         let mut chunk = String::with_capacity(deck.len());
@@ -141,7 +141,7 @@ pub fn lint_coupled_deck_with(deck: &str, config: &LintConfig) -> LintReport {
     }
 
     // Coupling-reference resolution (L401/L402/L404) and aggressor tally.
-    let mut partners: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut partners: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for c in &couplings {
         let a = resolve_end(&mut diagnostics, &index, &netlists, c, &c.ref_a);
         let b = resolve_end(&mut diagnostics, &index, &netlists, c, &c.ref_b);
@@ -309,7 +309,7 @@ fn scan_coupling_card(
 /// chunk's findings already fail the deck.
 fn resolve_end(
     diagnostics: &mut Vec<Diagnostic>,
-    index: &HashMap<&str, usize>,
+    index: &BTreeMap<&str, usize>,
     netlists: &[Option<Netlist>],
     c: &ScannedCoupling,
     reference: &str,

@@ -74,7 +74,8 @@ fn sums_into_arrays(
         let lo = child_start_lo[i] as usize;
         let hi = child_start_hi[i] as usize;
         for &child in &child_index[lo..hi] {
-            // SAFETY: `child < n` per the precondition above.
+            // SAFETY: `child < n` per the precondition above
+            // (DESIGN.md §15 packed-kernel index invariants).
             total += *unsafe { dc.get_unchecked(child as usize) };
         }
         dc[i] = total;
@@ -93,7 +94,8 @@ fn sums_into_arrays(
         let (parent_rc, parent_lc) = if p == NO_PARENT {
             (Time::ZERO, TimeSquared::ZERO)
         } else {
-            // SAFETY: `p != NO_PARENT`, so `p < n` per the precondition.
+            // SAFETY: `p != NO_PARENT`, so `p < n` per the precondition
+            // (DESIGN.md §15 packed-kernel index invariants).
             unsafe { (*rc.get_unchecked(p as usize), *lc.get_unchecked(p as usize)) }
         };
         let load = dc[i];

@@ -273,9 +273,12 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one full UTF-8 character (input is a &str, so
-                    // the byte stream is valid UTF-8).
+                    // Consume one full UTF-8 character.
                     let rest = &self.bytes[self.pos..];
+                    // SAFETY: `bytes` came from a `&str`, and `pos` only
+                    // ever advances by whole escape sequences or
+                    // `len_utf8()` of decoded chars, so the tail is valid
+                    // UTF-8 at a character boundary (DESIGN.md §17).
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().unwrap();
                     out.push(c);

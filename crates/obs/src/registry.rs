@@ -7,17 +7,19 @@
 //! snapshot time by subtracting each path's direct children.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{LazyLock, Mutex};
 use std::time::Instant;
 
 use crate::{Snapshot, SpanStat, ValueStat};
 
+/// BTree-backed so iteration at snapshot time is already name-sorted —
+/// nothing order-dependent can leak into the rendered `rlc-obs/1` report.
 #[derive(Default)]
 struct Inner {
-    counters: HashMap<&'static str, u64>,
-    values: HashMap<&'static str, ValueAgg>,
-    spans: HashMap<String, SpanAgg>,
+    counters: BTreeMap<&'static str, u64>,
+    values: BTreeMap<&'static str, ValueAgg>,
+    spans: BTreeMap<String, SpanAgg>,
 }
 
 #[derive(Clone, Copy)]
@@ -99,6 +101,7 @@ pub(crate) fn span_enter(name: &'static str) -> Span {
     Span {
         path,
         depth,
+        // audit:allow(A102, reason="span guards profile real wall time by design; spans render only in the obs-gated snapshot, never in canonical reports")
         start: Instant::now(),
     }
 }
@@ -120,14 +123,15 @@ impl Drop for Span {
 
 pub(crate) fn snapshot() -> Snapshot {
     with_registry(|inner| {
-        let mut counters: Vec<(String, u64)> = inner
+        // BTreeMap iteration is name-sorted, which is exactly the
+        // Snapshot ordering contract.
+        let counters: Vec<(String, u64)> = inner
             .counters
             .iter()
             .map(|(&name, &v)| (name.to_owned(), v))
             .collect();
-        counters.sort_by(|a, b| a.0.cmp(&b.0));
 
-        let mut values: Vec<(String, ValueStat)> = inner
+        let values: Vec<(String, ValueStat)> = inner
             .values
             .iter()
             .map(|(&name, agg)| {
@@ -142,7 +146,6 @@ pub(crate) fn snapshot() -> Snapshot {
                 )
             })
             .collect();
-        values.sort_by(|a, b| a.0.cmp(&b.0));
 
         let mut spans: Vec<(String, SpanStat)> = inner
             .spans
@@ -158,7 +161,6 @@ pub(crate) fn snapshot() -> Snapshot {
                 )
             })
             .collect();
-        spans.sort_by(|a, b| a.0.cmp(&b.0));
 
         // Self-time: subtract each path's direct children from its total.
         let child_totals: Vec<(usize, u64)> = spans

@@ -15,6 +15,7 @@
 //! zero disables the cache entirely (every lookup is a miss, inserts are
 //! dropped).
 
+// audit:allow(A101, reason="cache is addressed by fnv1a hash by design; eviction tie-breaks on (last_used, hash) so iteration order never reaches any output")
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -189,7 +190,13 @@ impl<T: Clone> ResultCache<T> {
         }
         let hash = fnv1a_64(key.as_bytes());
         if !self.entries.contains_key(&hash) && self.entries.len() >= self.config.capacity {
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, entry)| entry.last_used)
+            // Tie-break equal `last_used` stamps (routine under logical
+            // time) by hash so the victim never depends on map iteration
+            // order.
+            if let Some((&victim, _)) = self
+                .entries
+                .iter()
+                .min_by_key(|(&hash, entry)| (entry.last_used, hash))
             {
                 self.entries.remove(&victim);
                 self.evictions += 1;

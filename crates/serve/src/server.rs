@@ -28,7 +28,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rlc_couple::GroupTiming;
 use rlc_engine::{
@@ -211,7 +211,7 @@ impl ServeCore {
             self.cache
                 .lock()
                 .expect("cache lock")
-                .get(&key, Instant::now())
+                .get(&key, self.telemetry.now())
         });
         if let Some(mut timing) = cached {
             // Content-addressed: the cached circuit answers under the
@@ -225,7 +225,7 @@ impl ServeCore {
         }
         let mut spec = JobSpec::tree(&request.name, tree).model(request.model);
         if let Some(ms) = request.deadline_ms {
-            spec = spec.deadline(Instant::now() + Duration::from_millis(ms));
+            spec = spec.deadline(self.telemetry.now() + Duration::from_millis(ms));
         }
         if let Some(ms) = request.sleep_ms {
             spec = spec.hold(Duration::from_millis(ms));
@@ -248,7 +248,7 @@ impl ServeCore {
                     self.cache.lock().expect("cache lock").insert(
                         key,
                         timing.clone(),
-                        Instant::now(),
+                        self.telemetry.now(),
                     );
                 }
                 let outcome = match &result {
@@ -328,7 +328,7 @@ impl ServeCore {
             self.couple_cache
                 .lock()
                 .expect("couple cache lock")
-                .get(&key, Instant::now())
+                .get(&key, self.telemetry.now())
         });
         if let Some(mut timing) = cached {
             // Content-addressed: the cached group answers under the
@@ -342,7 +342,7 @@ impl ServeCore {
         }
         let mut spec = CoupleSpec::group(&request.name, group);
         if let Some(ms) = request.deadline_ms {
-            spec = spec.deadline(Instant::now() + Duration::from_millis(ms));
+            spec = spec.deadline(self.telemetry.now() + Duration::from_millis(ms));
         }
         if let Some(ms) = request.sleep_ms {
             spec = spec.hold(Duration::from_millis(ms));
@@ -365,7 +365,7 @@ impl ServeCore {
                     self.couple_cache.lock().expect("couple cache lock").insert(
                         key,
                         timing.clone(),
-                        Instant::now(),
+                        self.telemetry.now(),
                     );
                 }
                 let outcome = match &result {
@@ -448,7 +448,7 @@ impl ServeCore {
             self.synth_cache
                 .lock()
                 .expect("synth cache lock")
-                .get(&key, Instant::now())
+                .get(&key, self.telemetry.now())
         });
         if let Some(mut timing) = cached {
             // Content-addressed: the cached net answers under the
@@ -462,7 +462,7 @@ impl ServeCore {
         }
         let mut spec = SynthSpec::deck(&request.name, &request.deck);
         if let Some(ms) = request.deadline_ms {
-            spec = spec.deadline(Instant::now() + Duration::from_millis(ms));
+            spec = spec.deadline(self.telemetry.now() + Duration::from_millis(ms));
         }
         if let Some(ms) = request.sleep_ms {
             spec = spec.hold(Duration::from_millis(ms));
@@ -485,7 +485,7 @@ impl ServeCore {
                     self.synth_cache.lock().expect("synth cache lock").insert(
                         key,
                         timing.clone(),
-                        Instant::now(),
+                        self.telemetry.now(),
                     );
                 }
                 let outcome = match &result {
@@ -748,7 +748,7 @@ fn serve_streams<R: BufRead, W: Write>(
     loop {
         // The read stage spans from "ready for a request" to "request
         // framed", so it includes any wait for the peer to speak.
-        let read_start = Instant::now();
+        let read_start = core.telemetry.now();
         let outcome = read_request(input)?;
         let read_ns = Some(u64::try_from(read_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
         let (line, done) = match outcome {

@@ -153,6 +153,12 @@ impl ServeTelemetry {
         self.config.enabled
     }
 
+    /// Reads the clock through the configured [`TimeSource`], the one
+    /// place the serving path is allowed to touch wall time.
+    pub fn now(&self) -> std::time::Instant {
+        self.config.time.now()
+    }
+
     /// Opens a trace for a request handling `verb`, assigning the next
     /// request id in arrival order. `read_ns` is the transport's raw
     /// read-stage measurement, when it made one.

@@ -1,6 +1,6 @@
 //! Fluent construction of hand-shaped trees.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{NodeId, RlcSection, RlcTree, TreeError};
 
@@ -36,7 +36,7 @@ use crate::{NodeId, RlcSection, RlcTree, TreeError};
 #[derive(Debug, Default)]
 pub struct TreeBuilder {
     tree: RlcTree,
-    labels: HashMap<String, NodeId>,
+    labels: BTreeMap<String, NodeId>,
 }
 
 impl TreeBuilder {
@@ -119,7 +119,7 @@ impl TreeBuilder {
     }
 
     /// Finishes construction, returning the tree and the label map.
-    pub fn finish(self) -> (RlcTree, HashMap<String, NodeId>) {
+    pub fn finish(self) -> (RlcTree, BTreeMap<String, NodeId>) {
         (self.tree, self.labels)
     }
 

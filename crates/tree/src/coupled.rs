@@ -35,7 +35,7 @@
 //! ([`CoupledGroup::canonical_deck`]) with every degree of textual freedom
 //! removed, used as the content-addressable identity for coupled results.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rlc_units::Capacitance;
 
@@ -296,7 +296,7 @@ impl CoupledGroup {
         nets: &[CoupledNet],
         raw: Vec<RawCoupling>,
     ) -> Result<Vec<Coupling>, TreeError> {
-        let index: HashMap<&str, usize> = nets
+        let index: BTreeMap<&str, usize> = nets
             .iter()
             .enumerate()
             .map(|(i, net)| (net.name(), i))

@@ -25,7 +25,7 @@
 //! combined section, so no merging is needed); shunt capacitance is summed
 //! per node. The element graph must be a tree rooted at the input node.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rlc_units::{Capacitance, Inductance, Resistance};
 
@@ -55,7 +55,7 @@ use crate::{NodeId, RlcSection, RlcTree, TreeError};
 #[derive(Debug, Clone)]
 pub struct Netlist {
     tree: RlcTree,
-    names: HashMap<String, NodeId>,
+    names: BTreeMap<String, NodeId>,
     header: Option<String>,
 }
 
@@ -69,7 +69,7 @@ impl Netlist {
     ///   disconnected, or lacks an identifiable input node.
     pub fn parse(deck: &str) -> Result<Self, TreeError> {
         let mut series: Vec<SeriesElement> = Vec::new();
-        let mut shunt: HashMap<String, Capacitance> = HashMap::new();
+        let mut shunt: BTreeMap<String, Capacitance> = BTreeMap::new();
         let mut input: Option<String> = None;
         let mut header: Option<String> = None;
         let mut seen_card = false;
@@ -161,7 +161,7 @@ impl Netlist {
 
     fn assemble(
         series: Vec<SeriesElement>,
-        mut shunt: HashMap<String, Capacitance>,
+        mut shunt: BTreeMap<String, Capacitance>,
         input: Option<String>,
         header: Option<String>,
     ) -> Result<Self, TreeError> {
@@ -171,7 +171,7 @@ impl Netlist {
             });
         }
         // Adjacency over node names.
-        let mut adj: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut adj: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         for (idx, el) in series.iter().enumerate() {
             adj.entry(&el.a).or_default().push(idx);
             adj.entry(&el.b).or_default().push(idx);
@@ -193,11 +193,11 @@ impl Netlist {
 
         // DFS from the input, creating one tree section per series element.
         let mut tree = RlcTree::with_capacity(series.len());
-        let mut names: HashMap<String, NodeId> = HashMap::new();
+        let mut names: BTreeMap<String, NodeId> = BTreeMap::new();
         let mut used = vec![false; series.len()];
         // (reached node name, tree node it maps to — None for the source)
         let mut stack: Vec<(String, Option<NodeId>)> = vec![(input.clone(), None)];
-        let mut visited_nodes: HashMap<String, ()> = HashMap::new();
+        let mut visited_nodes: BTreeMap<String, ()> = BTreeMap::new();
         visited_nodes.insert(input.clone(), ());
 
         while let Some((node_name, tree_node)) = stack.pop() {

@@ -37,7 +37,7 @@
 //! [`TreeError::SynthDeck`]. The `rlc-lint` crate mirrors this grammar
 //! in its L5xx synthesis tier with the same accept/reject boundary.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rlc_units::{Capacitance, Resistance, Time};
 
@@ -320,7 +320,7 @@ fn parse_lib_card(fields: &[&str], line: usize) -> Result<BufferCard, TreeError>
         });
     }
     let name = fields[1];
-    let mut kv: HashMap<&str, &str> = HashMap::new();
+    let mut kv: BTreeMap<&str, &str> = BTreeMap::new();
     for field in &fields[2..] {
         let Some((key, value)) = field.split_once('=') else {
             return Err(TreeError::ParseNetlist {

@@ -33,6 +33,7 @@ impl NodeId {
     /// Panics if `index` does not fit the id's 32-bit representation.
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        // audit:allow(A401, reason="documented # Panics contract: the u32 arena capacity limit is a deliberate representation bound")
         NodeId(u32::try_from(index).unwrap_or_else(|_| panic!("node index {index} overflows u32")))
     }
 }
@@ -126,6 +127,7 @@ impl RlcTree {
 
     fn push(&mut self, section: RlcSection, parent: Option<NodeId>) -> NodeId {
         let Ok(index) = u32::try_from(self.nodes.len()) else {
+            // audit:allow(A401, reason="u32 arena capacity limit: a four-billion-node tree is out of scope by design, and growth APIs document the panic")
             panic!("tree exceeds u32::MAX nodes");
         };
         let id = NodeId(index);

@@ -1,0 +1,284 @@
+//! Golden schema descriptors: every versioned report surface in the
+//! workspace is pinned by a descriptor under `tests/schemas/` listing the
+//! key paths the surface may emit. This test renders one exemplar
+//! document per surface, harvests every tagged subobject, and
+//! byte-compares the resulting descriptors against the goldens.
+//!
+//! Regenerate after a deliberate schema change with:
+//!
+//! ```text
+//! UPDATE_SCHEMAS=1 cargo test --test schema_drift
+//! ```
+//!
+//! Renaming or removing a key within the same version tag fails here;
+//! the fix is to bump the surface's `/N` suffix and regenerate (the
+//! static side of the same contract is `rlc-audit`'s A3xx tier).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use rlc_audit::schema::{descriptor_file_name, descriptor_json, key_paths};
+use rlc_audit::{run as audit_run, AuditOptions};
+use rlc_engine::{Batch, CoupleBatch, Engine, SynthBatch};
+use rlc_lint::{lint_deck, render_document};
+use rlc_obs::json::{parse, Value};
+use rlc_obs::{Snapshot, SpanStat, TimeSource, ValueStat};
+use rlc_serve::{serve_stdio, ServeConfig, TelemetryConfig};
+use rlc_tree::coupled::CoupledGroup;
+use rlc_verify::{Conformance, CorpusSpec, Oracle, SynthConformance, SynthSpec};
+
+/// Every versioned surface the workspace ships, in descriptor order.
+const SURFACES: &[&str] = &[
+    "rlc-audit/1",
+    "rlc-couple/1",
+    "rlc-engine-couple/1",
+    "rlc-engine-synth/1",
+    "rlc-engine/1",
+    "rlc-lint/1",
+    "rlc-obs/1",
+    "rlc-serve/1",
+    "rlc-synth/1",
+    "rlc-trace/1",
+    "rlc-verify-synth/1",
+    "rlc-verify/1",
+];
+
+const LINE_DECK: &str = "R1 in n1 25\nC1 n1 0 0.5p\nL2 n1 n2 5n\nC2 n2 0 1p\n";
+
+const COUPLED_DECK: &str = "\
+.net victim
+R1 in n1 100
+L1 n1 n2 1n
+C1 n2 0 1p
+.net agg
+R1 in m1 40
+C1 m1 0 0.3p
+K1 victim.n2 agg.m1 0.1p
+";
+
+const SYNTH_DECK: &str = "\
+R1 in n1 900
+C1 n1 0 0.9p
+.lib bufx r=120 cin=5f tin=15p
+.driver 100
+";
+
+/// Walks a parsed document and, for every subobject tagged with a
+/// `"schema"` or `"proto"` version string, merges that subobject's key
+/// paths into the per-tag union.
+fn harvest(doc: &Value, tags: &mut BTreeMap<String, BTreeSet<String>>) {
+    match doc {
+        Value::Object(map) => {
+            let tag = doc
+                .get("schema")
+                .or_else(|| doc.get("proto"))
+                .and_then(Value::as_str);
+            if let Some(tag) = tag {
+                if tag.starts_with("rlc-") && tag.contains('/') {
+                    key_paths(doc, "", tags.entry(tag.to_owned()).or_default());
+                }
+            }
+            for value in map.values() {
+                harvest(value, tags);
+            }
+        }
+        Value::Array(items) => {
+            for item in items {
+                harvest(item, tags);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn harvest_text(text: &str, tags: &mut BTreeMap<String, BTreeSet<String>>) {
+    let doc = parse(text).unwrap_or_else(|e| panic!("exemplar is not valid JSON: {e:?}\n{text}"));
+    harvest(&doc, tags);
+}
+
+fn logical_time_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        telemetry: TelemetryConfig {
+            time: TimeSource::Logical { quantum_ns: 32 },
+            ..TelemetryConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// One exemplar document per surface, chosen to exercise both the success
+/// and the error shape of each report wherever the surface has both.
+fn exemplars() -> BTreeMap<String, BTreeSet<String>> {
+    let mut tags: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+
+    // rlc-obs/1: a hand-built snapshot with every section populated.
+    let snapshot = Snapshot {
+        counters: vec![("sim.steps".to_owned(), 2000)],
+        values: vec![(
+            "residual".to_owned(),
+            ValueStat {
+                count: 2,
+                sum: 3.0,
+                min: 1.0,
+                max: 2.0,
+            },
+        )],
+        spans: vec![(
+            "eval".to_owned(),
+            SpanStat {
+                count: 1,
+                total_ns: 120,
+                self_ns: 120,
+            },
+        )],
+    };
+    harvest_text(&snapshot.to_json(), &mut tags);
+
+    // rlc-engine/1: one healthy net, one parse failure.
+    let mut batch = Batch::new();
+    batch.push_deck("good", LINE_DECK);
+    batch.push_deck("broken", "R1 in n1 oops\n");
+    harvest_text(&Engine::with_workers(1).run(&batch).to_json(), &mut tags);
+
+    // rlc-engine-couple/1 wrapping per-group rlc-couple/1 lines.
+    let mut couple_batch = CoupleBatch::new();
+    couple_batch.push_deck("bus", COUPLED_DECK);
+    couple_batch.push_deck("broken", ".net a\nR1 in n1 oops\n");
+    harvest_text(
+        &Engine::with_workers(1).run_couple(&couple_batch).to_json(),
+        &mut tags,
+    );
+
+    // rlc-couple/1 directly, for the standalone group report.
+    let group = CoupledGroup::parse(COUPLED_DECK).expect("coupled deck parses");
+    harvest_text(
+        &rlc_couple::analyze_group(&group, "bus").to_json(),
+        &mut tags,
+    );
+
+    // rlc-engine-synth/1 wrapping per-net rlc-synth/1 lines.
+    let mut synth_batch = SynthBatch::new();
+    synth_batch.push_deck("clk", SYNTH_DECK);
+    synth_batch.push_deck("broken", ".lib b r=100 cin=4f tin=1p\nR1 in n1 oops\n");
+    harvest_text(
+        &Engine::with_workers(1).run_synth(&synth_batch).to_json(),
+        &mut tags,
+    );
+
+    // rlc-verify/1: a tiny seeded conformance corpus.
+    let conformance = Conformance::with_oracle(Oracle::with_max_steps(20_000));
+    let spec = CorpusSpec {
+        seed: 7,
+        nets: 2,
+        max_sections: 5,
+    };
+    harvest_text(&conformance.run(&spec).to_json(), &mut tags);
+
+    // rlc-verify-synth/1: a tiny seeded synthesis-verification run.
+    let synth_conf = SynthConformance {
+        oracle: Oracle::with_max_steps(20_000),
+        ..SynthConformance::default()
+    };
+    let synth_spec = SynthSpec {
+        seed: 7,
+        nets: 2,
+        max_sections: 5,
+    };
+    harvest_text(&synth_conf.run(&synth_spec).to_json(), &mut tags);
+
+    // rlc-lint/1: one clean deck, one deck with diagnostics.
+    let reports = vec![
+        ("good".to_owned(), lint_deck(LINE_DECK)),
+        ("bad".to_owned(), lint_deck("R1 in n1 oops\n")),
+    ];
+    harvest_text(&render_document(&reports), &mut tags);
+
+    // rlc-serve/1 (every response type) and the rlc-trace/1 report nested
+    // in `metrics`. Logical time keeps the transcript deterministic.
+    let config = logical_time_config();
+    let input = format!(
+        "analyze name=good\n{LINE_DECK}.\n\
+         analyze name=broken\nR1 in n1 oops\n.\n\
+         analyze name=gated lint=deny\n* empty deck\n.\n\
+         couple name=bus\n{COUPLED_DECK}.\n\
+         optimize name=clk\n{SYNTH_DECK}.\n\
+         lint name=checked\n{LINE_DECK}.\n\
+         probe\nmetrics\ntrace last=2\nshutdown\n"
+    );
+    let mut output = Vec::new();
+    serve_stdio(config, &mut input.as_bytes(), &mut output).expect("stdio session");
+    for line in String::from_utf8(output).expect("utf8 output").lines() {
+        harvest_text(line, &mut tags);
+    }
+
+    // A framing error answers `bad_request` and ends that session, so it
+    // gets a transcript of its own.
+    let config = logical_time_config();
+    let mut output = Vec::new();
+    serve_stdio(config, &mut "bogus verb\n".as_bytes(), &mut output).expect("stdio session");
+    for line in String::from_utf8(output).expect("utf8 output").lines() {
+        harvest_text(line, &mut tags);
+    }
+
+    // rlc-audit/1: the audit's own report over its fixture corpus, which
+    // deterministically populates both findings and waivers.
+    let fixture_root = Path::new("crates/audit/tests/fixtures");
+    let report = audit_run(&AuditOptions::new(fixture_root)).expect("audit over fixtures");
+    assert!(!report.findings.is_empty() && !report.waivers.is_empty());
+    harvest_text(&report.to_json(), &mut tags);
+
+    tags
+}
+
+#[test]
+fn schema_descriptors_are_current() {
+    let tags = exemplars();
+    let found: Vec<&str> = tags.keys().map(String::as_str).collect();
+    assert_eq!(
+        found, SURFACES,
+        "the set of versioned surfaces changed; update SURFACES and \
+         regenerate with UPDATE_SCHEMAS=1 cargo test --test schema_drift"
+    );
+
+    let dir = Path::new("tests/schemas");
+    if std::env::var_os("UPDATE_SCHEMAS").is_some() {
+        std::fs::create_dir_all(dir).expect("create tests/schemas");
+        for (tag, keys) in &tags {
+            let path = dir.join(descriptor_file_name(tag));
+            std::fs::write(&path, descriptor_json(tag, keys)).expect("write descriptor");
+        }
+    }
+
+    let expected_files: BTreeSet<String> = tags.keys().map(|t| descriptor_file_name(t)).collect();
+    let mut actual_files: BTreeSet<String> = BTreeSet::new();
+    for entry in
+        std::fs::read_dir(dir).expect("tests/schemas exists (regenerate with UPDATE_SCHEMAS=1)")
+    {
+        let name = entry
+            .expect("dir entry")
+            .file_name()
+            .to_string_lossy()
+            .into_owned();
+        if name.ends_with(".json") {
+            actual_files.insert(name);
+        }
+    }
+    assert_eq!(
+        actual_files, expected_files,
+        "stray or missing descriptor files under tests/schemas"
+    );
+
+    for (tag, keys) in &tags {
+        let path = dir.join(descriptor_file_name(tag));
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing descriptor {}: {e}", path.display()));
+        let rendered = descriptor_json(tag, keys);
+        assert_eq!(
+            golden, rendered,
+            "schema drift in {tag}: key paths changed without bumping the \
+             version; bump /N or regenerate with UPDATE_SCHEMAS=1 if the \
+             change is deliberate"
+        );
+    }
+}
